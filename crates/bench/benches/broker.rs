@@ -1,0 +1,54 @@
+//! Microbenchmarks of the Kafka-like broker: produce/fetch throughput
+//! and the drain protocol's `move_all`.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mq::Broker;
+use simcore::SimTime;
+use std::hint::black_box;
+
+fn bench_produce_fetch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("broker");
+    g.bench_function("produce_fetch_10k", |b| {
+        b.iter_batched(
+            || {
+                let mut br: Broker<u64> = Broker::new();
+                let t = br.create_topic("t");
+                (br, t)
+            },
+            |(mut br, t)| {
+                for i in 0..10_000u64 {
+                    br.produce(t, SimTime::ZERO, i);
+                }
+                let mut acc = 0u64;
+                while !br.fetch(t, 64).is_empty() {
+                    acc += 1;
+                }
+                black_box(acc)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("move_all_10k", |b| {
+        b.iter_batched(
+            || {
+                let mut br: Broker<u64> = Broker::new();
+                let from = br.create_topic("from");
+                let to = br.create_topic("to");
+                for i in 0..10_000u64 {
+                    br.produce(from, SimTime::ZERO, i);
+                }
+                (br, from, to)
+            },
+            |(mut br, from, to)| black_box(br.move_all(from, to, SimTime::ZERO)),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_produce_fetch
+}
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Microbenchmarks of the DES engine: event-queue throughput and the
+//! dispatch loop — the substrate every experiment's wall-time rests on.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use simcore::{Engine, EventQueue, Outbox, SimDuration, SimTime};
+use std::hint::black_box;
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    g.bench_function("push_pop_10k", |b| {
+        b.iter_batched(
+            EventQueue::<u64>::new,
+            |mut q| {
+                for i in 0..10_000u64 {
+                    q.push(SimTime::from_millis((i * 7919) % 100_000), i);
+                }
+                let mut acc = 0u64;
+                while let Some((_, e)) = q.pop() {
+                    acc = acc.wrapping_add(e);
+                }
+                black_box(acc)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_engine_dispatch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.bench_function("ping_chain_100k", |b| {
+        b.iter(|| {
+            let mut engine: Engine<u32> = Engine::new();
+            engine.schedule(SimTime::ZERO, 0u32);
+            let mut count = 0u64;
+            engine.run_until(
+                SimTime::from_secs(100_000),
+                &mut |_now: SimTime, ev: u32, out: &mut Outbox<u32>| {
+                    count += 1;
+                    if count < 100_000 {
+                        out.after(SimDuration::from_millis(1_000), ev.wrapping_add(1));
+                    }
+                },
+            );
+            black_box(count)
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_event_queue, bench_engine_dispatch
+}
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion measurement of the SeBS kernels (Fig. 7's raw numbers) and
+//! the sequential-vs-rayon PageRank ablation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sebs::{bfs, mst, pagerank, pagerank_par, Graph};
+use std::hint::black_box;
+
+fn bench_kernels(c: &mut Criterion) {
+    let g = Graph::barabasi_albert(20_000, 3, 7);
+    let mut group = c.benchmark_group("sebs");
+    group.sample_size(30);
+    group.bench_function("bfs_20k", |b| {
+        b.iter(|| black_box(bfs(&g, 0).1))
+    });
+    group.bench_function("mst_20k", |b| {
+        b.iter(|| black_box(mst(&g).0))
+    });
+    group.bench_function("pagerank_20k_seq", |b| {
+        b.iter(|| black_box(pagerank(&g, 1e-8, 100).1))
+    });
+    group.bench_function("pagerank_20k_rayon", |b| {
+        b.iter(|| black_box(pagerank_par(&g, 1e-8, 100).1))
+    });
+    group.finish();
+}
+
+fn bench_graph_gen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph");
+    group.sample_size(20);
+    group.bench_function("barabasi_albert_20k", |b| {
+        b.iter(|| black_box(Graph::barabasi_albert(20_000, 3, 7).n_edges()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels, bench_graph_gen);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Benchmarks of the clairvoyant offline simulator and the idle-trace
+//! generator — together they produce Table I, so their speed determines
+//! how many calibration sweeps are affordable.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpcwhisk_core::offline::{simulate, OfflineConfig};
+use hpcwhisk_core::lengths;
+use simcore::SimDuration;
+use std::hint::black_box;
+use workload::IdleModel;
+
+fn bench_offline(c: &mut Criterion) {
+    let trace = IdleModel::prometheus_week().generate(SimDuration::from_hours(24), 42);
+    let mut group = c.benchmark_group("offline");
+    group.sample_size(20);
+    group.bench_function("simulate_A1_day", |b| {
+        b.iter(|| black_box(simulate(&trace, &OfflineConfig::table1(lengths::A1.to_vec())).n_jobs))
+    });
+    group.bench_function("simulate_C2_day", |b| {
+        b.iter(|| black_box(simulate(&trace, &OfflineConfig::table1(lengths::c2())).n_jobs))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("tracegen");
+    group.sample_size(10);
+    group.bench_function("idle_trace_day_2239_nodes", |b| {
+        b.iter(|| {
+            black_box(
+                IdleModel::prometheus_week()
+                    .generate(SimDuration::from_hours(24), 43)
+                    .n_intervals(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_offline);
+criterion_main!(benches);

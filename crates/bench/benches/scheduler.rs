@@ -1,0 +1,88 @@
+//! Benchmarks of the Slurm-like scheduler at production scale: a
+//! 2,239-node cluster processing a backfill pass with a 100-deep pilot
+//! queue — the operation whose cadence bounds the whole day simulation.
+
+use cluster::{ClusterEvent, ClusterSim, JobSpec, SlurmConfig};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hpcwhisk_core::{lengths, FibManager, PilotManager};
+use simcore::{Outbox, SimDuration, SimTime};
+use std::hint::black_box;
+
+/// A 2,239-node cluster, ~95% occupied by HPC jobs, with a full pilot
+/// queue waiting.
+fn loaded_cluster() -> ClusterSim {
+    let mut sim = ClusterSim::new(SlurmConfig::default(), 2_239, 1);
+    let mut out = Outbox::new(SimTime::ZERO);
+    let mut notes = Vec::new();
+    // Occupy most nodes with pinned demand.
+    for n in 0..2_128u32 {
+        sim.force_start(
+            SimTime::ZERO,
+            JobSpec::pinned_demand(
+                vec![cluster::NodeId(n)],
+                SimTime::ZERO,
+                SimTime::ZERO,
+                SimDuration::from_hours(8),
+                SimDuration::from_hours(7),
+            ),
+            &mut out,
+            &mut notes,
+        );
+    }
+    // Fill the pilot queue the way the fib manager would.
+    let mut mgr = FibManager::paper(lengths::A1.to_vec());
+    for spec in mgr.replenish(&sim) {
+        sim.submit(SimTime::ZERO, spec, &mut out);
+    }
+    sim
+}
+
+fn bench_passes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scheduler");
+    g.sample_size(20);
+    g.bench_function("backfill_pass_2239_nodes", |b| {
+        b.iter_batched(
+            loaded_cluster,
+            |mut sim| {
+                let mut out = Outbox::new(SimTime::ZERO);
+                let mut notes = Vec::new();
+                sim.handle(
+                    SimTime::ZERO,
+                    ClusterEvent::BackfillPass,
+                    &mut out,
+                    &mut notes,
+                );
+                black_box(notes.len())
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("quick_pass_2239_nodes", |b| {
+        b.iter_batched(
+            loaded_cluster,
+            |mut sim| {
+                let mut out = Outbox::new(SimTime::ZERO);
+                let mut notes = Vec::new();
+                sim.handle(SimTime::ZERO, ClusterEvent::QuickPass, &mut out, &mut notes);
+                black_box(notes.len())
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("poll_sample_2239_nodes", |b| {
+        b.iter_batched(
+            loaded_cluster,
+            |mut sim| {
+                let mut out = Outbox::new(SimTime::ZERO);
+                let mut notes = Vec::new();
+                sim.handle(SimTime::ZERO, ClusterEvent::Poll, &mut out, &mut notes);
+                black_box(notes.len())
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_passes);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Fig. 1 (§I): analysis of the cluster's idle-node process over one
+//! week — (a) CDF of the number of idle nodes, (b) CDF of idle-period
+//! lengths, (c) the time series — regenerated from the calibrated
+//! statistical idle model.
+
+use hpcwhisk_bench::{quick_mode, section, Comparison};
+use metrics::Cdf;
+use simcore::{SimDuration, SimTime};
+use workload::IdleModel;
+
+fn main() {
+    let mut model = IdleModel::prometheus_week();
+    let hours = if quick_mode() {
+        model.n_nodes = 300;
+        model.target_avg_idle = 4.0;
+        24
+    } else {
+        7 * 24
+    };
+    let trace = model.generate(SimDuration::from_hours(hours), 42);
+    let series = trace.count_series();
+    let (t0, t1) = (trace.start, trace.end);
+
+    section("Fig 1a: CDF of the number of idle nodes");
+    println!("percentile | idle nodes");
+    let mut counts = Cdf::new();
+    for (t, _) in series.sample_every(t0, t1, SimDuration::from_secs(10)) {
+        counts.add(series.value_at(t));
+    }
+    for p in [0.1, 0.2, 0.25, 0.5, 0.75, 0.8, 0.9, 0.99] {
+        println!("{:>9.0}% | {:>6.0}", p * 100.0, counts.quantile(p));
+    }
+
+    section("Fig 1b: CDF of idle-period lengths (minutes)");
+    let mut lens = trace.interval_length_mins();
+    println!("percentile | minutes");
+    for p in [0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99] {
+        println!("{:>9.0}% | {:>7.2}", p * 100.0, lens.quantile(p));
+    }
+
+    section("Fig 1c: idle nodes over time (6-hour averages and maxima)");
+    println!("window | avg idle | max idle");
+    let mut t = t0;
+    while t < t1 {
+        let t2 = {
+            let n = t + SimDuration::from_hours(6);
+            if n < t1 {
+                n
+            } else {
+                t1
+            }
+        };
+        let max = series
+            .sample_every(t, t2, SimDuration::from_mins(1))
+            .into_iter()
+            .map(|(_, v)| v)
+            .fold(0.0f64, f64::max);
+        println!(
+            "{:>5.0}h | {:>8.2} | {:>8.0}",
+            t.as_hours_f64(),
+            series.time_avg(t, t2),
+            max
+        );
+        t = t2;
+    }
+
+    section("Paper vs measured (Fig 1 headline statistics)");
+    let zero_frac = series.fraction_where(t0, t1, |v| v == 0.0);
+    let longest_zero = series.longest_run(t0, t1, |v| v == 0.0);
+    let node_hours = trace.total_available().as_secs_f64() / 3600.0;
+    let mut c = Comparison::new();
+    c.add("avg idle nodes", 9.23, series.time_avg(t0, t1));
+    c.add("p25 idle nodes", 2.0, counts.quantile(0.25));
+    c.add("median idle nodes", 5.0, counts.quantile(0.5));
+    c.add("~80th pctile idle nodes", 13.0, counts.quantile(0.8));
+    c.add("zero-idle share %", 10.11, zero_frac * 100.0);
+    c.add("longest zero-idle h", 1.55, longest_zero.as_secs_f64() / 3600.0);
+    c.add("median idle period min", 2.0, lens.median());
+    c.add("p75 idle period min", 4.0, lens.quantile(0.75));
+    c.add("mean idle period min", 5.0, lens.mean());
+    c.add("P(idle period > 23 min) %", 5.0, lens.fraction_gt(23.0) * 100.0);
+    c.add(
+        "idle surface core-hours (24-core nodes)",
+        37_000.0,
+        node_hours * 24.0,
+    );
+    println!("{}", c.render());
+    let _ = SimTime::ZERO;
+}

@@ -1,0 +1,67 @@
+//! Fig. 2 (§I): CDFs of user-declared time limits, actual runtimes and
+//! the slack between them, for the synthetic HPC job stream calibrated
+//! to Prometheus (74k non-commercial jobs in the monitored week).
+
+use hpcwhisk_bench::{quick_mode, section, Comparison};
+use metrics::Cdf;
+use simcore::SimRng;
+use workload::HpcWorkloadModel;
+
+fn main() {
+    let n_jobs: usize = if quick_mode() { 5_000 } else { 74_000 };
+    let model = HpcWorkloadModel::prometheus();
+    let mut rng = SimRng::seed_from_u64(2022);
+
+    let mut limits = Cdf::new();
+    let mut runtimes = Cdf::new();
+    let mut slack = Cdf::new();
+    let mut sizes = Cdf::new();
+    for _ in 0..n_jobs {
+        let j = model.sample_job(&mut rng);
+        let lim = j.time_limit.as_mins_f64();
+        let rt = j.actual_runtime.expect("hpc jobs have runtimes").as_mins_f64();
+        limits.add(lim);
+        runtimes.add(rt);
+        slack.add(lim - rt);
+        sizes.add(j.nodes as f64);
+    }
+
+    section("Fig 2: CDFs of limits (green), runtimes (blue), slack (orange) [minutes]");
+    println!("percentile | limit | runtime | slack");
+    for p in [0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95] {
+        println!(
+            "{:>9.0}% | {:>6.0} | {:>7.1} | {:>6.1}",
+            p * 100.0,
+            limits.quantile(p),
+            runtimes.quantile(p),
+            slack.quantile(p)
+        );
+    }
+    println!("\njob sizes: median {} nodes, p90 {} nodes, max {} nodes",
+        sizes.quantile(0.5), sizes.quantile(0.9), sizes.max());
+
+    section("Paper vs measured");
+    let mut c = Comparison::new();
+    c.add("jobs generated", 74_000.0, n_jobs as f64);
+    c.add("median declared limit min", 60.0, limits.median());
+    c.add(
+        "share declaring >= 15 min %",
+        95.0,
+        limits.fraction_gt(15.0 - 1e-9) * 100.0,
+    );
+    c.add_str(
+        "runtime CDF left of limit CDF",
+        "yes",
+        if runtimes.median() < limits.median() {
+            "yes"
+        } else {
+            "NO"
+        },
+    );
+    c.add_str(
+        "substantial slack",
+        "yes",
+        if slack.median() > 10.0 { "yes" } else { "NO" },
+    );
+    println!("{}", c.render());
+}

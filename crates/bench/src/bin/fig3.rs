@@ -1,0 +1,161 @@
+//! Fig. 3 (§I): the worked example — 4 HPC jobs on 5 nodes, scheduled
+//! to minimize the maximum completion time, leaving idle gaps that
+//! short pilot jobs (lengths 2/4/6/10 min) then fill.
+//!
+//! We search list schedules over all job permutations for the minimal
+//! makespan, print the schedule, and run the clairvoyant filler over the
+//! remaining idle surface. DESIGN.md §7 documents the known deviation:
+//! the text's "average number of idle nodes is 1.2" is not reachable by
+//! any makespan-minimal schedule of the four stated jobs (ours achieves
+//! 16 idle node-minutes over an 18-minute makespan ≈ 0.89).
+
+use cluster::AvailabilityTrace;
+use hpcwhisk_bench::{section, Comparison};
+use hpcwhisk_core::offline::{simulate, OfflineConfig};
+use simcore::{SimDuration, SimTime};
+
+/// (nodes, minutes) of the §I example jobs.
+const JOBS: [(u32, u64); 4] = [(3, 5), (1, 13), (2, 7), (4, 8)];
+const N_NODES: usize = 5;
+
+/// A list schedule: jobs placed in the given order, each at the
+/// earliest time enough nodes are simultaneously free.
+fn list_schedule(order: &[usize]) -> (u64, Vec<(usize, u64, u64, Vec<usize>)>) {
+    // free_at[n] = when node n becomes free.
+    let mut free_at = [0u64; N_NODES];
+    let mut placed = Vec::new();
+    for &j in order {
+        let (need, dur) = JOBS[j];
+        // Candidate start: the need-th smallest free time.
+        let mut times: Vec<u64> = free_at.to_vec();
+        times.sort_unstable();
+        let start = times[need as usize - 1];
+        // Pick the `need` nodes free earliest (ties by index).
+        let mut idx: Vec<usize> = (0..N_NODES).collect();
+        idx.sort_by_key(|n| (free_at[*n], *n));
+        let chosen: Vec<usize> = idx.into_iter().take(need as usize).collect();
+        for &n in &chosen {
+            free_at[n] = start + dur;
+        }
+        placed.push((j, start, start + dur, chosen));
+    }
+    let makespan = free_at.iter().copied().max().unwrap();
+    (makespan, placed)
+}
+
+fn permutations(n: usize) -> Vec<Vec<usize>> {
+    let mut all = Vec::new();
+    let mut items: Vec<usize> = (0..n).collect();
+    permute(&mut items, 0, &mut all);
+    all
+}
+
+fn permute(items: &mut Vec<usize>, k: usize, all: &mut Vec<Vec<usize>>) {
+    if k == items.len() {
+        all.push(items.clone());
+        return;
+    }
+    for i in k..items.len() {
+        items.swap(k, i);
+        permute(items, k + 1, all);
+        items.swap(k, i);
+    }
+}
+
+fn main() {
+    // 1. Exhaustive list-scheduling over the 24 permutations.
+    let (mut best_makespan, mut best) = (u64::MAX, Vec::new());
+    for order in permutations(4) {
+        let (m, placed) = list_schedule(&order);
+        if m < best_makespan {
+            best_makespan = m;
+            best = placed;
+        }
+    }
+
+    section("Fig 3: minimal-makespan schedule of the example jobs");
+    println!("job | nodes | minutes | start | end | placed on");
+    for (j, s, e, nodes) in &best {
+        println!(
+            " #{} | {:>5} | {:>7} | {:>5} | {:>3} | {:?}",
+            j + 1,
+            JOBS[*j].0,
+            JOBS[*j].1,
+            s,
+            e,
+            nodes
+        );
+    }
+    println!("makespan: {best_makespan} minutes");
+
+    // 2. Idle surface of the schedule.
+    let mut busy_until = vec![Vec::<(u64, u64)>::new(); N_NODES];
+    for (_, s, e, nodes) in &best {
+        for &n in nodes {
+            busy_until[n].push((*s, *e));
+        }
+    }
+    let mut idle_surface = 0u64;
+    let mut per_node_gaps: Vec<Vec<(SimTime, SimTime)>> = Vec::new();
+    for node in &mut busy_until {
+        node.sort_unstable();
+        let mut gaps = Vec::new();
+        let mut cursor = 0u64;
+        for (s, e) in node.iter() {
+            if *s > cursor {
+                gaps.push((SimTime::from_mins(cursor), SimTime::from_mins(*s)));
+                idle_surface += s - cursor;
+            }
+            cursor = cursor.max(*e);
+        }
+        if best_makespan > cursor {
+            gaps.push((
+                SimTime::from_mins(cursor),
+                SimTime::from_mins(best_makespan),
+            ));
+            idle_surface += best_makespan - cursor;
+        }
+        per_node_gaps.push(gaps);
+    }
+    let avg_idle = idle_surface as f64 / best_makespan as f64;
+    println!("idle surface: {idle_surface} node-minutes; average idle nodes: {avg_idle:.2}");
+
+    // 3. Fill the gaps with the §I pilot lengths {2,4,6,10}.
+    let trace = AvailabilityTrace::from_intervals(
+        SimTime::ZERO,
+        SimTime::from_mins(best_makespan),
+        per_node_gaps,
+    );
+    let rep = simulate(
+        &trace,
+        &OfflineConfig {
+            lengths_mins: vec![2, 4, 6, 10],
+            warmup: SimDuration::from_secs(20),
+        },
+    );
+
+    section("Pilot fill of the idle gaps (lengths 2/4/6/10, 20 s warm-up)");
+    println!(
+        "pilot jobs placed: {}; warm-up {:.1}% / ready {:.1}% / unused {:.1}%",
+        rep.n_jobs,
+        rep.warmup_share * 100.0,
+        rep.ready_share * 100.0,
+        rep.unused_share * 100.0
+    );
+
+    section("Paper vs measured");
+    let mut c = Comparison::new();
+    c.add_str("schedule minimizes makespan", "yes", "yes (exhaustive)");
+    c.add("average idle nodes", 1.2, avg_idle);
+    c.add(
+        "share of idle slots covered by ready invokers %",
+        83.0,
+        rep.ready_share * 100.0,
+    );
+    println!("{}", c.render());
+    println!(
+        "note: the paper's figure shows a non-optimal layout (node 5 idle \
+         until minute 12); with the truly minimal makespan of {best_makespan} \
+         minutes the idle average is {avg_idle:.2} — see DESIGN.md §7."
+    );
+}

@@ -1,0 +1,101 @@
+//! Table I (§IV-B): the offline simulation comparing six candidate
+//! pilot-job length sets over the week's idle trace — the calibration
+//! that picked set A1 for the fib model.
+
+use hpcwhisk_bench::{quick_mode, section, Comparison};
+use hpcwhisk_core::offline::{simulate, OfflineConfig, OfflineReport};
+use hpcwhisk_core::{lengths, report};
+use rayon::prelude::*;
+use simcore::SimDuration;
+use workload::IdleModel;
+
+fn main() {
+    let mut model = IdleModel::prometheus_week();
+    let hours = if quick_mode() {
+        model.n_nodes = 300;
+        model.target_avg_idle = 4.0;
+        24
+    } else {
+        7 * 24
+    };
+    let trace = model.generate(SimDuration::from_hours(hours), 42);
+    eprintln!(
+        "week trace: {} gaps, {:.0} node-hours available",
+        trace.n_intervals(),
+        trace.total_available().as_secs_f64() / 3600.0
+    );
+
+    // The six sets, simulated in parallel (rayon).
+    let sets = lengths::all_sets();
+    let reports: Vec<(&str, Vec<u64>, OfflineReport)> = sets
+        .into_par_iter()
+        .map(|(name, set)| {
+            let rep = simulate(&trace, &OfflineConfig::table1(set.clone()));
+            (name, set, rep)
+        })
+        .collect();
+
+    section("Table I: simulated coverage of idleness periods per length set");
+    println!("{}", report::render_table1(&reports));
+
+    section("Paper vs measured (structural checks)");
+    let by_name = |n: &str| &reports.iter().find(|(name, _, _)| *name == n).unwrap().2;
+    let a1 = by_name("A1");
+    let a2 = by_name("A2");
+    let b = by_name("B");
+    let c1 = by_name("C1");
+    let c2 = by_name("C2");
+
+    let mut c = Comparison::new();
+    c.add("A1 # of jobs", 10_767.0, a1.n_jobs as f64);
+    c.add("A1 warm-up %", 3.98, a1.warmup_share * 100.0);
+    c.add("A1 ready %", 80.58, a1.ready_share * 100.0);
+    c.add("A1 not used %", 15.44, a1.unused_share * 100.0);
+    c.add("A1 avg ready workers", 7.44, a1.ready_avg);
+    c.add("A1 non-availability %", 14.82, a1.non_availability * 100.0);
+    c.add("C2 ready %", 81.20, c2.ready_share * 100.0);
+    c.add("B # of jobs", 12_348.0, b.n_jobs as f64);
+
+    // Structural invariants the paper's Table I exhibits:
+    let unused: Vec<f64> = reports.iter().map(|(_, _, r)| r.unused_share).collect();
+    let max_spread = unused
+        .iter()
+        .fold(0.0f64, |m, u| m.max((u - unused[0]).abs()));
+    c.add_str(
+        "not-used share identical across sets",
+        "yes",
+        if max_spread < 0.005 { "yes" } else { "NO" },
+    );
+    c.add_str(
+        "C2 has the fewest jobs / best ready share",
+        "yes",
+        if c2.n_jobs <= c1.n_jobs
+            && reports.iter().all(|(_, _, r)| c2.ready_share >= r.ready_share - 1e-9)
+        {
+            "yes"
+        } else {
+            "NO"
+        },
+    );
+    c.add_str(
+        "B places the most jobs / worst ready share",
+        "yes",
+        if reports.iter().all(|(_, _, r)| b.n_jobs >= r.n_jobs)
+            && reports.iter().all(|(_, _, r)| b.ready_share <= r.ready_share + 1e-9)
+        {
+            "yes"
+        } else {
+            "NO"
+        },
+    );
+    c.add_str(
+        "A1 beats A2 on ready share",
+        "yes",
+        if a1.ready_share >= a2.ready_share {
+            "yes"
+        } else {
+            "NO"
+        },
+    );
+    println!("{}", c.render());
+}

@@ -1,0 +1,89 @@
+//! # hpcwhisk-bench
+//!
+//! Harnesses that regenerate every table and figure of the paper's
+//! evaluation (see DESIGN.md §4 for the experiment index), plus shared
+//! reporting utilities. Each binary prints the paper-shaped artifact
+//! followed by a paper-vs-measured comparison table.
+//!
+//! Binaries accept `--quick` to run a scaled-down configuration (fewer
+//! nodes / shorter horizon) for smoke testing.
+
+use metrics::Table;
+
+/// A paper-vs-measured comparison accumulator.
+#[derive(Debug, Default)]
+pub struct Comparison {
+    rows: Vec<(String, String, String)>,
+}
+
+impl Comparison {
+    /// Empty comparison.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a numeric row; the rendering includes the measured/paper
+    /// ratio so shape deviations are visible at a glance.
+    pub fn add(&mut self, label: &str, paper: f64, measured: f64) -> &mut Self {
+        let ratio = if paper.abs() > 1e-12 {
+            format!("{:.2}", measured / paper)
+        } else {
+            "-".to_string()
+        };
+        self.rows.push((
+            label.to_string(),
+            format!("{paper:.2}"),
+            format!("{measured:.2} (x{ratio})"),
+        ));
+        self
+    }
+
+    /// Add a free-form row.
+    pub fn add_str(&mut self, label: &str, paper: &str, measured: &str) -> &mut Self {
+        self.rows
+            .push((label.to_string(), paper.to_string(), measured.to_string()));
+        self
+    }
+
+    /// Render the comparison table.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(&["Metric", "Paper", "Measured"]);
+        for (l, p, m) in &self.rows {
+            t.row(&[l.clone(), p.clone(), m.clone()]);
+        }
+        t.render()
+    }
+}
+
+/// True if `--quick` was passed (scaled-down smoke run).
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// Print a section header.
+pub fn section(title: &str) {
+    println!("\n=== {title} ===\n");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparison_renders_ratio() {
+        let mut c = Comparison::new();
+        c.add("coverage %", 90.0, 87.3);
+        c.add_str("who wins", "fib", "fib");
+        let s = c.render();
+        assert!(s.contains("coverage %"));
+        assert!(s.contains("87.30 (x0.97)"));
+        assert!(s.contains("fib"));
+    }
+
+    #[test]
+    fn comparison_handles_zero_paper_value() {
+        let mut c = Comparison::new();
+        c.add("zero", 0.0, 1.0);
+        assert!(c.render().contains("-"));
+    }
+}

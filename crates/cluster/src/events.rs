@@ -1,0 +1,134 @@
+//! Cluster event and notification types.
+//!
+//! [`ClusterEvent`]s drive the simulator's internal timing (scheduler
+//! passes, job completions, grace deadlines). [`ClusterNote`]s are
+//! *effects* surfaced to the composition layer (the HPC-Whisk harness),
+//! which reacts by booting/draining OpenWhisk invokers and feeds the
+//! poll log into coverage accounting.
+
+use crate::ids::{JobId, NodeId};
+use crate::job::JobOutcome;
+use simcore::SimTime;
+
+/// Internal timing events of the cluster simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusterEvent {
+    /// A quick scheduling pass (event-driven builtin scheduler).
+    QuickPass,
+    /// A full backfill pass.
+    BackfillPass,
+    /// A job's actual runtime elapsed.
+    JobFinished(JobId),
+    /// A job reached its granted time limit.
+    TimeLimit(JobId),
+    /// SIGKILL deadline for a draining job.
+    GraceExpired(JobId),
+    /// The 10-second node-state poller fires.
+    Poll,
+    /// A node fails / enters maintenance.
+    NodeDown(NodeId),
+    /// A node returns to service.
+    NodeUp(NodeId),
+}
+
+/// Why a job received SIGTERM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SigtermReason {
+    /// Preempted by a higher-tier job.
+    Preempted,
+    /// Granted time limit reached.
+    TimeLimit,
+}
+
+/// One sample of the node-state poller (§IV-A Slurm-level perspective):
+/// bit-packed sets of idle nodes and of nodes running pilot jobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PollSample {
+    /// Sample timestamp.
+    pub t: SimTime,
+    /// Bitmap of idle nodes (bit n = node n idle).
+    pub idle: Vec<u64>,
+    /// Bitmap of nodes running HPC-Whisk pilots.
+    pub pilot: Vec<u64>,
+}
+
+impl PollSample {
+    /// Number of idle nodes in the sample.
+    pub fn n_idle(&self) -> u32 {
+        self.idle.iter().map(|w| w.count_ones()).sum()
+    }
+    /// Number of pilot nodes in the sample.
+    pub fn n_pilot(&self) -> u32 {
+        self.pilot.iter().map(|w| w.count_ones()).sum()
+    }
+    /// True iff node `n` is idle in this sample.
+    pub fn is_idle(&self, n: usize) -> bool {
+        self.idle[n / 64] & (1 << (n % 64)) != 0
+    }
+    /// True iff node `n` runs a pilot in this sample.
+    pub fn is_pilot(&self, n: usize) -> bool {
+        self.pilot[n / 64] & (1 << (n % 64)) != 0
+    }
+    /// True iff node `n` is available (idle or pilot) — the paper's
+    /// joined baseline for coverage analysis (§V-B).
+    pub fn is_available(&self, n: usize) -> bool {
+        self.is_idle(n) || self.is_pilot(n)
+    }
+}
+
+/// Effects surfaced to the composition layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusterNote {
+    /// A job started on `nodes`; pilots trigger invoker boot.
+    JobStarted {
+        /// The job.
+        job: JobId,
+        /// Allocated nodes.
+        nodes: Vec<NodeId>,
+        /// Scheduler-granted end time.
+        granted_end: SimTime,
+    },
+    /// SIGTERM delivered; the job has until `kill_at` to exit. Pilots
+    /// begin the invoker drain protocol here.
+    JobSigterm {
+        /// The job.
+        job: JobId,
+        /// Why.
+        reason: SigtermReason,
+        /// SIGKILL deadline.
+        kill_at: SimTime,
+    },
+    /// The job left the cluster; its nodes are free.
+    JobEnded {
+        /// The job.
+        job: JobId,
+        /// Why it ended.
+        outcome: JobOutcome,
+    },
+    /// A poller sample was taken.
+    Polled(PollSample),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poll_sample_bit_accessors() {
+        let mut s = PollSample {
+            t: SimTime::ZERO,
+            idle: vec![0; 2],
+            pilot: vec![0; 2],
+        };
+        s.idle[0] |= 1 << 5;
+        s.pilot[1] |= 1 << 0; // node 64
+        assert!(s.is_idle(5));
+        assert!(!s.is_idle(6));
+        assert!(s.is_pilot(64));
+        assert!(s.is_available(5));
+        assert!(s.is_available(64));
+        assert!(!s.is_available(6));
+        assert_eq!(s.n_idle(), 1);
+        assert_eq!(s.n_pilot(), 1);
+    }
+}

@@ -1,0 +1,45 @@
+//! Identifier newtypes for the cluster simulator.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A compute node. Indexes the cluster's node table densely.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct NodeId(pub u32);
+
+/// A job (HPC or pilot). Monotonically assigned at submit time.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct JobId(pub u64);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "j{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(NodeId(3).to_string(), "n3");
+        assert_eq!(JobId(42).to_string(), "j42");
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(NodeId(1) < NodeId(2));
+        assert!(JobId(9) < JobId(10));
+    }
+}

@@ -1,0 +1,81 @@
+//! Node state tracking.
+
+use crate::ids::JobId;
+use simcore::SimTime;
+
+/// What a node is doing right now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeState {
+    /// Free and schedulable.
+    Idle,
+    /// Allocated to a running (or draining) job.
+    Busy(JobId),
+    /// Idle but earmarked for a job waiting on a preemption handover;
+    /// nothing else may take it.
+    Reserved(JobId),
+    /// Unavailable to the scheduler (maintenance/failure) — the paper
+    /// notes idle ≠ complement of busy for exactly this reason (§IV-A).
+    Down,
+}
+
+/// A node record.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Current state.
+    pub state: NodeState,
+    /// When the state last changed (for accounting).
+    pub since: SimTime,
+}
+
+impl Node {
+    /// A fresh idle node.
+    pub fn new() -> Self {
+        Node {
+            state: NodeState::Idle,
+            since: SimTime::ZERO,
+        }
+    }
+
+    /// True iff schedulable right now.
+    pub fn is_idle(&self) -> bool {
+        self.state == NodeState::Idle
+    }
+
+    /// The job holding this node, if any.
+    pub fn holder(&self) -> Option<JobId> {
+        match self.state {
+            NodeState::Busy(j) => Some(j),
+            _ => None,
+        }
+    }
+}
+
+impl Default for Node {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_node_is_idle() {
+        let n = Node::new();
+        assert!(n.is_idle());
+        assert_eq!(n.holder(), None);
+    }
+
+    #[test]
+    fn holder_reported_only_when_busy() {
+        let mut n = Node::new();
+        n.state = NodeState::Busy(JobId(7));
+        assert_eq!(n.holder(), Some(JobId(7)));
+        n.state = NodeState::Reserved(JobId(8));
+        assert_eq!(n.holder(), None);
+        assert!(!n.is_idle());
+        n.state = NodeState::Down;
+        assert!(!n.is_idle());
+    }
+}

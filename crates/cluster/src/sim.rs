@@ -1,0 +1,999 @@
+//! The cluster simulator: a Slurm-like workload manager as a
+//! deterministic state machine.
+//!
+//! Scheduling runs in two kinds of passes, mirroring Slurm:
+//!
+//! * **quick passes** — event-driven (job completions, submissions,
+//!   node transitions), rate-limited by `sched_min_interval`; start jobs
+//!   that fit *now*, never create future reservations;
+//! * **backfill passes** — periodic (`bf_interval`, stretched by a
+//!   simulated pass cost), EASY-style: jobs that cannot start now get
+//!   future-start reservations (up to `bf_max_reservations`), lower
+//!   priority jobs backfill around them on the 2-minute slot timeline.
+//!
+//! Pilot (tier-0, preemptible) jobs are placed only where they fit
+//! before existing reservations; when reality diverges from declared
+//! limits, higher-tier jobs *preempt* pilots: SIGTERM, a grace period
+//! (`GraceTime`, 3 min in the paper), then SIGKILL. The composition
+//! layer reacts to [`ClusterNote::JobSigterm`] by draining the OpenWhisk
+//! invoker and calling [`ClusterSim::pilot_exited`], which releases the
+//! node within seconds — this is how "HPC-Whisk jobs never significantly
+//! dislodge HPC jobs" (§III-D) is realized.
+
+use crate::config::SlurmConfig;
+use crate::events::{ClusterEvent, ClusterNote, PollSample, SigtermReason};
+use crate::ids::{JobId, NodeId};
+use crate::job::{Job, JobKind, JobOutcome, JobSpec, JobState};
+use crate::node::{Node, NodeState};
+use crate::timeline::{FitPolicy, Timeline};
+use metrics::{OnlineStats, StepSeries};
+use simcore::{Outbox, SimDuration, SimRng, SimTime};
+use std::collections::HashMap;
+
+/// A future-start reservation created by a backfill pass.
+#[derive(Debug, Clone)]
+struct Reservation {
+    job: JobId,
+    start: SimTime,
+    end: SimTime,
+    nodes: Vec<NodeId>,
+}
+
+/// A job waiting for preempted/busy nodes to be handed over.
+#[derive(Debug, Clone)]
+struct Handover {
+    needed: Vec<NodeId>,
+    ready: Vec<NodeId>,
+}
+
+/// Which flavour of scheduling pass is running.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PassMode {
+    Quick,
+    Backfill,
+}
+
+/// Ground-truth state series maintained by the simulator (the poller's
+/// view in [`ClusterNote::Polled`] is the *measured* counterpart).
+#[derive(Debug, Clone)]
+pub struct ClusterSeries {
+    /// Number of idle nodes over time.
+    pub idle: StepSeries,
+    /// Number of nodes running pilot jobs (including draining ones).
+    pub pilot: StepSeries,
+    /// Number of down nodes over time.
+    pub down: StepSeries,
+}
+
+/// Aggregate counters, for reports and invariants.
+#[derive(Debug, Clone, Default)]
+pub struct Counters {
+    /// HPC jobs started.
+    pub hpc_started: u64,
+    /// HPC jobs completed.
+    pub hpc_completed: u64,
+    /// Pilot jobs started.
+    pub pilots_started: u64,
+    /// Pilots preempted by higher-tier jobs.
+    pub pilots_preempted: u64,
+    /// Pilots that reached their granted limit.
+    pub pilots_timed_out: u64,
+    /// Pilots killed by node failures (no SIGTERM).
+    pub pilots_node_failed: u64,
+    /// Quick passes executed.
+    pub quick_passes: u64,
+    /// Backfill passes executed.
+    pub backfill_passes: u64,
+    /// Future-start reservations created.
+    pub reservations_made: u64,
+    /// Delay of pinned demand claims beyond their intended start
+    /// (seconds) — the paper's "at most 3 minutes" invasiveness bound.
+    pub demand_delay_secs: OnlineStats,
+    /// Granted pilot durations (minutes).
+    pub pilot_granted_mins: OnlineStats,
+}
+
+/// The Slurm-like cluster simulator.
+pub struct ClusterSim {
+    cfg: SlurmConfig,
+    nodes: Vec<Node>,
+    jobs: Vec<Job>,
+    pending: Vec<JobId>,
+    reservations: Vec<Reservation>,
+    handovers: HashMap<JobId, Handover>,
+    node_waiter: HashMap<NodeId, JobId>,
+    last_quick: SimTime,
+    quick_queued: bool,
+    poll_rng: SimRng,
+    series: ClusterSeries,
+    counters: Counters,
+    n_idle: i64,
+    n_pilot: i64,
+    n_down: i64,
+}
+
+impl ClusterSim {
+    /// A cluster of `n_nodes` idle nodes.
+    pub fn new(cfg: SlurmConfig, n_nodes: usize, seed: u64) -> Self {
+        let start = SimTime::ZERO;
+        ClusterSim {
+            cfg,
+            nodes: vec![Node::new(); n_nodes],
+            jobs: Vec::new(),
+            pending: Vec::new(),
+            reservations: Vec::new(),
+            handovers: HashMap::new(),
+            node_waiter: HashMap::new(),
+            last_quick: SimTime::ZERO,
+            quick_queued: false,
+            poll_rng: SimRng::seed_from_u64(seed ^ 0x706f_6c6c),
+            series: ClusterSeries {
+                idle: StepSeries::new(start, n_nodes as f64),
+                pilot: StepSeries::new(start, 0.0),
+                down: StepSeries::new(start, 0.0),
+            },
+            counters: Counters::default(),
+            n_idle: n_nodes as i64,
+            n_pilot: 0,
+            n_down: 0,
+        }
+    }
+
+    /// Schedule the initial periodic events (backfill pass and poller).
+    pub fn bootstrap(&mut self, now: SimTime, out: &mut Outbox<ClusterEvent>) {
+        out.at(now, ClusterEvent::BackfillPass);
+        out.at(now, ClusterEvent::Poll);
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Current idle node count.
+    pub fn n_idle(&self) -> usize {
+        self.n_idle as usize
+    }
+
+    /// Current count of nodes running pilots.
+    pub fn n_pilot_nodes(&self) -> usize {
+        self.n_pilot as usize
+    }
+
+    /// Access a job record.
+    pub fn job(&self, id: JobId) -> &Job {
+        &self.jobs[id.0 as usize]
+    }
+
+    /// Ground-truth state series.
+    pub fn series(&self) -> &ClusterSeries {
+        &self.series
+    }
+
+    /// Aggregate counters.
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// Pending job count matching a predicate (manager replenishment).
+    pub fn pending_matching(&self, pred: impl Fn(&Job) -> bool) -> usize {
+        self.pending
+            .iter()
+            .filter(|id| {
+                let j = &self.jobs[id.0 as usize];
+                j.is_pending() && pred(j)
+            })
+            .count()
+    }
+
+    /// Pending *pilot* jobs per declared limit in minutes (fib manager).
+    pub fn pending_pilots_by_limit(&self) -> HashMap<u64, usize> {
+        let mut m = HashMap::new();
+        for id in &self.pending {
+            let j = &self.jobs[id.0 as usize];
+            if j.is_pending() && j.spec.kind == JobKind::Pilot {
+                *m.entry(j.spec.time_limit.as_mins()).or_insert(0) += 1;
+            }
+        }
+        m
+    }
+
+    /// Submit a job.
+    pub fn submit(
+        &mut self,
+        now: SimTime,
+        spec: JobSpec,
+        out: &mut Outbox<ClusterEvent>,
+    ) -> JobId {
+        assert!(spec.nodes >= 1, "job must request at least one node");
+        assert!(
+            spec.nodes as usize <= self.nodes.len(),
+            "job requests {} nodes but the partition has {} (sbatch rejects this)",
+            spec.nodes,
+            self.nodes.len()
+        );
+        if let Some(p) = &spec.pinned_nodes {
+            assert_eq!(p.len() as u32, spec.nodes);
+        }
+        let id = JobId(self.jobs.len() as u64);
+        self.jobs.push(Job {
+            granted: spec.time_limit,
+            spec,
+            submitted: now,
+            state: JobState::Pending,
+        });
+        self.pending.push(id);
+        // Pinned claims must fire close to their intended start even if
+        // the cluster is otherwise quiet.
+        if let Some(t) = self.jobs[id.0 as usize].spec.earliest_start {
+            if t > now {
+                out.at(t, ClusterEvent::QuickPass);
+            }
+        }
+        self.request_quick(now, out);
+        id
+    }
+
+    /// Start a pinned job immediately on its (idle) nodes, bypassing the
+    /// queue. Used to initialize experiments on an already-full cluster
+    /// (the paper's days start with ~99% utilization); panics if any
+    /// pinned node is not idle.
+    pub fn force_start(
+        &mut self,
+        now: SimTime,
+        spec: JobSpec,
+        out: &mut Outbox<ClusterEvent>,
+        notes: &mut Vec<ClusterNote>,
+    ) -> JobId {
+        let nodes = spec
+            .pinned_nodes
+            .clone()
+            .expect("force_start requires pinned nodes");
+        for n in &nodes {
+            assert!(
+                self.nodes[n.0 as usize].is_idle(),
+                "force_start on non-idle node {n}"
+            );
+        }
+        let limit = spec.time_limit;
+        let id = JobId(self.jobs.len() as u64);
+        self.jobs.push(Job {
+            granted: limit,
+            spec,
+            submitted: now,
+            state: JobState::Pending,
+        });
+        self.start_job(now, id, nodes, limit, out, notes);
+        id
+    }
+
+    /// Cancel a pending job; returns false if it already left the queue.
+    pub fn cancel_pending(&mut self, now: SimTime, id: JobId) -> bool {
+        let job = &mut self.jobs[id.0 as usize];
+        if !job.is_pending() || self.handovers.contains_key(&id) {
+            return false;
+        }
+        job.state = JobState::Done {
+            outcome: JobOutcome::Cancelled,
+            at: now,
+        };
+        self.pending.retain(|j| *j != id);
+        true
+    }
+
+    /// A draining pilot finished its handoff and exited voluntarily.
+    pub fn pilot_exited(
+        &mut self,
+        now: SimTime,
+        id: JobId,
+        out: &mut Outbox<ClusterEvent>,
+        notes: &mut Vec<ClusterNote>,
+    ) {
+        let job = &self.jobs[id.0 as usize];
+        let outcome = match &job.state {
+            JobState::Draining { outcome, .. } => *outcome,
+            // Exiting without a SIGTERM (shouldn't happen in the
+            // protocol, tolerated as a completion).
+            JobState::Running { .. } => JobOutcome::Completed,
+            _ => return, // already gone (e.g. grace expired first)
+        };
+        self.end_job(now, id, outcome, out, notes);
+    }
+
+    /// Main event dispatch.
+    pub fn handle(
+        &mut self,
+        now: SimTime,
+        ev: ClusterEvent,
+        out: &mut Outbox<ClusterEvent>,
+        notes: &mut Vec<ClusterNote>,
+    ) {
+        match ev {
+            ClusterEvent::QuickPass => {
+                self.quick_queued = false;
+                let earliest = self.last_quick + self.cfg.sched_min_interval;
+                if now >= earliest || self.counters.quick_passes == 0 {
+                    self.last_quick = now;
+                    self.counters.quick_passes += 1;
+                    self.run_pass(now, PassMode::Quick, out, notes);
+                } else {
+                    // Rate-limited: re-arm instead of dropping the
+                    // trigger so no wakeup is ever lost.
+                    self.request_quick(now, out);
+                }
+            }
+            ClusterEvent::BackfillPass => {
+                self.counters.backfill_passes += 1;
+                let cost = self.run_pass(now, PassMode::Backfill, out, notes);
+                let next = self.cfg.bf_interval.max(cost);
+                out.after(next, ClusterEvent::BackfillPass);
+            }
+            ClusterEvent::JobFinished(id) => {
+                if matches!(self.jobs[id.0 as usize].state, JobState::Running { .. }) {
+                    self.end_job(now, id, JobOutcome::Completed, out, notes);
+                }
+            }
+            ClusterEvent::TimeLimit(id) => self.on_time_limit(now, id, out, notes),
+            ClusterEvent::GraceExpired(id) => {
+                if let JobState::Draining { kill_at, outcome, .. } =
+                    self.jobs[id.0 as usize].state.clone()
+                {
+                    if kill_at <= now {
+                        self.end_job(now, id, outcome, out, notes);
+                    }
+                }
+            }
+            ClusterEvent::Poll => {
+                let sample = self.take_poll_sample(now);
+                notes.push(ClusterNote::Polled(sample));
+                out.after(self.sample_poll_gap(), ClusterEvent::Poll);
+            }
+            ClusterEvent::NodeDown(n) => self.on_node_down(now, n, out, notes),
+            ClusterEvent::NodeUp(n) => {
+                if self.nodes[n.0 as usize].state == NodeState::Down {
+                    self.set_node_state(now, n, NodeState::Idle);
+                    self.request_quick(now, out);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Scheduling passes
+    // ------------------------------------------------------------------
+
+    fn run_pass(
+        &mut self,
+        now: SimTime,
+        mode: PassMode,
+        out: &mut Outbox<ClusterEvent>,
+        notes: &mut Vec<ClusterNote>,
+    ) -> SimDuration {
+        let n_slots = self.cfg.n_slots();
+        let mut tl_pilot = Timeline::new(now, self.cfg.bf_resolution, n_slots, self.nodes.len());
+        let mut tl_hpc = tl_pilot.clone();
+
+        // 1. Project current node occupancy onto the timelines.
+        for (i, node) in self.nodes.iter().enumerate() {
+            let nid = NodeId(i as u32);
+            match node.state {
+                NodeState::Idle => {}
+                NodeState::Down | NodeState::Reserved(_) => {
+                    tl_pilot.block_all(nid);
+                    tl_hpc.block_all(nid);
+                }
+                NodeState::Busy(j) => {
+                    let job = &self.jobs[j.0 as usize];
+                    let (pred_end, draining) = match &job.state {
+                        JobState::Running { granted_end, .. } => (*granted_end, false),
+                        JobState::Draining { kill_at, .. } => (*kill_at, true),
+                        _ => unreachable!("busy node with inactive job"),
+                    };
+                    if job.spec.preemptible && !draining {
+                        // Preemptible pilots are invisible to the HPC
+                        // view; blocked in the pilot view.
+                        tl_pilot.block_until(nid, pred_end);
+                    } else if draining && self.node_waiter.contains_key(&nid) {
+                        // Node promised to a preempting job.
+                        tl_pilot.block_all(nid);
+                        tl_hpc.block_all(nid);
+                    } else {
+                        tl_pilot.block_until(nid, pred_end);
+                        if !job.spec.preemptible {
+                            tl_hpc.block_until(nid, pred_end);
+                        }
+                    }
+                }
+            }
+        }
+
+        // 2. Project reservations. Pinned pending claims always reserve
+        //    their announced window; unpinned reservations persist from
+        //    the last backfill pass (rebuilt below when mode=Backfill).
+        for id in &self.pending {
+            let job = &self.jobs[id.0 as usize];
+            if let (Some(nodes), Some(_)) = (&job.spec.pinned_nodes, job.spec.earliest_start) {
+                let ann = job.spec.announced_start.unwrap();
+                let end = ann + job.spec.time_limit;
+                for n in nodes {
+                    tl_pilot.block_interval(*n, ann, end);
+                    tl_hpc.block_interval(*n, ann, end);
+                }
+            }
+        }
+        if mode == PassMode::Backfill {
+            self.reservations.clear();
+        } else {
+            self.reservations
+                .retain(|r| self.jobs[r.job.0 as usize].is_pending());
+            for r in &self.reservations {
+                for n in &r.nodes {
+                    tl_pilot.block_interval(*n, r.start, r.end);
+                    tl_hpc.block_interval(*n, r.start, r.end);
+                }
+            }
+        }
+
+        // 3. Order the queue: tier desc, priority desc, FIFO. Pinned
+        //    claims that are not due yet are excluded — their windows are
+        //    already projected as reservations and their firing is
+        //    scheduled separately, so they must not eat pass budget.
+        let mut queue: Vec<JobId> = self
+            .pending
+            .iter()
+            .copied()
+            .filter(|id| {
+                let j = &self.jobs[id.0 as usize];
+                j.is_pending() && j.spec.earliest_start.map_or(true, |t| t <= now)
+            })
+            .collect();
+        queue.sort_by(|a, b| {
+            let ja = &self.jobs[a.0 as usize];
+            let jb = &self.jobs[b.0 as usize];
+            jb.spec
+                .priority_tier
+                .cmp(&ja.spec.priority_tier)
+                .then(jb.spec.priority.cmp(&ja.spec.priority))
+                .then(ja.submitted.cmp(&jb.submitted))
+                .then(a.cmp(b))
+        });
+
+        let limit = match mode {
+            PassMode::Quick => self.cfg.sched_queue_depth,
+            PassMode::Backfill => self.cfg.bf_max_job_test,
+        };
+        let mut examined = 0usize;
+        let mut var_budget = self.cfg.var_extension_budget_slots;
+        let mut var_slots_computed: u64 = 0;
+        let mut reservations_created = 0usize;
+        let mut new_reservations: Vec<Reservation> = Vec::new();
+
+        for id in queue {
+            if examined >= limit {
+                break;
+            }
+            examined += 1;
+            let job = &self.jobs[id.0 as usize];
+            if self.handovers.contains_key(&id) {
+                // Waiting on a preemption handover; pinned claims may
+                // still be able to grab newly freed nodes.
+                if job.spec.pinned_nodes.is_some() {
+                    self.claim_pinned(now, id, out, notes);
+                }
+                continue;
+            }
+            match job.spec.kind {
+                JobKind::Hpc => {
+                    if let Some(nodes) = job.spec.pinned_nodes.clone() {
+                        self.claim_pinned(now, id, out, notes);
+                        // The claim owns (or is actively reclaiming) its
+                        // nodes from this instant; nothing else may be
+                        // placed on them later in this very pass — the
+                        // timelines were built before the claim fired.
+                        for n in nodes {
+                            tl_pilot.block_all(n);
+                            tl_hpc.block_all(n);
+                        }
+                        continue;
+                    }
+                    let d = self.cfg.slots_ceil(job.spec.time_limit).max(1);
+                    let k = job.spec.nodes;
+                    // Start now? The HPC view treats pilot nodes as free.
+                    let eligible: Vec<NodeId> = (0..self.nodes.len())
+                        .map(|i| NodeId(i as u32))
+                        .filter(|n| tl_hpc.is_free_range(*n, 0, d))
+                        .collect();
+                    let startable: Vec<NodeId> = {
+                        // Prefer genuinely idle nodes over pilot-held.
+                        let (idle, held): (Vec<_>, Vec<_>) = eligible
+                            .iter()
+                            .copied()
+                            .partition(|n| self.nodes[n.0 as usize].is_idle());
+                        idle.into_iter().chain(held).take(k as usize).collect()
+                    };
+                    if startable.len() as u32 == k {
+                        for n in &startable {
+                            tl_hpc.block_until(*n, now + job.spec.time_limit);
+                            tl_pilot.block_until(*n, now + job.spec.time_limit);
+                        }
+                        self.start_or_handover(now, id, startable, out, notes);
+                    } else if mode == PassMode::Backfill
+                        && reservations_created < self.cfg.bf_max_reservations
+                    {
+                        if let Some((s, nodes)) = tl_hpc.find_start(k, d, n_slots - 1) {
+                            let start = tl_hpc.slot_start(s);
+                            let end = start + job.spec.time_limit;
+                            for n in &nodes {
+                                tl_hpc.block_interval(*n, start, end);
+                                tl_pilot.block_interval(*n, start, end);
+                            }
+                            new_reservations.push(Reservation {
+                                job: id,
+                                start,
+                                end,
+                                nodes,
+                            });
+                            reservations_created += 1;
+                            self.counters.reservations_made += 1;
+                        }
+                    }
+                }
+                JobKind::Pilot => {
+                    if mode == PassMode::Quick && !self.cfg.quick_pass_places_pilots {
+                        continue;
+                    }
+                    let max_slots = self.cfg.slots_ceil(job.spec.time_limit).max(1);
+                    let (d_fit, is_var) = match job.spec.min_time {
+                        Some(mt) => (self.cfg.slots_ceil(mt).max(1), true),
+                        None => (max_slots, false),
+                    };
+                    let Some(node) = tl_pilot.find_single_now(d_fit, FitPolicy::BestFit) else {
+                        continue;
+                    };
+                    let granted_slots = if is_var {
+                        if mode == PassMode::Quick && self.cfg.quick_var_min_only {
+                            d_fit
+                        } else {
+                            let run = tl_pilot.free_run_from(node, 0).min(max_slots);
+                            let ext = (run - d_fit).min(var_budget);
+                            var_budget -= ext;
+                            var_slots_computed += ext as u64;
+                            d_fit + ext
+                        }
+                    } else {
+                        max_slots
+                    };
+                    let granted = self.cfg.slots_to_duration(granted_slots);
+                    tl_pilot.block_until(node, now + granted);
+                    self.start_job(now, id, vec![node], granted, out, notes);
+                }
+            }
+        }
+
+        if mode == PassMode::Backfill {
+            self.reservations = new_reservations;
+        }
+        self.pending
+            .retain(|id| self.jobs[id.0 as usize].is_pending());
+
+        // Simulated pass cost (delays the next backfill pass).
+        SimDuration::from_millis(
+            self.cfg.bf_per_job_cost.as_millis() * examined as u64
+                + self.cfg.bf_var_slot_cost.as_millis() * var_slots_computed,
+        )
+    }
+
+    /// Try to claim the pinned nodes of demand job `id`; idempotent.
+    fn claim_pinned(
+        &mut self,
+        now: SimTime,
+        id: JobId,
+        out: &mut Outbox<ClusterEvent>,
+        notes: &mut Vec<ClusterNote>,
+    ) {
+        let pinned = self.jobs[id.0 as usize]
+            .spec
+            .pinned_nodes
+            .clone()
+            .expect("claim_pinned on unpinned job");
+        let mut ready: Vec<NodeId> = Vec::new();
+        let mut waiting: Vec<NodeId> = Vec::new();
+        // Pass 1: figure out what is claimable; existing handover state
+        // is merged (nodes already Reserved(id) count as ready).
+        for n in &pinned {
+            match self.nodes[n.0 as usize].state {
+                NodeState::Idle => ready.push(*n),
+                NodeState::Reserved(r) if r == id => ready.push(*n),
+                _ => waiting.push(*n),
+            }
+        }
+        if waiting.is_empty() {
+            self.handovers.remove(&id);
+            for n in &ready {
+                if let Some(w) = self.node_waiter.get(n) {
+                    if *w == id {
+                        self.node_waiter.remove(n);
+                    }
+                }
+            }
+            let limit = self.jobs[id.0 as usize].spec.time_limit;
+            self.start_job(now, id, ready, limit, out, notes);
+            return;
+        }
+        // Pass 2: reserve the claimable nodes and preempt pilots on the
+        // rest.
+        for n in &ready {
+            if self.nodes[n.0 as usize].state == NodeState::Idle {
+                self.set_node_state(now, *n, NodeState::Reserved(id));
+            }
+        }
+        for n in &waiting {
+            if self.node_waiter.contains_key(n) {
+                continue; // already being reclaimed
+            }
+            self.node_waiter.insert(*n, id);
+            if let NodeState::Busy(holder) = self.nodes[n.0 as usize].state {
+                let hjob = &self.jobs[holder.0 as usize];
+                if hjob.spec.preemptible && matches!(hjob.state, JobState::Running { .. }) {
+                    self.sigterm(
+                        now,
+                        holder,
+                        SigtermReason::Preempted,
+                        self.cfg.grace_time,
+                        JobOutcome::Preempted,
+                        out,
+                        notes,
+                    );
+                    self.counters.pilots_preempted += 1;
+                }
+                // Non-preemptible holders: wait for their natural end.
+            }
+        }
+        self.handovers.insert(
+            id,
+            Handover {
+                needed: pinned,
+                ready,
+            },
+        );
+    }
+
+    /// Start job `id` on `nodes` if they are all immediately free;
+    /// otherwise preempt pilots and register a handover.
+    fn start_or_handover(
+        &mut self,
+        now: SimTime,
+        id: JobId,
+        nodes: Vec<NodeId>,
+        out: &mut Outbox<ClusterEvent>,
+        notes: &mut Vec<ClusterNote>,
+    ) {
+        let all_idle = nodes
+            .iter()
+            .all(|n| self.nodes[n.0 as usize].is_idle());
+        if all_idle {
+            let limit = self.jobs[id.0 as usize].spec.time_limit;
+            self.start_job(now, id, nodes, limit, out, notes);
+            return;
+        }
+        let mut ready = Vec::new();
+        for n in &nodes {
+            match self.nodes[n.0 as usize].state {
+                NodeState::Idle => {
+                    self.set_node_state(now, *n, NodeState::Reserved(id));
+                    ready.push(*n);
+                }
+                NodeState::Busy(holder) => {
+                    self.node_waiter.insert(*n, id);
+                    let hjob = &self.jobs[holder.0 as usize];
+                    if hjob.spec.preemptible && matches!(hjob.state, JobState::Running { .. }) {
+                        self.sigterm(
+                            now,
+                            holder,
+                            SigtermReason::Preempted,
+                            self.cfg.grace_time,
+                            JobOutcome::Preempted,
+                            out,
+                            notes,
+                        );
+                        self.counters.pilots_preempted += 1;
+                    }
+                }
+                other => unreachable!("start_or_handover chose unusable node in state {other:?}"),
+            }
+        }
+        self.handovers.insert(
+            id,
+            Handover {
+                needed: nodes,
+                ready,
+            },
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Job lifecycle
+    // ------------------------------------------------------------------
+
+    fn start_job(
+        &mut self,
+        now: SimTime,
+        id: JobId,
+        nodes: Vec<NodeId>,
+        granted: SimDuration,
+        out: &mut Outbox<ClusterEvent>,
+        notes: &mut Vec<ClusterNote>,
+    ) {
+        for n in &nodes {
+            self.set_node_state(now, *n, NodeState::Busy(id));
+        }
+        self.pending.retain(|j| *j != id);
+        let job = &mut self.jobs[id.0 as usize];
+        debug_assert!(job.is_pending(), "starting a non-pending job");
+        let granted_end = now + granted;
+        job.granted = granted;
+        job.state = JobState::Running {
+            start: now,
+            granted_end,
+            nodes: nodes.clone(),
+        };
+        out.at(granted_end, ClusterEvent::TimeLimit(id));
+        if let Some(actual) = job.spec.actual_runtime {
+            let end = now + actual.min(granted);
+            if end < granted_end {
+                out.at(end, ClusterEvent::JobFinished(id));
+            }
+        }
+        match job.spec.kind {
+            JobKind::Hpc => {
+                self.counters.hpc_started += 1;
+                if let Some(intended) = job.spec.earliest_start {
+                    self.counters
+                        .demand_delay_secs
+                        .add(now.since(intended).as_secs_f64());
+                }
+            }
+            JobKind::Pilot => {
+                self.counters.pilots_started += 1;
+                self.counters.pilot_granted_mins.add(granted.as_mins_f64());
+            }
+        }
+        notes.push(ClusterNote::JobStarted {
+            job: id,
+            nodes,
+            granted_end,
+        });
+    }
+
+    fn sigterm(
+        &mut self,
+        now: SimTime,
+        id: JobId,
+        reason: SigtermReason,
+        grace: SimDuration,
+        outcome: JobOutcome,
+        out: &mut Outbox<ClusterEvent>,
+        notes: &mut Vec<ClusterNote>,
+    ) {
+        let job = &mut self.jobs[id.0 as usize];
+        let JobState::Running { start, nodes, .. } = job.state.clone() else {
+            return;
+        };
+        let kill_at = now + grace;
+        job.state = JobState::Draining {
+            start,
+            kill_at,
+            nodes,
+            outcome,
+        };
+        out.at(kill_at, ClusterEvent::GraceExpired(id));
+        notes.push(ClusterNote::JobSigterm {
+            job: id,
+            reason,
+            kill_at,
+        });
+    }
+
+    fn on_time_limit(
+        &mut self,
+        now: SimTime,
+        id: JobId,
+        out: &mut Outbox<ClusterEvent>,
+        notes: &mut Vec<ClusterNote>,
+    ) {
+        let job = &self.jobs[id.0 as usize];
+        let JobState::Running { granted_end, .. } = &job.state else {
+            return; // finished or preempted before the limit
+        };
+        if *granted_end != now {
+            return; // stale event
+        }
+        match job.spec.kind {
+            JobKind::Hpc => self.end_job(now, id, JobOutcome::TimedOut, out, notes),
+            JobKind::Pilot => {
+                self.counters.pilots_timed_out += 1;
+                self.sigterm(
+                    now,
+                    id,
+                    SigtermReason::TimeLimit,
+                    self.cfg.kill_wait,
+                    JobOutcome::TimedOut,
+                    out,
+                    notes,
+                );
+            }
+        }
+    }
+
+    fn end_job(
+        &mut self,
+        now: SimTime,
+        id: JobId,
+        outcome: JobOutcome,
+        out: &mut Outbox<ClusterEvent>,
+        notes: &mut Vec<ClusterNote>,
+    ) {
+        let job = &mut self.jobs[id.0 as usize];
+        let nodes: Vec<NodeId> = job.held_nodes().to_vec();
+        job.state = JobState::Done { outcome, at: now };
+        let kind = job.spec.kind;
+        // Emit the end note before handover starts so note order reads
+        // causally (ended → successor started).
+        notes.push(ClusterNote::JobEnded { job: id, outcome });
+        for n in nodes {
+            if let Some(waiter) = self.node_waiter.remove(&n) {
+                self.set_node_state(now, n, NodeState::Reserved(waiter));
+                self.on_handover_node_ready(now, waiter, n, out, notes);
+            } else {
+                self.set_node_state(now, n, NodeState::Idle);
+            }
+        }
+        match (kind, outcome) {
+            (JobKind::Hpc, _) => self.counters.hpc_completed += 1,
+            (JobKind::Pilot, JobOutcome::NodeFailed) => {
+                self.counters.pilots_node_failed += 1;
+            }
+            _ => {}
+        }
+        self.request_quick(now, out);
+    }
+
+    fn on_handover_node_ready(
+        &mut self,
+        now: SimTime,
+        waiter: JobId,
+        node: NodeId,
+        out: &mut Outbox<ClusterEvent>,
+        notes: &mut Vec<ClusterNote>,
+    ) {
+        let Some(h) = self.handovers.get_mut(&waiter) else {
+            // No handover record (can happen if it was torn down); free
+            // the node instead of leaking the reservation.
+            self.set_node_state(now, node, NodeState::Idle);
+            return;
+        };
+        if !h.ready.contains(&node) {
+            h.ready.push(node);
+        }
+        if h.ready.len() == h.needed.len() {
+            let nodes = std::mem::take(&mut h.ready);
+            self.handovers.remove(&waiter);
+            let limit = self.jobs[waiter.0 as usize].spec.time_limit;
+            self.start_job(now, waiter, nodes, limit, out, notes);
+        }
+    }
+
+    fn on_node_down(
+        &mut self,
+        now: SimTime,
+        n: NodeId,
+        out: &mut Outbox<ClusterEvent>,
+        notes: &mut Vec<ClusterNote>,
+    ) {
+        match self.nodes[n.0 as usize].state {
+            NodeState::Down => {}
+            NodeState::Idle => self.set_node_state(now, n, NodeState::Down),
+            NodeState::Busy(holder) => {
+                // Hard failure: the job dies without SIGTERM — this is
+                // the path baseline OpenWhisk handles badly (§II).
+                self.node_waiter.remove(&n);
+                self.end_job(now, holder, JobOutcome::NodeFailed, out, notes);
+                self.set_node_state(now, n, NodeState::Down);
+            }
+            NodeState::Reserved(waiter) => {
+                // Tear down the handover; the waiting job re-queues.
+                if let Some(h) = self.handovers.remove(&waiter) {
+                    for rn in h.ready {
+                        if rn != n && self.nodes[rn.0 as usize].state == NodeState::Reserved(waiter)
+                        {
+                            self.set_node_state(now, rn, NodeState::Idle);
+                        }
+                    }
+                    for wn in h.needed {
+                        if self.node_waiter.get(&wn) == Some(&waiter) {
+                            self.node_waiter.remove(&wn);
+                        }
+                    }
+                }
+                self.set_node_state(now, n, NodeState::Down);
+                self.request_quick(now, out);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Bookkeeping
+    // ------------------------------------------------------------------
+
+    fn request_quick(&mut self, now: SimTime, out: &mut Outbox<ClusterEvent>) {
+        if self.quick_queued {
+            return;
+        }
+        self.quick_queued = true;
+        let at = (self.last_quick + self.cfg.sched_min_interval).max(now);
+        out.at(at, ClusterEvent::QuickPass);
+    }
+
+    fn set_node_state(&mut self, now: SimTime, n: NodeId, new: NodeState) {
+        let node = &mut self.nodes[n.0 as usize];
+        let old = node.state;
+        if old == new {
+            return;
+        }
+        node.state = new;
+        node.since = now;
+        let delta = |st: NodeState, jobs: &[Job]| -> (i64, i64, i64) {
+            match st {
+                NodeState::Idle => (1, 0, 0),
+                NodeState::Down => (0, 0, 1),
+                NodeState::Reserved(_) => (0, 0, 0),
+                NodeState::Busy(j) => {
+                    if jobs[j.0 as usize].spec.kind == JobKind::Pilot {
+                        (0, 1, 0)
+                    } else {
+                        (0, 0, 0)
+                    }
+                }
+            }
+        };
+        let (oi, op, od) = delta(old, &self.jobs);
+        let (ni, np, nd) = delta(new, &self.jobs);
+        self.n_idle += ni - oi;
+        self.n_pilot += np - op;
+        self.n_down += nd - od;
+        self.series.idle.set(now, self.n_idle as f64);
+        self.series.pilot.set(now, self.n_pilot as f64);
+        self.series.down.set(now, self.n_down as f64);
+    }
+
+    fn take_poll_sample(&self, t: SimTime) -> PollSample {
+        let words = self.nodes.len().div_ceil(64);
+        let mut idle = vec![0u64; words];
+        let mut pilot = vec![0u64; words];
+        for (i, node) in self.nodes.iter().enumerate() {
+            match node.state {
+                NodeState::Idle => idle[i / 64] |= 1 << (i % 64),
+                NodeState::Busy(j) => {
+                    if self.jobs[j.0 as usize].spec.kind == JobKind::Pilot {
+                        pilot[i / 64] |= 1 << (i % 64);
+                    }
+                }
+                _ => {}
+            }
+        }
+        PollSample { t, idle, pilot }
+    }
+
+    /// Poll cadence with the jitter the paper measured (§IV-A): 76.43%
+    /// exactly 10 s, 23.26% in 11–13 s, 0.31% in 14–20 s.
+    fn sample_poll_gap(&mut self) -> SimDuration {
+        let u = self.poll_rng.f64();
+        if u < 0.7643 {
+            SimDuration::from_secs(10)
+        } else if u < 0.7643 + 0.2326 {
+            SimDuration::from_millis(self.poll_rng.range_u64(11_000, 13_001))
+        } else {
+            SimDuration::from_millis(self.poll_rng.range_u64(14_000, 20_001))
+        }
+    }
+}

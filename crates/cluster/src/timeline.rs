@@ -1,0 +1,428 @@
+//! The backfill availability timeline.
+//!
+//! Slurm's backfill on the paper's cluster plans in **2-minute slots
+//! over a 120-minute window** (§IV-B), i.e. 60 slots — which fits in a
+//! `u64` bitmask per node. Bit `s` set means the node is free during
+//! slot `[origin + s·res, origin + (s+1)·res)`. This makes the hot
+//! operations of a pass — "can these `d` slots start at `s`?", "how long
+//! is the free run from now?" — single AND/shift instructions, so a
+//! 2,239-node cluster schedules quickly even with passes every few
+//! seconds.
+
+use crate::ids::NodeId;
+use simcore::{SimDuration, SimTime};
+
+/// Node selection policy when several nodes satisfy a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FitPolicy {
+    /// Lowest node index first (Slurm's default weight-ordered pick).
+    FirstFit,
+    /// The node whose free run is the smallest that still fits — keeps
+    /// long gaps intact for long pilot jobs.
+    BestFit,
+}
+
+/// A per-node free/busy bitmask over the backfill window.
+#[derive(Debug, Clone)]
+pub struct Timeline {
+    origin: SimTime,
+    slot_ms: u64,
+    n_slots: u32,
+    free: Vec<u64>,
+}
+
+impl Timeline {
+    /// A window of `n_slots` slots of `resolution` each, starting at
+    /// `origin`, with every node free.
+    pub fn new(origin: SimTime, resolution: SimDuration, n_slots: u32, n_nodes: usize) -> Self {
+        assert!(n_slots >= 1 && n_slots <= 63);
+        let all_free = (1u64 << n_slots) - 1;
+        Timeline {
+            origin,
+            slot_ms: resolution.as_millis(),
+            n_slots,
+            free: vec![all_free; n_nodes],
+        }
+    }
+
+    /// Window start.
+    pub fn origin(&self) -> SimTime {
+        self.origin
+    }
+
+    /// Number of slots.
+    pub fn n_slots(&self) -> u32 {
+        self.n_slots
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Slot index containing time `t` (clamped to the window end).
+    pub fn slot_of(&self, t: SimTime) -> u32 {
+        if t <= self.origin {
+            return 0;
+        }
+        ((t.since(self.origin).as_millis()) / self.slot_ms).min(self.n_slots as u64) as u32
+    }
+
+    /// Slot index covering `t`, rounded *up* to the next boundary — used
+    /// for busy-until times so partial slots count as busy.
+    pub fn slot_of_ceil(&self, t: SimTime) -> u32 {
+        if t <= self.origin {
+            return 0;
+        }
+        let ms = t.since(self.origin).as_millis();
+        (ms.div_ceil(self.slot_ms)).min(self.n_slots as u64) as u32
+    }
+
+    /// Absolute time of slot `s`'s start.
+    pub fn slot_start(&self, s: u32) -> SimTime {
+        self.origin + SimDuration::from_millis(self.slot_ms * s as u64)
+    }
+
+    /// Mark the whole window busy for a node (down nodes).
+    pub fn block_all(&mut self, node: NodeId) {
+        self.free[node.0 as usize] = 0;
+    }
+
+    /// Mark the node busy from the window start until `t` (rounded up to
+    /// a slot boundary) — running jobs with predicted end `t`.
+    pub fn block_until(&mut self, node: NodeId, t: SimTime) {
+        let s = self.slot_of_ceil(t);
+        if s == 0 {
+            return;
+        }
+        let mask = (1u64 << s) - 1;
+        self.free[node.0 as usize] &= !mask;
+    }
+
+    /// Mark slots `[from_slot, to_slot)` busy — reservations.
+    pub fn block_slots(&mut self, node: NodeId, from_slot: u32, to_slot: u32) {
+        let to = to_slot.min(self.n_slots);
+        if from_slot >= to {
+            return;
+        }
+        let mask = range_mask(from_slot, to);
+        self.free[node.0 as usize] &= !mask;
+    }
+
+    /// Mark the node busy over the absolute interval `[from, to)`
+    /// (outer slot rounding: from rounds down, to rounds up).
+    pub fn block_interval(&mut self, node: NodeId, from: SimTime, to: SimTime) {
+        if to <= self.origin {
+            return;
+        }
+        let fs = self.slot_of(from);
+        let ts = self.slot_of_ceil(to);
+        self.block_slots(node, fs, ts);
+    }
+
+    /// True iff slots `[s, s+d)` are all free on `node` (`d >= 1`).
+    /// Requests reaching past the window end are truncated to it:
+    /// nothing beyond the window is known to be busy.
+    pub fn is_free_range(&self, node: NodeId, s: u32, d: u32) -> bool {
+        if d == 0 {
+            return true;
+        }
+        if s >= self.n_slots {
+            return false;
+        }
+        let end = (s + d).min(self.n_slots);
+        let mask = range_mask(s, end);
+        self.free[node.0 as usize] & mask == mask
+    }
+
+    /// Length of the consecutive free run starting at slot `s`.
+    pub fn free_run_from(&self, node: NodeId, s: u32) -> u32 {
+        if s >= self.n_slots {
+            return 0;
+        }
+        // The free mask only has bits below n_slots, so trailing ones of
+        // the shifted mask is the run length, capped at the window end.
+        let shifted = self.free[node.0 as usize] >> s;
+        shifted.trailing_ones().min(self.n_slots - s)
+    }
+
+    /// Earliest slot `s` at which at least `k` nodes are simultaneously
+    /// free for `d` consecutive slots; returns `(s, chosen_nodes)`.
+    /// Nodes are chosen first-fit (lowest index).
+    pub fn find_start(&self, k: u32, d: u32, max_slot: u32) -> Option<(u32, Vec<NodeId>)> {
+        let d = d.max(1);
+        let last = max_slot.min(self.n_slots.saturating_sub(1));
+        for s in 0..=last {
+            let mut chosen = Vec::with_capacity(k as usize);
+            for (i, _) in self.free.iter().enumerate() {
+                let node = NodeId(i as u32);
+                if self.is_free_range(node, s, d) {
+                    chosen.push(node);
+                    if chosen.len() as u32 == k {
+                        return Some((s, chosen));
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Find a single node able to start a `d`-slot job at slot 0.
+    pub fn find_single_now(&self, d: u32, policy: FitPolicy) -> Option<NodeId> {
+        match policy {
+            FitPolicy::FirstFit => (0..self.free.len())
+                .map(|i| NodeId(i as u32))
+                .find(|n| self.is_free_range(*n, 0, d)),
+            FitPolicy::BestFit => {
+                let mut best: Option<(u32, NodeId)> = None;
+                for i in 0..self.free.len() {
+                    let node = NodeId(i as u32);
+                    if !self.is_free_range(node, 0, d) {
+                        continue;
+                    }
+                    let run = self.free_run_from(node, 0);
+                    match best {
+                        Some((brun, _)) if brun <= run => {}
+                        _ => best = Some((run, node)),
+                    }
+                    if run == d {
+                        break; // perfect fit
+                    }
+                }
+                best.map(|(_, n)| n)
+            }
+        }
+    }
+
+    /// Can `nodes` all run `d` slots starting at slot `s`?
+    pub fn nodes_free_range(&self, nodes: &[NodeId], s: u32, d: u32) -> bool {
+        nodes.iter().all(|n| self.is_free_range(*n, s, d))
+    }
+
+    /// Number of nodes free at slot 0 for at least `d` slots.
+    pub fn count_startable(&self, d: u32) -> u32 {
+        (0..self.free.len())
+            .filter(|i| self.is_free_range(NodeId(*i as u32), 0, d))
+            .count() as u32
+    }
+
+    /// Raw mask for a node (tests).
+    pub fn mask(&self, node: NodeId) -> u64 {
+        self.free[node.0 as usize]
+    }
+}
+
+fn range_mask(from: u32, to: u32) -> u64 {
+    debug_assert!(from < to && to <= 63);
+    (((1u64 << (to - from)) - 1) << from) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(n_nodes: usize) -> Timeline {
+        Timeline::new(
+            SimTime::from_mins(100),
+            SimDuration::from_mins(2),
+            60,
+            n_nodes,
+        )
+    }
+
+    #[test]
+    fn slot_math() {
+        let tl = mk(1);
+        assert_eq!(tl.slot_of(SimTime::from_mins(100)), 0);
+        assert_eq!(tl.slot_of(SimTime::from_mins(101)), 0);
+        assert_eq!(tl.slot_of(SimTime::from_mins(102)), 1);
+        assert_eq!(tl.slot_of_ceil(SimTime::from_mins(101)), 1);
+        assert_eq!(tl.slot_of_ceil(SimTime::from_mins(102)), 1);
+        assert_eq!(tl.slot_of_ceil(SimTime::from_mins(103)), 2);
+        // Clamping at window end (120 min window → slot 60).
+        assert_eq!(tl.slot_of(SimTime::from_mins(500)), 60);
+        assert_eq!(tl.slot_start(3), SimTime::from_mins(106));
+        // Before origin.
+        assert_eq!(tl.slot_of(SimTime::ZERO), 0);
+        assert_eq!(tl.slot_of_ceil(SimTime::ZERO), 0);
+    }
+
+    #[test]
+    fn block_until_rounds_up() {
+        let mut tl = mk(2);
+        tl.block_until(NodeId(0), SimTime::from_mins(101)); // mid-slot 0
+        assert!(!tl.is_free_range(NodeId(0), 0, 1));
+        assert!(tl.is_free_range(NodeId(0), 1, 59));
+        assert!(tl.is_free_range(NodeId(1), 0, 60));
+    }
+
+    #[test]
+    fn block_interval_outer_rounding() {
+        let mut tl = mk(1);
+        // [103, 105) min → slots 1 (contains 103) through 2 (104-106 contains 105).
+        tl.block_interval(NodeId(0), SimTime::from_mins(103), SimTime::from_mins(105));
+        assert!(tl.is_free_range(NodeId(0), 0, 1));
+        assert!(!tl.is_free_range(NodeId(0), 1, 1));
+        assert!(!tl.is_free_range(NodeId(0), 2, 1));
+        assert!(tl.is_free_range(NodeId(0), 3, 57));
+        // Interval entirely before the origin is a no-op.
+        let mut tl2 = mk(1);
+        tl2.block_interval(NodeId(0), SimTime::ZERO, SimTime::from_mins(50));
+        assert!(tl2.is_free_range(NodeId(0), 0, 60));
+    }
+
+    #[test]
+    fn free_run_lengths() {
+        let mut tl = mk(1);
+        tl.block_slots(NodeId(0), 5, 7);
+        assert_eq!(tl.free_run_from(NodeId(0), 0), 5);
+        assert_eq!(tl.free_run_from(NodeId(0), 5), 0);
+        assert_eq!(tl.free_run_from(NodeId(0), 7), 53);
+        assert_eq!(tl.free_run_from(NodeId(0), 60), 0);
+    }
+
+    #[test]
+    fn range_past_window_is_truncated() {
+        let tl = mk(1);
+        // Asking for 100 slots from slot 10: only 50 remain in the
+        // window; beyond it, nothing is known busy.
+        assert!(tl.is_free_range(NodeId(0), 10, 100));
+        assert!(!tl.is_free_range(NodeId(0), 60, 1));
+    }
+
+    #[test]
+    fn find_start_multi_node() {
+        let mut tl = mk(4);
+        tl.block_until(NodeId(0), SimTime::from_mins(110)); // 5 slots
+        tl.block_until(NodeId(1), SimTime::from_mins(104)); // 2 slots
+        tl.block_all(NodeId(2));
+        // Node 3 free everywhere. 2 nodes × 3 slots: node 1 frees at
+        // slot 2, node 3 always → s=2.
+        let (s, nodes) = tl.find_start(2, 3, 59).unwrap();
+        assert_eq!(s, 2);
+        assert_eq!(nodes, vec![NodeId(1), NodeId(3)]);
+        // 3 nodes × 1 slot → must wait for node 0 at slot 5.
+        let (s, nodes) = tl.find_start(3, 1, 59).unwrap();
+        assert_eq!(s, 5);
+        assert_eq!(nodes, vec![NodeId(0), NodeId(1), NodeId(3)]);
+        // 4 nodes: impossible (node 2 down).
+        assert!(tl.find_start(4, 1, 59).is_none());
+    }
+
+    #[test]
+    fn find_single_best_fit_prefers_tight_gap() {
+        let mut tl = mk(3);
+        tl.block_slots(NodeId(0), 10, 60); // run of 10 from 0
+        tl.block_slots(NodeId(1), 4, 60); // run of 4
+        // Node 2 fully free (run 60).
+        assert_eq!(
+            tl.find_single_now(3, FitPolicy::BestFit),
+            Some(NodeId(1))
+        );
+        assert_eq!(
+            tl.find_single_now(3, FitPolicy::FirstFit),
+            Some(NodeId(0))
+        );
+        assert_eq!(
+            tl.find_single_now(11, FitPolicy::BestFit),
+            Some(NodeId(2))
+        );
+        assert_eq!(tl.find_single_now(61, FitPolicy::BestFit), Some(NodeId(2)));
+    }
+
+    #[test]
+    fn count_startable() {
+        let mut tl = mk(3);
+        tl.block_until(NodeId(0), SimTime::from_mins(104));
+        assert_eq!(tl.count_startable(1), 2);
+        assert_eq!(tl.count_startable(60), 2);
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Blocking never frees slots; free ranges shrink
+            /// monotonically under arbitrary block sequences.
+            #[test]
+            fn prop_blocking_monotone(blocks in proptest::collection::vec((0u32..60, 1u32..61), 0..30)) {
+                let mut tl = mk(1);
+                let node = NodeId(0);
+                let mut prev_free: u32 = (0..60)
+                    .filter(|s| tl.is_free_range(node, *s, 1))
+                    .count() as u32;
+                for (from, len) in blocks {
+                    tl.block_slots(node, from, from.saturating_add(len));
+                    let free: u32 = (0..60)
+                        .filter(|s| tl.is_free_range(node, *s, 1))
+                        .count() as u32;
+                    prop_assert!(free <= prev_free);
+                    prev_free = free;
+                }
+            }
+
+            /// free_run_from agrees with slot-by-slot is_free_range.
+            #[test]
+            fn prop_free_run_consistent(blocks in proptest::collection::vec((0u32..60, 1u32..20), 0..10),
+                                        s in 0u32..60) {
+                let mut tl = mk(1);
+                let node = NodeId(0);
+                for (from, len) in blocks {
+                    tl.block_slots(node, from, (from + len).min(60));
+                }
+                let run = tl.free_run_from(node, s);
+                // Every slot inside the run is free...
+                for k in 0..run {
+                    prop_assert!(tl.is_free_range(node, s + k, 1));
+                }
+                // ...and the slot just past it (if in-window) is busy.
+                if s + run < 60 {
+                    prop_assert!(!tl.is_free_range(node, s + run, 1));
+                }
+                // is_free_range over the whole run agrees.
+                if run > 0 {
+                    prop_assert!(tl.is_free_range(node, s, run));
+                }
+            }
+
+            /// find_start returns the earliest feasible slot: nothing
+            /// earlier admits k nodes for d slots.
+            #[test]
+            fn prop_find_start_earliest(seed_blocks in proptest::collection::vec((0usize..4, 0u32..60, 1u32..30), 0..20),
+                                        k in 1u32..4, d in 1u32..10) {
+                let mut tl = mk(4);
+                for (n, from, len) in seed_blocks {
+                    tl.block_slots(NodeId(n as u32), from, (from + len).min(60));
+                }
+                let feasible = |s: u32| {
+                    (0..4).filter(|n| tl.is_free_range(NodeId(*n), s, d)).count() as u32 >= k
+                };
+                match tl.find_start(k, d, 59) {
+                    Some((s, nodes)) => {
+                        prop_assert_eq!(nodes.len() as u32, k);
+                        for n in &nodes {
+                            prop_assert!(tl.is_free_range(*n, s, d));
+                        }
+                        for earlier in 0..s {
+                            prop_assert!(!feasible(earlier), "slot {} was feasible", earlier);
+                        }
+                    }
+                    None => {
+                        for s in 0..60 {
+                            prop_assert!(!feasible(s));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn perfect_fit_short_circuit() {
+        let mut tl = mk(2);
+        tl.block_slots(NodeId(0), 3, 60);
+        // d == run on node 0: best fit returns it immediately.
+        assert_eq!(tl.find_single_now(3, FitPolicy::BestFit), Some(NodeId(0)));
+    }
+}

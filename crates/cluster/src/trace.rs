@@ -1,0 +1,270 @@
+//! Node-availability traces.
+//!
+//! An [`AvailabilityTrace`] is the canonical "when was each node
+//! available" structure shared by three producers/consumers:
+//!
+//! * the workload generator emits synthetic traces calibrated to the
+//!   paper's Fig. 1 statistics;
+//! * the poller's samples ([`crate::events::PollSample`]) reconstruct a
+//!   measured trace, exactly as the paper reconstructs its Slurm-level
+//!   perspective from 10-second logs (§IV-A);
+//! * the clairvoyant offline simulator (Table I and the "Simulation"
+//!   rows of Tables II/III) fills a trace's intervals with pilot jobs.
+
+use crate::events::PollSample;
+use metrics::{Cdf, StepSeries};
+use simcore::{SimDuration, SimTime};
+
+/// Per-node availability intervals over a fixed horizon.
+#[derive(Debug, Clone)]
+pub struct AvailabilityTrace {
+    /// Horizon start.
+    pub start: SimTime,
+    /// Horizon end.
+    pub end: SimTime,
+    /// For each node: sorted, non-overlapping `[from, to)` intervals of
+    /// availability.
+    pub per_node: Vec<Vec<(SimTime, SimTime)>>,
+}
+
+impl AvailabilityTrace {
+    /// Build from explicit intervals, validating ordering and bounds.
+    pub fn from_intervals(
+        start: SimTime,
+        end: SimTime,
+        per_node: Vec<Vec<(SimTime, SimTime)>>,
+    ) -> Self {
+        assert!(end > start, "empty horizon");
+        for (n, iv) in per_node.iter().enumerate() {
+            let mut prev_end = start;
+            for (a, b) in iv {
+                assert!(a < b, "node {n}: empty/inverted interval");
+                assert!(*a >= prev_end, "node {n}: overlapping/unsorted intervals");
+                assert!(*b <= end, "node {n}: interval past horizon");
+                prev_end = *b;
+            }
+        }
+        AvailabilityTrace {
+            start,
+            end,
+            per_node,
+        }
+    }
+
+    /// Reconstruct a trace from poller samples: a node is considered
+    /// available from an available sample until the next sample where it
+    /// is not (the paper's equal-spacing assumption).
+    ///
+    /// `include_pilot` selects the paper's *joined* baseline (idle ∪
+    /// pilot, §V-B) vs. the raw idle view.
+    pub fn from_poll_samples(
+        samples: &[PollSample],
+        n_nodes: usize,
+        include_pilot: bool,
+    ) -> Self {
+        assert!(samples.len() >= 2, "need at least two samples");
+        let start = samples[0].t;
+        let end = samples[samples.len() - 1].t;
+        let mut per_node: Vec<Vec<(SimTime, SimTime)>> = vec![Vec::new(); n_nodes];
+        for n in 0..n_nodes {
+            let mut open: Option<SimTime> = None;
+            for (i, s) in samples.iter().enumerate() {
+                let avail = if include_pilot {
+                    s.is_available(n)
+                } else {
+                    s.is_idle(n)
+                };
+                let is_last = i == samples.len() - 1;
+                match (avail && !is_last, open) {
+                    (true, None) => open = Some(s.t),
+                    (false, Some(from)) => {
+                        if s.t > from {
+                            per_node[n].push((from, s.t));
+                        }
+                        open = None;
+                    }
+                    _ => {}
+                }
+            }
+            if let Some(from) = open {
+                if end > from {
+                    per_node[n].push((from, end));
+                }
+            }
+        }
+        AvailabilityTrace::from_intervals(start, end, per_node)
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.per_node.len()
+    }
+
+    /// Horizon length.
+    pub fn horizon(&self) -> SimDuration {
+        self.end - self.start
+    }
+
+    /// Total available node-time.
+    pub fn total_available(&self) -> SimDuration {
+        let ms: u64 = self
+            .per_node
+            .iter()
+            .flatten()
+            .map(|(a, b)| (*b - *a).as_millis())
+            .sum();
+        SimDuration::from_millis(ms)
+    }
+
+    /// Number of availability intervals across all nodes.
+    pub fn n_intervals(&self) -> usize {
+        self.per_node.iter().map(|v| v.len()).sum()
+    }
+
+    /// Distribution of interval lengths in minutes (Fig. 1b).
+    pub fn interval_length_mins(&self) -> Cdf {
+        Cdf::from_values(
+            self.per_node
+                .iter()
+                .flatten()
+                .map(|(a, b)| (*b - *a).as_mins_f64()),
+        )
+    }
+
+    /// Step series of the number of simultaneously available nodes
+    /// (Fig. 1a/1c).
+    pub fn count_series(&self) -> StepSeries {
+        let mut events: Vec<(SimTime, f64)> = Vec::with_capacity(self.n_intervals() * 2);
+        for iv in &self.per_node {
+            for (a, b) in iv {
+                events.push((*a, 1.0));
+                events.push((*b, -1.0));
+            }
+        }
+        events.sort_by_key(|(t, _)| *t);
+        let mut s = StepSeries::new(self.start, 0.0);
+        let mut count = 0.0;
+        let mut i = 0;
+        while i < events.len() {
+            let t = events[i].0;
+            while i < events.len() && events[i].0 == t {
+                count += events[i].1;
+                i += 1;
+            }
+            s.set(t, count);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn from_intervals_validates() {
+        let tr = AvailabilityTrace::from_intervals(
+            t(0),
+            t(100),
+            vec![vec![(t(0), t(10)), (t(20), t(30))], vec![]],
+        );
+        assert_eq!(tr.n_nodes(), 2);
+        assert_eq!(tr.n_intervals(), 2);
+        assert_eq!(tr.total_available(), SimDuration::from_secs(20));
+    }
+
+    #[test]
+    #[should_panic]
+    fn overlap_rejected() {
+        AvailabilityTrace::from_intervals(t(0), t(100), vec![vec![(t(0), t(10)), (t(5), t(30))]]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn past_horizon_rejected() {
+        AvailabilityTrace::from_intervals(t(0), t(100), vec![vec![(t(90), t(101))]]);
+    }
+
+    #[test]
+    fn count_series_counts() {
+        let tr = AvailabilityTrace::from_intervals(
+            t(0),
+            t(100),
+            vec![
+                vec![(t(0), t(50))],
+                vec![(t(25), t(75))],
+            ],
+        );
+        let s = tr.count_series();
+        assert_eq!(s.value_at(t(10)), 1.0);
+        assert_eq!(s.value_at(t(30)), 2.0);
+        assert_eq!(s.value_at(t(60)), 1.0);
+        assert_eq!(s.value_at(t(80)), 0.0);
+        assert!((s.time_avg(t(0), t(100)) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interval_length_distribution() {
+        let tr = AvailabilityTrace::from_intervals(
+            t(0),
+            SimTime::from_mins(100),
+            vec![vec![
+                (SimTime::from_mins(0), SimTime::from_mins(2)),
+                (SimTime::from_mins(10), SimTime::from_mins(14)),
+            ]],
+        );
+        let cdf = tr.interval_length_mins();
+        assert_eq!(cdf.len(), 2);
+        assert!((cdf.mean() - 3.0).abs() < 1e-9);
+    }
+
+    fn sample(ts: u64, idle_nodes: &[usize], pilot_nodes: &[usize]) -> PollSample {
+        let mut idle = vec![0u64; 1];
+        let mut pilot = vec![0u64; 1];
+        for n in idle_nodes {
+            idle[0] |= 1 << n;
+        }
+        for n in pilot_nodes {
+            pilot[0] |= 1 << n;
+        }
+        PollSample {
+            t: t(ts),
+            idle,
+            pilot,
+        }
+    }
+
+    #[test]
+    fn poll_reconstruction_joins_idle_and_pilot() {
+        // Node 0: idle at 0/10, pilot at 20, gone at 30.
+        // Node 1: never available.
+        let samples = vec![
+            sample(0, &[0], &[]),
+            sample(10, &[0], &[]),
+            sample(20, &[], &[0]),
+            sample(30, &[], &[]),
+            sample(40, &[], &[]),
+        ];
+        let joined = AvailabilityTrace::from_poll_samples(&samples, 2, true);
+        assert_eq!(joined.per_node[0], vec![(t(0), t(30))]);
+        assert!(joined.per_node[1].is_empty());
+        let idle_only = AvailabilityTrace::from_poll_samples(&samples, 2, false);
+        assert_eq!(idle_only.per_node[0], vec![(t(0), t(20))]);
+    }
+
+    #[test]
+    fn poll_reconstruction_open_interval_clipped_at_end() {
+        let samples = vec![
+            sample(0, &[], &[]),
+            sample(10, &[0], &[]),
+            sample(20, &[0], &[]),
+        ];
+        let tr = AvailabilityTrace::from_poll_samples(&samples, 1, true);
+        // Available at the final sample: interval closes at the horizon.
+        assert_eq!(tr.per_node[0], vec![(t(10), t(20))]);
+    }
+}

@@ -1,0 +1,492 @@
+//! End-to-end scheduler scenarios for the Slurm-like cluster simulator:
+//! priorities, backfill, preemption with grace, variable-length
+//! extension, pinned demand claims, node failures and the poller.
+
+use hpcwhisk_cluster::{
+    ClusterEvent, ClusterNote, ClusterSim, JobId, JobKind, JobOutcome, JobSpec, JobState,
+    NodeId, SigtermReason, SlurmConfig,
+};
+use simcore::{Engine, Outbox, SimDuration, SimTime};
+
+/// Drives a [`ClusterSim`] with the DES engine, collecting notes.
+struct Harness {
+    sim: ClusterSim,
+    engine: Engine<ClusterEvent>,
+    notes: Vec<(SimTime, ClusterNote)>,
+}
+
+impl Harness {
+    fn new(n_nodes: usize) -> Self {
+        Self::with_config(SlurmConfig::default(), n_nodes)
+    }
+
+    fn with_config(cfg: SlurmConfig, n_nodes: usize) -> Self {
+        let mut sim = ClusterSim::new(cfg, n_nodes, 42);
+        let mut engine = Engine::new();
+        let mut out = Outbox::new(SimTime::ZERO);
+        sim.bootstrap(SimTime::ZERO, &mut out);
+        for (t, e) in out.drain() {
+            engine.schedule(t, e);
+        }
+        Harness {
+            sim,
+            engine,
+            notes: Vec::new(),
+        }
+    }
+
+    fn submit_at(&mut self, t: SimTime, spec: JobSpec) -> JobId {
+        // Run up to the submission instant first.
+        self.run_until(t);
+        let mut out = Outbox::new(t);
+        let id = self.sim.submit(t, spec, &mut out);
+        for (at, e) in out.drain() {
+            self.engine.schedule(at, e);
+        }
+        id
+    }
+
+    fn pilot_exit_at(&mut self, t: SimTime, job: JobId) {
+        self.run_until(t);
+        let mut out = Outbox::new(t);
+        let mut notes = Vec::new();
+        self.sim.pilot_exited(t, job, &mut out, &mut notes);
+        self.notes.extend(notes.into_iter().map(|n| (t, n)));
+        for (at, e) in out.drain() {
+            self.engine.schedule(at, e);
+        }
+    }
+
+    fn run_until(&mut self, horizon: SimTime) {
+        let sim = &mut self.sim;
+        let notes = &mut self.notes;
+        self.engine.run_until(
+            horizon,
+            &mut |now: SimTime, ev: ClusterEvent, out: &mut Outbox<ClusterEvent>| {
+                let mut local = Vec::new();
+                sim.handle(now, ev, out, &mut local);
+                notes.extend(local.into_iter().map(|n| (now, n)));
+            },
+        );
+    }
+
+    fn started(&self, job: JobId) -> Option<SimTime> {
+        self.notes.iter().find_map(|(t, n)| match n {
+            ClusterNote::JobStarted { job: j, .. } if *j == job => Some(*t),
+            _ => None,
+        })
+    }
+
+    fn ended_with(&self, job: JobId) -> Option<JobOutcome> {
+        self.notes.iter().find_map(|(_, n)| match n {
+            ClusterNote::JobEnded { job: j, outcome } if *j == job => Some(*outcome),
+            _ => None,
+        })
+    }
+
+    fn sigterm_of(&self, job: JobId) -> Option<(SigtermReason, SimTime)> {
+        self.notes.iter().find_map(|(_, n)| match n {
+            ClusterNote::JobSigterm {
+                job: j,
+                reason,
+                kill_at,
+            } if *j == job => Some((*reason, *kill_at)),
+            _ => None,
+        })
+    }
+}
+
+fn mins(m: u64) -> SimDuration {
+    SimDuration::from_mins(m)
+}
+
+fn at_min(m: u64) -> SimTime {
+    SimTime::from_mins(m)
+}
+
+#[test]
+fn single_hpc_job_runs_and_completes() {
+    let mut h = Harness::new(4);
+    let j = h.submit_at(at_min(1), JobSpec::hpc(2, mins(30), mins(10)));
+    h.run_until(at_min(60));
+    let start = h.started(j).expect("job should start");
+    // Started within a few seconds (quick pass latency).
+    assert!(start <= at_min(1) + SimDuration::from_secs(5), "start={start}");
+    assert_eq!(h.ended_with(j), Some(JobOutcome::Completed));
+    assert_eq!(h.sim.n_idle(), 4);
+    assert_eq!(h.sim.counters().hpc_started, 1);
+    assert_eq!(h.sim.counters().hpc_completed, 1);
+}
+
+#[test]
+fn fifo_when_resources_scarce() {
+    let mut h = Harness::new(2);
+    let a = h.submit_at(at_min(1), JobSpec::hpc(2, mins(10), mins(10)));
+    let b = h.submit_at(at_min(1), JobSpec::hpc(2, mins(10), mins(10)));
+    h.run_until(at_min(40));
+    let sa = h.started(a).unwrap();
+    let sb = h.started(b).unwrap();
+    assert!(sb >= sa + mins(10), "b must wait for a: {sa} {sb}");
+}
+
+#[test]
+fn backfill_fills_in_front_of_reservation_without_delaying_it() {
+    // 4 nodes. Job A holds 2 nodes for ~30 min; wide job B (4 nodes)
+    // must wait for A → gets a reservation at A's declared end. Short
+    // 2-node job C (10 min) fits on the two idle nodes before B's
+    // reservation and backfills; long 2-node job D (60 min) would delay
+    // B and must NOT backfill in front of it.
+    let mut h = Harness::new(4);
+    let a = h.submit_at(at_min(0), JobSpec::hpc(2, mins(30), mins(29)));
+    let b = h.submit_at(at_min(1), JobSpec::hpc(4, mins(30), mins(29)));
+    let d = h.submit_at(at_min(2), JobSpec::hpc(2, mins(60), mins(59)));
+    let c = h.submit_at(at_min(3), JobSpec::hpc(2, mins(10), mins(9)));
+    h.run_until(at_min(180));
+    let sa = h.started(a).unwrap();
+    let sb = h.started(b).unwrap();
+    let sc = h.started(c).unwrap();
+    let sd = h.started(d).unwrap();
+    assert!(sa < at_min(1));
+    // B starts right when A actually ends (within scheduling latency).
+    assert!(sb >= sa + mins(29) && sb <= sa + mins(31), "sb={sb}");
+    // C backfilled before B started.
+    assert!(sc < sb, "C should backfill: sc={sc} sb={sb}");
+    assert!(sc <= at_min(4), "C starts promptly: sc={sc}");
+    // D could not backfill (would overrun B's reservation).
+    assert!(sd >= sb, "D must not delay B: sd={sd} sb={sb}");
+}
+
+#[test]
+fn pilot_placed_on_idle_node_and_times_out() {
+    let mut h = Harness::new(1);
+    let p = h.submit_at(at_min(0), JobSpec::pilot_fixed(mins(4), 4));
+    h.run_until(at_min(10));
+    let start = h.started(p).unwrap();
+    let (reason, kill_at) = h.sigterm_of(p).expect("pilot gets SIGTERM at limit");
+    assert_eq!(reason, SigtermReason::TimeLimit);
+    assert_eq!(kill_at, start + mins(4) + SlurmConfig::default().kill_wait);
+    // No voluntary exit → SIGKILL at the grace deadline.
+    assert_eq!(h.ended_with(p), Some(JobOutcome::TimedOut));
+    let job = h.sim.job(p);
+    match &job.state {
+        JobState::Done { at, .. } => assert_eq!(*at, kill_at),
+        s => panic!("unexpected state {s:?}"),
+    }
+}
+
+#[test]
+fn pilot_voluntary_exit_frees_node_early() {
+    let mut h = Harness::new(1);
+    let p = h.submit_at(at_min(0), JobSpec::pilot_fixed(mins(4), 4));
+    h.run_until(at_min(5));
+    let (_, kill_at) = h.sigterm_of(p).unwrap();
+    // The invoker drains in 3 s and exits.
+    let exit_at = at_min(4) + SimDuration::from_secs(3);
+    assert!(exit_at < kill_at);
+    h.pilot_exit_at(exit_at, p);
+    assert_eq!(h.ended_with(p), Some(JobOutcome::TimedOut));
+    assert_eq!(h.sim.n_idle(), 1);
+    // The grace deadline later fires on a Done job: no double-end.
+    h.run_until(at_min(10));
+    let ends = h
+        .notes
+        .iter()
+        .filter(|(_, n)| matches!(n, ClusterNote::JobEnded { job, .. } if *job == p))
+        .count();
+    assert_eq!(ends, 1);
+}
+
+#[test]
+fn hpc_job_preempts_pilot_with_grace() {
+    let mut h = Harness::new(1);
+    let p = h.submit_at(at_min(0), JobSpec::pilot_fixed(mins(90), 90));
+    h.run_until(at_min(2));
+    assert!(h.started(p).is_some());
+    // An HPC job arrives needing the only node.
+    let j = h.submit_at(at_min(5), JobSpec::hpc(1, mins(10), mins(9)));
+    h.run_until(at_min(6));
+    let (reason, kill_at) = h.sigterm_of(p).expect("pilot preempted");
+    assert_eq!(reason, SigtermReason::Preempted);
+    // Grace is the 3-minute GraceTime.
+    assert!(kill_at <= at_min(5) + SimDuration::from_secs(10) + mins(3));
+    // Pilot drains quickly; invoker hand-off done in 2 s.
+    let (_, kill_at) = h.sigterm_of(p).unwrap();
+    let exit = kill_at - mins(3) + SimDuration::from_secs(2);
+    h.pilot_exit_at(exit, p);
+    h.run_until(at_min(30));
+    assert_eq!(h.ended_with(p), Some(JobOutcome::Preempted));
+    let sj = h.started(j).expect("HPC job starts after handover");
+    // Delay bounded by drain time, far below grace.
+    assert!(sj <= at_min(5) + SimDuration::from_secs(15), "sj={sj}");
+    assert_eq!(h.ended_with(j), Some(JobOutcome::Completed));
+    assert_eq!(h.sim.counters().pilots_preempted, 1);
+    let delays = &h.sim.counters().demand_delay_secs;
+    assert_eq!(delays.count(), 0, "unpinned jobs don't record demand delay");
+}
+
+#[test]
+fn unresponsive_preempted_pilot_is_sigkilled_at_grace() {
+    let mut h = Harness::new(1);
+    let p = h.submit_at(at_min(0), JobSpec::pilot_fixed(mins(90), 90));
+    let j = h.submit_at(at_min(5), JobSpec::hpc(1, mins(10), mins(10)));
+    // Nobody calls pilot_exited: the grace deadline must fire.
+    h.run_until(at_min(30));
+    assert_eq!(h.ended_with(p), Some(JobOutcome::Preempted));
+    let sj = h.started(j).unwrap();
+    let (_, kill_at) = h.sigterm_of(p).unwrap();
+    assert_eq!(sj, kill_at, "HPC job starts exactly at SIGKILL");
+    assert!(sj.since(at_min(5)) <= mins(3) + SimDuration::from_secs(10));
+}
+
+#[test]
+fn var_pilot_extension_limited_by_reservation() {
+    // One node; a pinned demand claim is announced at minute 20. A var
+    // pilot (2..120 min) placed by the backfill pass must be granted
+    // only up to the reservation, not its 120-minute maximum.
+    let mut cfg = SlurmConfig::default();
+    cfg.quick_pass_places_pilots = false; // placement via backfill only
+    let mut h = Harness::with_config(cfg, 1);
+    let _claim = h.submit_at(
+        at_min(0),
+        JobSpec::pinned_demand(
+            vec![NodeId(0)],
+            at_min(20),
+            at_min(20),
+            mins(30),
+            mins(30),
+        ),
+    );
+    let p = h.submit_at(at_min(0), JobSpec::pilot_var(mins(2), mins(120)));
+    h.run_until(at_min(15));
+    let start = h.started(p).expect("var pilot placed by backfill");
+    let job = h.sim.job(p);
+    let granted = job.granted;
+    assert!(
+        granted >= mins(2) && start + granted <= at_min(20),
+        "granted {granted} must fit before the reservation (start={start})"
+    );
+    assert!(granted >= mins(16), "extension should fill most of the gap");
+}
+
+#[test]
+fn var_pilot_quick_pass_gets_minimum_only() {
+    let cfg = SlurmConfig {
+        quick_pass_places_pilots: true,
+        quick_var_min_only: true,
+        // Keep backfill far away so the quick pass places the pilot.
+        bf_interval: SimDuration::from_mins(30),
+        ..SlurmConfig::default()
+    };
+    let mut h = Harness::with_config(cfg, 1);
+    // Submit after t=0 so the bootstrap backfill pass has already run.
+    let p = h.submit_at(at_min(1), JobSpec::pilot_var(mins(2), mins(120)));
+    h.run_until(at_min(3));
+    assert!(h.started(p).is_some());
+    assert_eq!(h.sim.job(p).granted, mins(2));
+}
+
+#[test]
+fn pinned_demand_claims_idle_node_on_time() {
+    let mut h = Harness::new(2);
+    let c = h.submit_at(
+        at_min(0),
+        JobSpec::pinned_demand(vec![NodeId(1)], at_min(10), at_min(10), mins(20), mins(15)),
+    );
+    h.run_until(at_min(40));
+    let start = h.started(c).unwrap();
+    assert!(
+        start >= at_min(10) && start <= at_min(10) + SimDuration::from_secs(5),
+        "claim fires at its intended start: {start}"
+    );
+    assert_eq!(h.ended_with(c), Some(JobOutcome::Completed));
+    let d = &h.sim.counters().demand_delay_secs;
+    assert_eq!(d.count(), 1);
+    assert!(d.max().unwrap() <= 5.0);
+}
+
+#[test]
+fn pinned_demand_preempts_overhanging_pilot() {
+    // Pilot sized against the *announced* start (min 30) overhangs the
+    // actual claim (min 10) → preemption, and the demand is delayed at
+    // most by the grace period.
+    let mut h = Harness::new(1);
+    let c = h.submit_at(
+        at_min(0),
+        JobSpec::pinned_demand(vec![NodeId(0)], at_min(10), at_min(30), mins(20), mins(20)),
+    );
+    let p = h.submit_at(at_min(0), JobSpec::pilot_fixed(mins(28), 28));
+    h.run_until(at_min(60));
+    let sp = h.started(p).expect("pilot fits before announced start");
+    assert!(sp < at_min(1));
+    let (reason, _) = h.sigterm_of(p).expect("pilot preempted by the claim");
+    assert_eq!(reason, SigtermReason::Preempted);
+    let sc = h.started(c).unwrap();
+    let delay = sc.since(at_min(10));
+    assert!(
+        delay <= mins(3) + SimDuration::from_secs(10),
+        "demand delay {delay} must be bounded by grace"
+    );
+    assert_eq!(h.sim.counters().pilots_preempted, 1);
+}
+
+#[test]
+fn pilot_does_not_fit_inside_announced_window() {
+    // Announced claim at minute 6: a 90-minute pilot must NOT start on
+    // that node; a 4-minute pilot fits in front.
+    let mut h = Harness::new(1);
+    h.submit_at(
+        at_min(0),
+        JobSpec::pinned_demand(vec![NodeId(0)], at_min(6), at_min(6), mins(20), mins(20)),
+    );
+    let long = h.submit_at(at_min(0), JobSpec::pilot_fixed(mins(90), 90));
+    let short = h.submit_at(at_min(0), JobSpec::pilot_fixed(mins(4), 4));
+    h.run_until(at_min(5));
+    assert!(h.started(long).is_none(), "90-min pilot must not fit");
+    assert!(h.started(short).is_some(), "4-min pilot fits the gap");
+}
+
+#[test]
+fn node_failure_kills_pilot_without_sigterm() {
+    let mut h = Harness::new(1);
+    let p = h.submit_at(at_min(0), JobSpec::pilot_fixed(mins(90), 90));
+    h.run_until(at_min(1));
+    h.engine.schedule(at_min(2), ClusterEvent::NodeDown(NodeId(0)));
+    h.engine.schedule(at_min(5), ClusterEvent::NodeUp(NodeId(0)));
+    h.run_until(at_min(10));
+    assert_eq!(h.ended_with(p), Some(JobOutcome::NodeFailed));
+    assert!(h.sigterm_of(p).is_none(), "hard failure: no SIGTERM");
+    assert_eq!(h.sim.counters().pilots_node_failed, 1);
+    assert_eq!(h.sim.n_idle(), 1, "node returns to service");
+}
+
+#[test]
+fn poller_emits_samples_with_expected_cadence() {
+    let mut h = Harness::new(8);
+    h.submit_at(at_min(0), JobSpec::pilot_fixed(mins(30), 30));
+    h.run_until(SimTime::from_hours(1));
+    let samples: Vec<_> = h
+        .notes
+        .iter()
+        .filter_map(|(_, n)| match n {
+            ClusterNote::Polled(s) => Some(s.clone()),
+            _ => None,
+        })
+        .collect();
+    // ~10.3 s cadence over an hour → ≥ 320 samples.
+    assert!(samples.len() >= 320, "samples={}", samples.len());
+    let mut gaps = vec![];
+    for w in samples.windows(2) {
+        gaps.push(w[1].t.since(w[0].t).as_secs_f64());
+    }
+    let exact10 = gaps.iter().filter(|g| (**g - 10.0).abs() < 1e-9).count();
+    let frac = exact10 as f64 / gaps.len() as f64;
+    assert!((frac - 0.7643).abs() < 0.08, "frac of exact 10s gaps = {frac}");
+    assert!(gaps.iter().all(|g| *g >= 10.0 - 1e-9 && *g <= 20.0 + 1e-9));
+    // Sample content: 7 idle + 1 pilot at the start.
+    let first = &samples[0];
+    assert_eq!(first.n_idle() + first.n_pilot(), 8);
+}
+
+#[test]
+fn pilots_never_delay_hpc_reservation() {
+    // 2 nodes; HPC job A (2 nodes, 20 min) runs; HPC job B (2 nodes)
+    // pending with a reservation at A's end. Pilots must only fit before
+    // the reservation — and B must start on time even with a stream of
+    // pilot submissions.
+    let mut h = Harness::new(2);
+    let a = h.submit_at(at_min(0), JobSpec::hpc(2, mins(20), mins(20)));
+    let b = h.submit_at(at_min(1), JobSpec::hpc(2, mins(10), mins(10)));
+    for i in 0..10 {
+        h.submit_at(at_min(2 + i), JobSpec::pilot_fixed(mins(90), 90));
+    }
+    h.run_until(at_min(60));
+    let sa = h.started(a).unwrap();
+    let sb = h.started(b).unwrap();
+    // B starts within grace+latency of A's end even if a pilot slipped in.
+    assert!(
+        sb <= sa + mins(20) + mins(3) + SimDuration::from_secs(10),
+        "sb={sb}"
+    );
+}
+
+#[test]
+fn counters_and_series_consistency_under_mixed_load() {
+    let mut h = Harness::new(8);
+    let mut pilots = vec![];
+    for i in 0..6 {
+        pilots.push(h.submit_at(at_min(i), JobSpec::pilot_fixed(mins(8), 8)));
+    }
+    for i in 0..4 {
+        h.submit_at(at_min(2 + i), JobSpec::hpc(2, mins(15), mins(12)));
+    }
+    h.run_until(SimTime::from_hours(2));
+    let c = h.sim.counters();
+    assert_eq!(c.hpc_started, 4);
+    assert_eq!(c.hpc_completed, 4);
+    assert!(c.pilots_started >= 6);
+    // All nodes idle at the end; series agrees.
+    assert_eq!(h.sim.n_idle(), 8);
+    assert_eq!(h.sim.series().idle.value_at_end(), 8.0);
+    assert_eq!(h.sim.series().pilot.value_at_end(), 0.0);
+    // Every started pilot eventually ended (timed out at the latest).
+    for p in pilots {
+        if h.started(p).is_some() {
+            assert!(h.ended_with(p).is_some(), "pilot {p} must end");
+        }
+    }
+}
+
+/// Multi-seed fuzz: random mixes of HPC jobs and pilots must satisfy
+/// global conservation invariants — every started job ends, node
+/// counters return to baseline, and pilots never outlive grace.
+#[test]
+fn fuzz_conservation_across_seeds() {
+    use simcore::SimRng;
+
+    for seed in 0..8u64 {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let mut h = Harness::new(12);
+        let mut jobs = vec![];
+        for i in 0..40 {
+            let t = at_min(rng.range_u64(0, 90));
+            let spec = if rng.chance(0.5) {
+                let nodes = 1 + rng.range_u64(0, 4) as u32;
+                let limit = mins(2 + rng.range_u64(0, 30));
+                let actual = SimDuration::from_millis(
+                    rng.range_u64(60_000, limit.as_millis().max(60_001)),
+                );
+                JobSpec::hpc(nodes, limit, actual)
+            } else if rng.chance(0.5) {
+                JobSpec::pilot_fixed(mins(2 + 2 * rng.range_u64(0, 10)), 1)
+            } else {
+                JobSpec::pilot_var(mins(2), mins(30))
+            };
+            let _ = i;
+            jobs.push(h.submit_at(t, spec));
+        }
+        // Random pilot exits (some pilots drain voluntarily).
+        h.run_until(at_min(95));
+        for j in &jobs {
+            if h.sim.job(*j).spec.kind == JobKind::Pilot && h.sigterm_of(*j).is_some() {
+                // Voluntary exit shortly after SIGTERM for some.
+                if rng.chance(0.5) {
+                    let (_, kill_at) = h.sigterm_of(*j).unwrap();
+                    h.pilot_exit_at(kill_at - SimDuration::from_secs(5), *j);
+                }
+            }
+        }
+        // Run far past every limit + grace.
+        h.run_until(SimTime::from_hours(4));
+        for j in jobs {
+            let job = h.sim.job(j);
+            assert!(
+                matches!(job.state, JobState::Done { .. }),
+                "seed {seed}: job {j} stuck in {:?}",
+                job.state
+            );
+        }
+        assert_eq!(h.sim.n_idle(), 12, "seed {seed}: nodes leaked");
+        assert_eq!(h.sim.n_pilot_nodes(), 0, "seed {seed}");
+        assert_eq!(h.sim.series().idle.value_at_end(), 12.0, "seed {seed}");
+    }
+}

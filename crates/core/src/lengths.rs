@@ -1,0 +1,87 @@
+//! The candidate pilot-job length sets of Table I (§IV-B).
+//!
+//! Lengths are in minutes and always even: "the backfill scheduler
+//! operates on 2-minute slots ... if we used jobs with odd lengths, we
+//! would loose one minute of possible computing time". The sets:
+//!
+//! * **A1–A3** — Fibonacci-like progressions (replacing two shorter jobs
+//!   with one longer job saves one warm-up);
+//! * **B** — powers of two;
+//! * **C1/C2** — arithmetic progressions of even lengths, reflecting
+//!   Slurm's variable-length allocation slots (C2 is what the *var*
+//!   model's clairvoyant simulation uses).
+
+/// Set A1 — the winner; used by the fib experiment (§V-B1).
+pub const A1: &[u64] = &[2, 4, 6, 8, 14, 22, 34, 56, 90];
+/// Set A2.
+pub const A2: &[u64] = &[2, 4, 8, 12, 20, 34, 54, 88];
+/// Set A3.
+pub const A3: &[u64] = &[2, 4, 6, 10, 16, 26, 42, 68, 110];
+/// Set B — powers of two.
+pub const B: &[u64] = &[2, 4, 8, 16, 32, 64];
+
+/// Set C1 — even lengths 2..=20.
+pub fn c1() -> Vec<u64> {
+    (1..=10).map(|i| 2 * i).collect()
+}
+
+/// Set C2 — even lengths 2..=120 (the full var range).
+pub fn c2() -> Vec<u64> {
+    (1..=60).map(|i| 2 * i).collect()
+}
+
+/// All six sets with the paper's labels, in Table I order.
+pub fn all_sets() -> Vec<(&'static str, Vec<u64>)> {
+    vec![
+        ("A1", A1.to_vec()),
+        ("A2", A2.to_vec()),
+        ("A3", A3.to_vec()),
+        ("B", B.to_vec()),
+        ("C1", c1()),
+        ("C2", c2()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sets_match_the_paper() {
+        assert_eq!(A1.len(), 9);
+        assert_eq!(A2.len(), 8);
+        assert_eq!(A3.len(), 9);
+        assert_eq!(B, &[2, 4, 8, 16, 32, 64]);
+        assert_eq!(c1(), vec![2, 4, 6, 8, 10, 12, 14, 16, 18, 20]);
+        let c2v = c2();
+        assert_eq!(c2v.len(), 60);
+        assert_eq!(c2v[0], 2);
+        assert_eq!(*c2v.last().unwrap(), 120);
+    }
+
+    #[test]
+    fn all_lengths_even_sorted_and_bounded() {
+        for (name, set) in all_sets() {
+            for w in set.windows(2) {
+                assert!(w[0] < w[1], "{name} not strictly increasing");
+            }
+            for l in &set {
+                assert!(l % 2 == 0, "{name} has odd length {l}");
+                assert!((2..=120).contains(l), "{name} out of slot/window bounds");
+            }
+        }
+    }
+
+    #[test]
+    fn a_sets_are_fibonacci_like() {
+        // Each length (from the 4th on) is roughly the sum of the two
+        // predecessors — the two-jobs-for-one substitution property.
+        for set in [A1, A3] {
+            for i in 3..set.len() {
+                let sum = set[i - 1] + set[i - 2];
+                let diff = (set[i] as i64 - sum as i64).abs();
+                assert!(diff <= 2, "{:?} at {i}", set);
+            }
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! # hpcwhisk-core
+//!
+//! The paper's primary contribution, as a library: everything HPC-Whisk
+//! adds on top of stock Slurm and OpenWhisk.
+//!
+//! * [`manager`] — the pilot-job supply managers (*fib*: bags of
+//!   fixed-length jobs with longest-first priority; *var*:
+//!   `--time-min 2 --time 120` flexible jobs), replenishing every 15 s
+//!   under a 100-job queue cap (§III-D);
+//! * [`lengths`] — the candidate length sets A1–A3, B, C1, C2 of
+//!   Table I (§IV-B);
+//! * [`offline`] — the clairvoyant a-posteriori simulator that
+//!   regenerates Table I and the Simulation rows of Tables II/III;
+//! * [`pilot`] — the pilot ⇄ invoker lifecycle glue, including the
+//!   measured warm-up model (median 12.48 s, p95 26.5 s);
+//! * [`coverage`] — the Slurm-level and OpenWhisk-level accounting
+//!   perspectives (§IV-A);
+//! * [`wrapper`] — Algorithm 1, the client-side 503 fallback to a
+//!   commercial cloud (§III-E);
+//! * [`experiment`] — the end-to-end day harness composing the cluster
+//!   simulator, the FaaS platform, a manager and the client load into
+//!   one deterministic run ([`experiment::run_day`]);
+//! * [`report`] — paper-shaped table rendering.
+
+pub mod coverage;
+pub mod experiment;
+pub mod lengths;
+pub mod manager;
+pub mod offline;
+pub mod pilot;
+pub mod report;
+pub mod wrapper;
+
+pub use coverage::{OwLevel, SlurmLevel};
+pub use experiment::{run_day, DayConfig, DayReport, ManagerKind, SysEvent};
+pub use manager::{FibManager, PilotManager, VarManager, QUEUE_CAP, REPLENISH_EVERY};
+pub use offline::{simulate, OfflineConfig, OfflineReport};
+pub use pilot::{PilotPhase, PilotTable, WarmupModel};
+pub use wrapper::{CommercialBackend, FallbackWrapper, Target};

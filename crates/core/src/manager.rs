@@ -1,0 +1,233 @@
+//! The HPC-Whisk job manager (§III-D): an external process that keeps
+//! the Slurm queue supplied with pilot jobs, replenishing every 15
+//! seconds and never exceeding 100 queued pilots ("so the jobs do not
+//! introduce a significant load on the Slurm scheduler").
+
+use cluster::{ClusterSim, JobSpec};
+use simcore::SimDuration;
+
+/// Total queued pilots never exceeds this (paper §III-D).
+pub const QUEUE_CAP: usize = 100;
+
+/// Replenishment cadence (paper: 15-second intervals).
+pub const REPLENISH_EVERY: SimDuration = SimDuration::from_secs(15);
+
+/// A pilot-supply strategy.
+pub trait PilotManager {
+    /// Inspect the queue and produce the jobs to submit now.
+    fn replenish(&mut self, cluster: &ClusterSim) -> Vec<JobSpec>;
+    /// Strategy name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// The *fib* model: bags of fixed-length jobs, 10 of each length, with
+/// longer jobs given higher priority so Slurm fills long idleness
+/// periods greedily (§III-D).
+#[derive(Debug, Clone)]
+pub struct FibManager {
+    /// Job lengths in minutes (e.g. set A1).
+    pub lengths_mins: Vec<u64>,
+    /// Target queued jobs per length (paper: 10).
+    pub per_length: usize,
+    /// Give longer jobs higher priority ("the higher the execution time,
+    /// the higher the job's priority", §III-D). Disabling this is the
+    /// ablation showing why greedy longest-first matters.
+    pub longest_first: bool,
+}
+
+impl FibManager {
+    /// The paper's configuration: set A1, 10 jobs per length.
+    pub fn paper(lengths_mins: Vec<u64>) -> Self {
+        FibManager {
+            lengths_mins,
+            per_length: 10,
+            longest_first: true,
+        }
+    }
+
+    /// Ablation variant: all lengths get equal priority.
+    pub fn uniform_priority(lengths_mins: Vec<u64>) -> Self {
+        FibManager {
+            longest_first: false,
+            ..Self::paper(lengths_mins)
+        }
+    }
+}
+
+impl PilotManager for FibManager {
+    fn replenish(&mut self, cluster: &ClusterSim) -> Vec<JobSpec> {
+        let pending = cluster.pending_pilots_by_limit();
+        let total_pending: usize = pending.values().sum();
+        let mut budget = QUEUE_CAP.saturating_sub(total_pending);
+        let mut jobs = Vec::new();
+        for &len in &self.lengths_mins {
+            let have = pending.get(&len).copied().unwrap_or(0);
+            let want = self.per_length.saturating_sub(have).min(budget);
+            let priority = if self.longest_first { len } else { 1 };
+            for _ in 0..want {
+                jobs.push(JobSpec::pilot_fixed(SimDuration::from_mins(len), priority));
+            }
+            budget -= want;
+            if budget == 0 {
+                break;
+            }
+        }
+        jobs
+    }
+
+    fn name(&self) -> &'static str {
+        "fib"
+    }
+}
+
+/// The *var* model: 100 flexible jobs with `--time-min 2 --time 120`;
+/// Slurm decides each job's actual duration at placement (§III-D).
+#[derive(Debug, Clone)]
+pub struct VarManager {
+    /// Minimum duration (minutes; paper: 2 — one allocation slot).
+    pub min_mins: u64,
+    /// Maximum duration (minutes; paper: 120 — the backfill window).
+    pub max_mins: u64,
+    /// Target queue depth (paper: 100).
+    pub target: usize,
+}
+
+impl VarManager {
+    /// The paper's configuration.
+    pub fn paper() -> Self {
+        VarManager {
+            min_mins: 2,
+            max_mins: 120,
+            target: QUEUE_CAP,
+        }
+    }
+}
+
+impl PilotManager for VarManager {
+    fn replenish(&mut self, cluster: &ClusterSim) -> Vec<JobSpec> {
+        let pending: usize = cluster.pending_pilots_by_limit().values().sum();
+        let want = self.target.min(QUEUE_CAP).saturating_sub(pending);
+        (0..want)
+            .map(|_| {
+                JobSpec::pilot_var(
+                    SimDuration::from_mins(self.min_mins),
+                    SimDuration::from_mins(self.max_mins),
+                )
+            })
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "var"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lengths;
+    use cluster::SlurmConfig;
+    use simcore::{Outbox, SimTime};
+
+    fn empty_cluster() -> ClusterSim {
+        ClusterSim::new(SlurmConfig::default(), 1, 1)
+    }
+
+    #[test]
+    fn fib_fills_ten_of_each_length() {
+        let mut m = FibManager::paper(lengths::A1.to_vec());
+        let jobs = m.replenish(&empty_cluster());
+        assert_eq!(jobs.len(), 9 * 10);
+        for len in lengths::A1 {
+            let n = jobs
+                .iter()
+                .filter(|j| j.time_limit == SimDuration::from_mins(*len))
+                .count();
+            assert_eq!(n, 10, "length {len}");
+        }
+        // Longer lengths carry higher priority.
+        let p90 = jobs
+            .iter()
+            .find(|j| j.time_limit == SimDuration::from_mins(90))
+            .unwrap()
+            .priority;
+        let p2 = jobs
+            .iter()
+            .find(|j| j.time_limit == SimDuration::from_mins(2))
+            .unwrap()
+            .priority;
+        assert!(p90 > p2);
+    }
+
+    #[test]
+    fn fib_tops_up_only_missing_lengths() {
+        // Simulate a queue that already holds pilots by submitting them
+        // to a real cluster with no nodes (they stay pending forever).
+        let mut cluster = ClusterSim::new(SlurmConfig::default(), 1, 1);
+        let mut out = Outbox::new(SimTime::ZERO);
+        for _ in 0..7 {
+            cluster.submit(
+                SimTime::ZERO,
+                JobSpec::pilot_fixed(SimDuration::from_mins(90), 90),
+                &mut out,
+            );
+        }
+        let mut m = FibManager::paper(lengths::A1.to_vec());
+        let jobs = m.replenish(&cluster);
+        let n90 = jobs
+            .iter()
+            .filter(|j| j.time_limit == SimDuration::from_mins(90))
+            .count();
+        assert_eq!(n90, 3, "tops 7 queued up to 10");
+        assert_eq!(jobs.len(), 8 * 10 + 3);
+    }
+
+    #[test]
+    fn fib_respects_global_cap() {
+        // 95 pilots already queued: only 5 more may be created.
+        let mut cluster = ClusterSim::new(SlurmConfig::default(), 1, 1);
+        let mut out = Outbox::new(SimTime::ZERO);
+        for _ in 0..95 {
+            cluster.submit(
+                SimTime::ZERO,
+                JobSpec::pilot_fixed(SimDuration::from_mins(4), 4),
+                &mut out,
+            );
+        }
+        let mut m = FibManager::paper(lengths::A1.to_vec());
+        let jobs = m.replenish(&cluster);
+        assert_eq!(jobs.len(), 5);
+    }
+
+    #[test]
+    fn var_fills_to_one_hundred() {
+        let mut m = VarManager::paper();
+        let jobs = m.replenish(&empty_cluster());
+        assert_eq!(jobs.len(), 100);
+        for j in &jobs {
+            assert_eq!(j.min_time, Some(SimDuration::from_mins(2)));
+            assert_eq!(j.time_limit, SimDuration::from_mins(120));
+        }
+    }
+
+    #[test]
+    fn var_tops_up_deficit_only() {
+        let mut cluster = ClusterSim::new(SlurmConfig::default(), 1, 1);
+        let mut out = Outbox::new(SimTime::ZERO);
+        for _ in 0..60 {
+            cluster.submit(
+                SimTime::ZERO,
+                JobSpec::pilot_var(SimDuration::from_mins(2), SimDuration::from_mins(120)),
+                &mut out,
+            );
+        }
+        let mut m = VarManager::paper();
+        assert_eq!(m.replenish(&cluster).len(), 40);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(FibManager::paper(vec![2]).name(), "fib");
+        assert_eq!(VarManager::paper().name(), "var");
+    }
+}

@@ -1,0 +1,247 @@
+//! The clairvoyant a-posteriori simulator (§IV-A "Simulation"
+//! perspective).
+//!
+//! Given a node-availability trace, greedily fill every availability
+//! period with pilot jobs, "starting from the longest ones that fit"
+//! (§IV-B). The first `warmup` of each placed job is counted as warm-up
+//! (the paper assumes 20 s), the rest as ready time; whatever could not
+//! be covered (slivers shorter than the shortest job, odd remainders) is
+//! "not used". This single routine regenerates Table I and the
+//! Simulation rows of Tables II and III.
+
+use cluster::AvailabilityTrace;
+use metrics::StepSeries;
+use simcore::{SimDuration, SimTime};
+
+/// Configuration of one offline simulation.
+#[derive(Debug, Clone)]
+pub struct OfflineConfig {
+    /// Candidate job lengths in minutes, strictly increasing.
+    pub lengths_mins: Vec<u64>,
+    /// Warm-up charged to each placed job (paper: 20 s).
+    pub warmup: SimDuration,
+}
+
+impl OfflineConfig {
+    /// The Table I setup for a given length set.
+    pub fn table1(lengths_mins: Vec<u64>) -> Self {
+        OfflineConfig {
+            lengths_mins,
+            warmup: SimDuration::from_secs(20),
+        }
+    }
+}
+
+/// Output of the clairvoyant simulation — one Table I row.
+#[derive(Debug, Clone)]
+pub struct OfflineReport {
+    /// Number of pilot jobs placed.
+    pub n_jobs: u64,
+    /// Share of available time spent warming up.
+    pub warmup_share: f64,
+    /// Share of available time with a ready worker.
+    pub ready_share: f64,
+    /// Share of available time left uncovered.
+    pub unused_share: f64,
+    /// Ready-worker count quantiles over time (25/50/75th).
+    pub ready_p25: f64,
+    /// Median ready workers.
+    pub ready_p50: f64,
+    /// 75th percentile ready workers.
+    pub ready_p75: f64,
+    /// Time-average ready workers.
+    pub ready_avg: f64,
+    /// Fraction of time with zero ready workers.
+    pub non_availability: f64,
+    /// Average warming-up workers (Tables II/III Simulation rows).
+    pub warmup_avg: f64,
+}
+
+impl OfflineReport {
+    /// Coverage = warm-up + ready share (what the paper quotes as "the
+    /// maximum share of availability time that we could utilize").
+    pub fn coverage(&self) -> f64 {
+        self.warmup_share + self.ready_share
+    }
+}
+
+/// Run the clairvoyant greedy fill over a trace.
+pub fn simulate(trace: &AvailabilityTrace, cfg: &OfflineConfig) -> OfflineReport {
+    assert!(!cfg.lengths_mins.is_empty());
+    for w in cfg.lengths_mins.windows(2) {
+        assert!(w[0] < w[1], "lengths must be strictly increasing");
+    }
+    let total_secs = trace.total_available().as_secs_f64();
+    assert!(total_secs > 0.0, "empty trace");
+
+    let mut n_jobs = 0u64;
+    let mut warmup_secs = 0.0f64;
+    let mut ready_secs = 0.0f64;
+    // Ready periods as +1/-1 events for the worker-count series.
+    let mut events: Vec<(SimTime, f64)> = Vec::new();
+
+    for intervals in &trace.per_node {
+        for (from, to) in intervals {
+            let mut cursor = *from;
+            loop {
+                let remaining_mins = to.since(cursor).as_millis() / 60_000;
+                // Longest length that fits the remainder.
+                let Some(&len) = cfg
+                    .lengths_mins
+                    .iter()
+                    .rev()
+                    .find(|l| **l <= remaining_mins)
+                else {
+                    break;
+                };
+                let job_len = SimDuration::from_mins(len);
+                let job_end = cursor + job_len;
+                n_jobs += 1;
+                let warm = cfg.warmup.min(job_len);
+                warmup_secs += warm.as_secs_f64();
+                ready_secs += (job_len - warm).as_secs_f64();
+                let ready_from = cursor + warm;
+                if job_end > ready_from {
+                    events.push((ready_from, 1.0));
+                    events.push((job_end, -1.0));
+                }
+                cursor = job_end;
+            }
+        }
+    }
+
+    // Build the ready-worker count series.
+    events.sort_by_key(|(t, _)| *t);
+    let mut series = StepSeries::new(trace.start, 0.0);
+    let mut count = 0.0;
+    let mut i = 0;
+    while i < events.len() {
+        let t = events[i].0;
+        while i < events.len() && events[i].0 == t {
+            count += events[i].1;
+            i += 1;
+        }
+        series.set(t, count);
+    }
+
+    let (start, end) = (trace.start, trace.end);
+    OfflineReport {
+        n_jobs,
+        warmup_share: warmup_secs / total_secs,
+        ready_share: ready_secs / total_secs,
+        unused_share: 1.0 - (warmup_secs + ready_secs) / total_secs,
+        ready_p25: series.time_quantile(start, end, 0.25),
+        ready_p50: series.time_quantile(start, end, 0.5),
+        ready_p75: series.time_quantile(start, end, 0.75),
+        ready_avg: series.time_avg(start, end),
+        non_availability: series.fraction_where(start, end, |v| v == 0.0),
+        warmup_avg: warmup_secs / (end - start).as_secs_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lengths;
+
+    fn mins(m: u64) -> SimTime {
+        SimTime::from_mins(m)
+    }
+
+    fn trace(per_node: Vec<Vec<(u64, u64)>>, horizon_mins: u64) -> AvailabilityTrace {
+        AvailabilityTrace::from_intervals(
+            SimTime::ZERO,
+            mins(horizon_mins),
+            per_node
+                .into_iter()
+                .map(|v| v.into_iter().map(|(a, b)| (mins(a), mins(b))).collect())
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn greedy_fills_like_the_papers_example() {
+        // §IV-B: set A1, a node idle for 21 minutes → jobs of 14 and 6
+        // minutes, 1 minute unused.
+        let tr = trace(vec![vec![(0, 21)]], 30);
+        let rep = simulate(&tr, &OfflineConfig::table1(lengths::A1.to_vec()));
+        assert_eq!(rep.n_jobs, 2);
+        // 20 minutes covered of 21 total.
+        let covered = rep.coverage() * 21.0;
+        assert!((covered - 20.0).abs() < 1e-9);
+        assert!((rep.unused_share - 1.0 / 21.0).abs() < 1e-9);
+        // Warm-up: 2 jobs × 20 s = 40 s of 21 min.
+        assert!((rep.warmup_share - 40.0 / (21.0 * 60.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn even_gaps_fully_covered_by_any_paper_set() {
+        // Any even gap decomposes exactly for every set that contains 2.
+        for (name, set) in lengths::all_sets() {
+            let tr = trace(vec![vec![(0, 62)]], 70);
+            let rep = simulate(&tr, &OfflineConfig::table1(set));
+            assert!(
+                rep.unused_share < 1e-9,
+                "{name} left {:.4} of an even gap unused",
+                rep.unused_share
+            );
+        }
+    }
+
+    #[test]
+    fn set_b_places_more_jobs_than_a1_on_awkward_gaps() {
+        // §IV-B: "if a node is idle for 62 minutes, it would be
+        // allocated 5 set-B jobs, while only 2 or 3 jobs from sets
+        // A1-A3".
+        let tr = trace(vec![vec![(0, 62)]], 70);
+        let b = simulate(&tr, &OfflineConfig::table1(lengths::B.to_vec()));
+        assert_eq!(b.n_jobs, 5); // 32+16+8+4+2
+        let a1 = simulate(&tr, &OfflineConfig::table1(lengths::A1.to_vec()));
+        assert!(a1.n_jobs <= 3, "A1 used {} jobs", a1.n_jobs);
+    }
+
+    #[test]
+    fn sub_minimum_gaps_are_unused() {
+        let tr = trace(vec![vec![(0, 1)], vec![(5, 6)]], 10);
+        let rep = simulate(&tr, &OfflineConfig::table1(lengths::A1.to_vec()));
+        assert_eq!(rep.n_jobs, 0);
+        assert_eq!(rep.unused_share, 1.0);
+        assert_eq!(rep.ready_avg, 0.0);
+        assert_eq!(rep.non_availability, 1.0);
+    }
+
+    #[test]
+    fn ready_series_counts_workers() {
+        // Two nodes with overlapping 4-min gaps; jobs of 4 min each.
+        let tr = trace(vec![vec![(0, 4)], vec![(2, 6)]], 10);
+        let rep = simulate(&tr, &OfflineConfig::table1(vec![2, 4]));
+        assert_eq!(rep.n_jobs, 2);
+        // Ready during [20s, 4min) and [2min20s, 6min): avg over 10 min.
+        let expect_avg = (2.0 * (240.0 - 20.0)) / 600.0;
+        assert!((rep.ready_avg - expect_avg).abs() < 1e-9);
+        assert!(rep.non_availability > 0.0);
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        let tr = trace(vec![vec![(0, 21), (30, 93)], vec![(5, 9)]], 100);
+        for (_, set) in lengths::all_sets() {
+            let rep = simulate(&tr, &OfflineConfig::table1(set));
+            let sum = rep.warmup_share + rep.ready_share + rep.unused_share;
+            assert!((sum - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn warmup_longer_than_job_is_clamped() {
+        let cfg = OfflineConfig {
+            lengths_mins: vec![2],
+            warmup: SimDuration::from_mins(5),
+        };
+        let tr = trace(vec![vec![(0, 2)]], 10);
+        let rep = simulate(&tr, &cfg);
+        assert_eq!(rep.n_jobs, 1);
+        assert!((rep.warmup_share - 1.0).abs() < 1e-9);
+        assert_eq!(rep.ready_share, 0.0);
+    }
+}

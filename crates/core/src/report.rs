@@ -1,0 +1,175 @@
+//! Paper-shaped table rendering for the experiment harnesses.
+
+use crate::coverage::{OwLevel, SlurmLevel};
+use crate::offline::OfflineReport;
+use metrics::table::{f2, pct, triple};
+use metrics::Table;
+
+/// Render a Table I (§IV-B) from per-set offline reports.
+pub fn render_table1(rows: &[(&str, Vec<u64>, OfflineReport)]) -> String {
+    let mut t = Table::new(&[
+        "Set",
+        "Job lengths [min]",
+        "# of jobs",
+        "warm up",
+        "ready",
+        "not used",
+        "25-50-75%ile",
+        "Avg",
+        "Non-avail [%]",
+    ]);
+    for (name, lengths, r) in rows {
+        let lengths_str = if lengths.len() > 10 {
+            format!(
+                "{}, {}, {}, ..., {}",
+                lengths[0],
+                lengths[1],
+                lengths[2],
+                lengths.last().unwrap()
+            )
+        } else {
+            lengths
+                .iter()
+                .map(|l| l.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        t.row(&[
+            name.to_string(),
+            lengths_str,
+            r.n_jobs.to_string(),
+            pct(r.warmup_share),
+            pct(r.ready_share),
+            pct(r.unused_share),
+            triple(r.ready_p25, r.ready_p50, r.ready_p75),
+            f2(r.ready_avg),
+            pct(r.non_availability),
+        ]);
+    }
+    t.render()
+}
+
+/// Render a Table II/III (§V-B) from the three perspectives.
+pub fn render_day_table(
+    title: &str,
+    sim: &OfflineReport,
+    slurm: &SlurmLevel,
+    ow: &OwLevel,
+) -> String {
+    let mut t = Table::new(&[
+        "Perspective",
+        "state",
+        "25-50-75p",
+        "avg",
+        "used",
+        "not used",
+    ]);
+    t.row(&[
+        "Simulation".into(),
+        "warm up".into(),
+        "0-0-0".into(),
+        f2(sim.warmup_avg),
+        pct(sim.warmup_share),
+        pct(sim.unused_share),
+    ]);
+    t.row(&[
+        "".into(),
+        "ready".into(),
+        triple(sim.ready_p25, sim.ready_p50, sim.ready_p75),
+        f2(sim.ready_avg),
+        pct(sim.ready_share),
+        "".into(),
+    ]);
+    t.separator();
+    t.row(&[
+        "Slurm-level".into(),
+        "all states".into(),
+        triple(slurm.pilot_p25, slurm.pilot_p50, slurm.pilot_p75),
+        f2(slurm.pilot_avg),
+        pct(slurm.used_share),
+        pct(slurm.unused_share),
+    ]);
+    t.separator();
+    let q = |v: (f64, f64, f64, f64)| (triple(v.0, v.1, v.2), f2(v.3));
+    let (wq, wa) = q(ow.warmup);
+    t.row(&["OW-level".into(), "warm up".into(), wq, wa, "".into(), "".into()]);
+    let (hq, ha) = q(ow.healthy);
+    t.row(&["".into(), "healthy".into(), hq, ha, "".into(), "".into()]);
+    let (iq, ia) = q(ow.irresp);
+    t.row(&["".into(), "irresp.".into(), iq, ia, "".into(), "".into()]);
+    format!("{title}\n{}", t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::offline::OfflineReport;
+    use simcore::SimDuration;
+
+    fn fake_offline() -> OfflineReport {
+        OfflineReport {
+            n_jobs: 10_767,
+            warmup_share: 0.0398,
+            ready_share: 0.8058,
+            unused_share: 0.1544,
+            ready_p25: 2.0,
+            ready_p50: 4.0,
+            ready_p75: 8.0,
+            ready_avg: 7.44,
+            non_availability: 0.1482,
+            warmup_avg: 0.31,
+        }
+    }
+
+    #[test]
+    fn table1_renders_paper_row_shape() {
+        let rows = vec![("A1", crate::lengths::A1.to_vec(), fake_offline())];
+        let s = render_table1(&rows);
+        assert!(s.contains("A1"));
+        assert!(s.contains("10767"));
+        assert!(s.contains("80.58%"));
+        assert!(s.contains("15.44%"));
+        assert!(s.contains("2-4-8"));
+        assert!(s.contains("7.44"));
+    }
+
+    #[test]
+    fn table1_abbreviates_long_sets() {
+        let rows = vec![("C2", crate::lengths::c2(), fake_offline())];
+        let s = render_table1(&rows);
+        assert!(s.contains("2, 4, 6, ..., 120"));
+    }
+
+    #[test]
+    fn day_table_renders_three_perspectives() {
+        let sim = fake_offline();
+        let slurm = crate::coverage::SlurmLevel {
+            avg_available: 11.85,
+            median_available: 11.0,
+            used_share: 0.8997,
+            unused_share: 0.1003,
+            pilot_p25: 4.0,
+            pilot_p50: 10.0,
+            pilot_p75: 14.0,
+            pilot_avg: 10.66,
+            zero_available_frac: 0.006,
+            n_samples: 8057,
+        };
+        let ow = crate::coverage::OwLevel {
+            warmup: (0.0, 0.0, 1.0, 0.40),
+            healthy: (4.0, 9.0, 14.0, 10.39),
+            irresp: (0.0, 0.0, 0.0, 0.06),
+            no_invoker_total: SimDuration::from_mins(24),
+            no_invoker_longest: SimDuration::from_mins(7),
+            lifetime_mins: Some((11.0, 31.0, 23.0)),
+        };
+        let s = render_day_table("Table II (fib)", &sim, &slurm, &ow);
+        assert!(s.contains("Table II (fib)"));
+        assert!(s.contains("Simulation"));
+        assert!(s.contains("Slurm-level"));
+        assert!(s.contains("OW-level"));
+        assert!(s.contains("89.97%"));
+        assert!(s.contains("4-9-14"));
+        assert!(s.contains("10.39"));
+    }
+}

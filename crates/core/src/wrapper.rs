@@ -1,0 +1,163 @@
+//! Algorithm 1 (§III-E): the client-side wrapper that off-loads FaaS
+//! calls to a commercial cloud for a cool-off period after the HPC-Whisk
+//! controller answers 503 (no worker available anywhere on the cluster).
+
+use simcore::dist::{LogNormal, Sample};
+use simcore::{SimDuration, SimRng, SimTime};
+
+/// Where the wrapper decides to send a call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Target {
+    /// The HPC-Whisk deployment on the cluster.
+    HpcWhisk,
+    /// The commercial fallback (e.g. AWS Lambda).
+    Commercial,
+}
+
+/// The Algorithm 1 state machine.
+#[derive(Debug, Clone)]
+pub struct FallbackWrapper {
+    last_503: Option<SimTime>,
+    cooloff: SimDuration,
+    /// Calls sent to the cluster.
+    pub sent_local: u64,
+    /// Calls sent to the commercial cloud.
+    pub sent_commercial: u64,
+    /// 503 responses observed (each triggers a commercial retry).
+    pub seen_503: u64,
+}
+
+impl FallbackWrapper {
+    /// The paper's configuration: a 60-second cool-off.
+    pub fn paper() -> Self {
+        Self::with_cooloff(SimDuration::from_secs(60))
+    }
+
+    /// Custom cool-off duration.
+    pub fn with_cooloff(cooloff: SimDuration) -> Self {
+        FallbackWrapper {
+            last_503: None,
+            cooloff,
+            sent_local: 0,
+            sent_commercial: 0,
+            seen_503: 0,
+        }
+    }
+
+    /// Decide where the next call goes (Algorithm 1's `if` guard).
+    pub fn route(&mut self, now: SimTime) -> Target {
+        let cooling = self
+            .last_503
+            .is_some_and(|t| now.since(t) <= self.cooloff);
+        if cooling {
+            self.sent_commercial += 1;
+            Target::Commercial
+        } else {
+            self.sent_local += 1;
+            Target::HpcWhisk
+        }
+    }
+
+    /// Record a 503 from the cluster; Algorithm 1 immediately retries
+    /// the same call commercially (the retry is counted here).
+    pub fn on_503(&mut self, now: SimTime) -> Target {
+        self.seen_503 += 1;
+        self.last_503 = Some(now);
+        self.sent_commercial += 1;
+        Target::Commercial
+    }
+
+    /// True while the wrapper is in its commercial cool-off window.
+    pub fn cooling(&self, now: SimTime) -> bool {
+        self.last_503.is_some_and(|t| now.since(t) <= self.cooloff)
+    }
+}
+
+/// Latency model of the commercial fallback, for end-to-end accounting.
+/// Always succeeds; response times follow the short-function behaviour
+/// the paper cites from SeBS on AWS Lambda (~0.8 s for a 10 ms
+/// function).
+#[derive(Debug, Clone)]
+pub struct CommercialBackend {
+    latency_secs: LogNormal,
+}
+
+impl Default for CommercialBackend {
+    fn default() -> Self {
+        CommercialBackend {
+            latency_secs: LogNormal::from_median_and_quantile(0.8, 0.95, 1.6),
+        }
+    }
+}
+
+impl CommercialBackend {
+    /// Sample one response latency.
+    pub fn latency(&self, rng: &mut SimRng) -> SimDuration {
+        SimDuration::from_secs_f64(self.latency_secs.sample(rng).clamp(0.2, 10.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn routes_local_until_first_503() {
+        let mut w = FallbackWrapper::paper();
+        assert_eq!(w.route(secs(0)), Target::HpcWhisk);
+        assert_eq!(w.route(secs(1)), Target::HpcWhisk);
+        assert_eq!(w.sent_local, 2);
+        assert_eq!(w.sent_commercial, 0);
+    }
+
+    #[test]
+    fn offloads_for_sixty_seconds_after_503() {
+        let mut w = FallbackWrapper::paper();
+        assert_eq!(w.route(secs(10)), Target::HpcWhisk);
+        // The call got a 503: retried commercially.
+        assert_eq!(w.on_503(secs(10)), Target::Commercial);
+        // Cool-off window: everything commercial.
+        assert_eq!(w.route(secs(11)), Target::Commercial);
+        assert_eq!(w.route(secs(70)), Target::Commercial); // exactly 60 s
+        assert!(w.cooling(secs(70)));
+        // After the window: back to the cluster.
+        assert_eq!(w.route(secs(71)), Target::HpcWhisk);
+        assert!(!w.cooling(secs(71)));
+        assert_eq!(w.seen_503, 1);
+    }
+
+    #[test]
+    fn repeated_503_extends_the_window() {
+        let mut w = FallbackWrapper::paper();
+        w.on_503(secs(0));
+        assert_eq!(w.route(secs(55)), Target::Commercial);
+        w.on_503(secs(58));
+        // Window now runs until 58 + 60 = 118 s inclusive.
+        assert_eq!(w.route(secs(100)), Target::Commercial);
+        assert_eq!(w.route(secs(118)), Target::Commercial);
+        assert_eq!(w.route(secs(119)), Target::HpcWhisk);
+    }
+
+    #[test]
+    fn custom_cooloff() {
+        let mut w = FallbackWrapper::with_cooloff(SimDuration::from_secs(5));
+        w.on_503(secs(0));
+        assert_eq!(w.route(secs(5)), Target::Commercial);
+        assert_eq!(w.route(secs(6)), Target::HpcWhisk);
+    }
+
+    #[test]
+    fn commercial_latency_plausible() {
+        let b = CommercialBackend::default();
+        let mut rng = SimRng::seed_from_u64(1);
+        let mut lat: Vec<f64> = (0..5_000).map(|_| b.latency(&mut rng).as_secs_f64()).collect();
+        lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let med = lat[lat.len() / 2];
+        assert!((0.6..=1.0).contains(&med), "median = {med}");
+        assert!(lat[0] >= 0.2 && *lat.last().unwrap() <= 10.0);
+    }
+}

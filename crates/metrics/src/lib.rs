@@ -1,0 +1,26 @@
+//! # hpcwhisk-metrics
+//!
+//! Statistics and reporting utilities shared by every experiment harness
+//! in the HPC-Whisk reproduction:
+//!
+//! * [`Cdf`] — empirical distributions with quantiles, matching the CDF
+//!   plots of Figs. 1, 2, 5c and 6c of the paper;
+//! * [`StepSeries`] — a piecewise-constant time series with
+//!   *time-weighted* averages, quantiles and integrals. Metrics like
+//!   "average number of ready workers" (Tables I–III) are time-weighted,
+//!   not sample-weighted, and this type is the single source of truth for
+//!   that arithmetic;
+//! * [`MinuteBins`] — per-minute aggregation used by the responsiveness
+//!   plots (Figs. 5b, 6b);
+//! * [`OnlineStats`] — streaming mean/variance/min/max;
+//! * [`Table`] — ASCII table rendering for paper-shaped reports.
+
+pub mod cdf;
+pub mod summary;
+pub mod table;
+pub mod timeseries;
+
+pub use cdf::Cdf;
+pub use summary::OnlineStats;
+pub use table::Table;
+pub use timeseries::{MinuteBins, StepSeries};

@@ -1,0 +1,213 @@
+//! Graph representation and generators for the SeBS-style kernels.
+//!
+//! SeBS's `graph-bfs`, `graph-mst` and `graph-pagerank` benchmarks run
+//! igraph algorithms on Barabási–Albert graphs; we implement the same
+//! preferential-attachment generator and a CSR adjacency structure.
+
+use simcore::SimRng;
+
+/// A compact undirected graph in CSR form, with optional edge weights.
+#[derive(Debug, Clone)]
+pub struct Graph {
+    /// Vertex count.
+    pub n: usize,
+    /// CSR row offsets (length n+1).
+    pub offsets: Vec<u32>,
+    /// Flattened adjacency lists (each undirected edge appears twice).
+    pub adj: Vec<u32>,
+    /// Unique undirected edges as (u, v, weight), u < v.
+    pub edges: Vec<(u32, u32, f32)>,
+}
+
+impl Graph {
+    /// Build from an undirected edge list (deduplicated by caller).
+    pub fn from_edges(n: usize, edges: Vec<(u32, u32, f32)>) -> Self {
+        let mut deg = vec![0u32; n];
+        for (u, v, _) in &edges {
+            assert!((*u as usize) < n && (*v as usize) < n && u != v);
+            deg[*u as usize] += 1;
+            deg[*v as usize] += 1;
+        }
+        let mut offsets = vec![0u32; n + 1];
+        for i in 0..n {
+            offsets[i + 1] = offsets[i] + deg[i];
+        }
+        let mut adj = vec![0u32; offsets[n] as usize];
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        for (u, v, _) in &edges {
+            adj[cursor[*u as usize] as usize] = *v;
+            cursor[*u as usize] += 1;
+            adj[cursor[*v as usize] as usize] = *u;
+            cursor[*v as usize] += 1;
+        }
+        Graph {
+            n,
+            offsets,
+            adj,
+            edges,
+        }
+    }
+
+    /// Neighbours of `v`.
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        &self.adj[self.offsets[v as usize] as usize..self.offsets[v as usize + 1] as usize]
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: u32) -> usize {
+        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as usize
+    }
+
+    /// Number of unique undirected edges.
+    pub fn n_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Barabási–Albert preferential attachment: each new vertex attaches
+    /// `m` edges to existing vertices with probability proportional to
+    /// their degree (the classic repeated-endpoints trick). Weights are
+    /// uniform in (0, 1) — the MST kernel needs them.
+    pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Self {
+        assert!(n > m && m >= 1);
+        let mut rng = SimRng::seed_from_u64(seed ^ 0xBA);
+        // Seed clique of m+1 vertices.
+        let mut edges: Vec<(u32, u32, f32)> = Vec::with_capacity(n * m);
+        let mut endpoints: Vec<u32> = Vec::with_capacity(2 * n * m);
+        for u in 0..=(m as u32) {
+            for v in 0..u {
+                edges.push((v, u, rng.f64() as f32));
+                endpoints.push(u);
+                endpoints.push(v);
+            }
+        }
+        for u in (m as u32 + 1)..(n as u32) {
+            let mut targets: Vec<u32> = Vec::with_capacity(m);
+            while targets.len() < m {
+                let t = *rng.choose(&endpoints);
+                if t != u && !targets.contains(&t) {
+                    targets.push(t);
+                }
+            }
+            for &t in &targets {
+                let (a, b) = if t < u { (t, u) } else { (u, t) };
+                edges.push((a, b, rng.f64() as f32));
+                endpoints.push(u);
+                endpoints.push(t);
+            }
+        }
+        Graph::from_edges(n, edges)
+    }
+
+    /// Uniform random connected graph: a random spanning tree plus
+    /// `extra` random edges (used by property tests).
+    pub fn random_connected(n: usize, extra: usize, seed: u64) -> Self {
+        assert!(n >= 2);
+        let mut rng = SimRng::seed_from_u64(seed ^ 0x6A);
+        let mut edges: Vec<(u32, u32, f32)> = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for v in 1..n as u32 {
+            let u = rng.range_u64(0, v as u64) as u32;
+            edges.push((u, v, rng.f64() as f32));
+            seen.insert((u, v));
+        }
+        let mut added = 0;
+        let mut attempts = 0;
+        while added < extra && attempts < extra * 20 {
+            attempts += 1;
+            let a = rng.index(n) as u32;
+            let b = rng.index(n) as u32;
+            if a == b {
+                continue;
+            }
+            let (u, v) = if a < b { (a, b) } else { (b, a) };
+            if seen.insert((u, v)) {
+                edges.push((u, v, rng.f64() as f32));
+                added += 1;
+            }
+        }
+        Graph::from_edges(n, edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csr_roundtrip() {
+        let g = Graph::from_edges(4, vec![(0, 1, 1.0), (1, 2, 1.0), (0, 3, 1.0)]);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.degree(2), 1);
+        let mut n0: Vec<u32> = g.neighbors(0).to_vec();
+        n0.sort_unstable();
+        assert_eq!(n0, vec![1, 3]);
+        assert_eq!(g.n_edges(), 3);
+    }
+
+    #[test]
+    fn ba_graph_shape() {
+        let g = Graph::barabasi_albert(2_000, 3, 1);
+        assert_eq!(g.n, 2_000);
+        // m edges per new vertex + seed clique.
+        let expected = (2_000 - 4) * 3 + 6;
+        assert_eq!(g.n_edges(), expected);
+        // Preferential attachment yields a heavy-tailed degree
+        // distribution: max degree far above the mean.
+        let mean_deg = 2.0 * g.n_edges() as f64 / g.n as f64;
+        let max_deg = (0..g.n as u32).map(|v| g.degree(v)).max().unwrap();
+        assert!(
+            max_deg as f64 > 5.0 * mean_deg,
+            "max {max_deg} vs mean {mean_deg}"
+        );
+    }
+
+    #[test]
+    fn ba_graph_is_connected() {
+        let g = Graph::barabasi_albert(500, 2, 2);
+        // BFS from 0 reaches everything (attachment guarantees it).
+        let mut seen = vec![false; g.n];
+        let mut stack = vec![0u32];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(v) = stack.pop() {
+            for &w in g.neighbors(v) {
+                if !seen[w as usize] {
+                    seen[w as usize] = true;
+                    count += 1;
+                    stack.push(w);
+                }
+            }
+        }
+        assert_eq!(count, g.n);
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = Graph::barabasi_albert(300, 2, 9);
+        let b = Graph::barabasi_albert(300, 2, 9);
+        assert_eq!(a.edges, b.edges);
+        let c = Graph::barabasi_albert(300, 2, 10);
+        assert_ne!(a.edges, c.edges);
+    }
+
+    #[test]
+    fn random_connected_is_connected() {
+        let g = Graph::random_connected(100, 50, 3);
+        assert!(g.n_edges() >= 99);
+        let mut seen = vec![false; g.n];
+        let mut stack = vec![0u32];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(v) = stack.pop() {
+            for &w in g.neighbors(v) {
+                if !seen[w as usize] {
+                    seen[w as usize] = true;
+                    count += 1;
+                    stack.push(w);
+                }
+            }
+        }
+        assert_eq!(count, 100);
+    }
+}

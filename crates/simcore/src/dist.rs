@@ -1,0 +1,447 @@
+//! Probability distributions for workload modelling.
+//!
+//! Implemented from first principles (inverse transform and Box–Muller)
+//! so the workspace does not need `rand_distr`. Everything samples
+//! non-negative `f64` values interpreted by callers as seconds/minutes.
+//!
+//! Calibration helpers construct distributions from published quantiles —
+//! e.g. the paper reports *median 2 min, 75th percentile 4 min* for idle
+//! period lengths, which [`LogNormal::from_median_and_quantile`] turns
+//! into `(mu, sigma)` directly.
+
+use crate::rng::SimRng;
+
+/// Inverse standard-normal CDF (Acklam's rational approximation,
+/// |relative error| < 1.15e-9). Used for quantile-based calibration.
+pub fn inv_norm_cdf(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "inv_norm_cdf domain: 0 < p < 1, got {p}");
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383577518672690e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+    const P_HIGH: f64 = 1.0 - P_LOW;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= P_HIGH {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+/// Anything that can produce a non-negative sample.
+pub trait Sample {
+    /// Draw one value.
+    fn sample(&self, rng: &mut SimRng) -> f64;
+}
+
+/// A fixed constant (degenerate distribution).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Constant(pub f64);
+
+impl Sample for Constant {
+    fn sample(&self, _rng: &mut SimRng) -> f64 {
+        self.0
+    }
+}
+
+/// Uniform on `[lo, hi)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform {
+    /// Lower bound (inclusive).
+    pub lo: f64,
+    /// Upper bound (exclusive).
+    pub hi: f64,
+}
+
+impl Uniform {
+    /// Construct, asserting `lo <= hi`.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo <= hi, "Uniform: lo {lo} > hi {hi}");
+        Uniform { lo, hi }
+    }
+}
+
+impl Sample for Uniform {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        rng.range_f64(self.lo, self.hi)
+    }
+}
+
+/// Exponential with rate `lambda` (mean `1/lambda`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exp {
+    /// Rate parameter (> 0).
+    pub lambda: f64,
+}
+
+impl Exp {
+    /// Construct from the rate.
+    pub fn new(lambda: f64) -> Self {
+        assert!(lambda > 0.0, "Exp: lambda must be > 0");
+        Exp { lambda }
+    }
+    /// Construct from the mean.
+    pub fn from_mean(mean: f64) -> Self {
+        Self::new(1.0 / mean)
+    }
+}
+
+impl Sample for Exp {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        -rng.f64_open().ln() / self.lambda
+    }
+}
+
+/// Log-normal: `exp(mu + sigma * Z)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    /// Location of the underlying normal.
+    pub mu: f64,
+    /// Scale of the underlying normal (> 0).
+    pub sigma: f64,
+}
+
+impl LogNormal {
+    /// Construct from `(mu, sigma)` of the underlying normal.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(sigma > 0.0, "LogNormal: sigma must be > 0");
+        LogNormal { mu, sigma }
+    }
+
+    /// Calibrate from the median and one other quantile, the form in
+    /// which the paper reports its workload statistics.
+    ///
+    /// For a log-normal, `median = exp(mu)` and
+    /// `Q(p) = exp(mu + sigma * z_p)`.
+    pub fn from_median_and_quantile(median: f64, p: f64, quantile: f64) -> Self {
+        assert!(median > 0.0 && quantile > 0.0);
+        let z = inv_norm_cdf(p);
+        assert!(z.abs() > 1e-12, "quantile too close to the median");
+        let mu = median.ln();
+        let sigma = (quantile.ln() - mu) / z;
+        assert!(sigma > 0.0, "inconsistent quantile pair");
+        LogNormal { mu, sigma }
+    }
+
+    /// Theoretical mean `exp(mu + sigma^2 / 2)`.
+    pub fn mean(&self) -> f64 {
+        (self.mu + self.sigma * self.sigma / 2.0).exp()
+    }
+
+    /// Theoretical quantile function.
+    pub fn quantile(&self, p: f64) -> f64 {
+        (self.mu + self.sigma * inv_norm_cdf(p)).exp()
+    }
+}
+
+impl Sample for LogNormal {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        // Box–Muller; one of the pair is discarded to keep the sampler
+        // stateless.
+        let u1 = rng.f64_open();
+        let u2 = rng.f64();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        (self.mu + self.sigma * z).exp()
+    }
+}
+
+/// Weibull with shape `k` and scale `lambda`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Weibull {
+    /// Shape (> 0): k < 1 gives a heavy tail, k = 1 is exponential.
+    pub k: f64,
+    /// Scale (> 0).
+    pub lambda: f64,
+}
+
+impl Weibull {
+    /// Construct from shape and scale.
+    pub fn new(k: f64, lambda: f64) -> Self {
+        assert!(k > 0.0 && lambda > 0.0);
+        Weibull { k, lambda }
+    }
+}
+
+impl Sample for Weibull {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        self.lambda * (-rng.f64_open().ln()).powf(1.0 / self.k)
+    }
+}
+
+/// Pareto (Type I) with minimum `x_min` and tail index `alpha`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pareto {
+    /// Scale / minimum value (> 0).
+    pub x_min: f64,
+    /// Tail index (> 0); smaller = heavier tail.
+    pub alpha: f64,
+}
+
+impl Pareto {
+    /// Construct from scale and tail index.
+    pub fn new(x_min: f64, alpha: f64) -> Self {
+        assert!(x_min > 0.0 && alpha > 0.0);
+        Pareto { x_min, alpha }
+    }
+}
+
+impl Sample for Pareto {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        self.x_min / rng.f64_open().powf(1.0 / self.alpha)
+    }
+}
+
+/// A boxed distribution, for heterogeneous composition.
+pub type DynDist = Box<dyn Sample + Send + Sync>;
+
+/// Finite mixture: picks component `i` with probability `weights[i]`.
+pub struct Mixture {
+    components: Vec<(f64, DynDist)>,
+    total_weight: f64,
+}
+
+impl Mixture {
+    /// Build from `(weight, distribution)` pairs; weights need not sum
+    /// to 1 (they are normalized).
+    pub fn new(components: Vec<(f64, DynDist)>) -> Self {
+        assert!(!components.is_empty(), "Mixture: no components");
+        let total_weight: f64 = components.iter().map(|(w, _)| *w).sum();
+        assert!(total_weight > 0.0, "Mixture: weights sum to zero");
+        Mixture {
+            components,
+            total_weight,
+        }
+    }
+}
+
+impl Sample for Mixture {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        let mut pick = rng.f64() * self.total_weight;
+        for (w, d) in &self.components {
+            if pick < *w {
+                return d.sample(rng);
+            }
+            pick -= w;
+        }
+        // Floating-point slack: fall back to the last component.
+        self.components.last().unwrap().1.sample(rng)
+    }
+}
+
+/// Resamples an explicit set of observations (with replacement).
+#[derive(Debug, Clone)]
+pub struct Empirical {
+    values: Vec<f64>,
+}
+
+impl Empirical {
+    /// Build from raw observations.
+    pub fn new(values: Vec<f64>) -> Self {
+        assert!(!values.is_empty(), "Empirical: no observations");
+        Empirical { values }
+    }
+}
+
+impl Sample for Empirical {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        *rng.choose(&self.values)
+    }
+}
+
+/// Clamp another distribution into `[lo, hi]` by truncation-resampling
+/// (up to a bounded number of attempts, then clamping).
+pub struct Clamped<D: Sample> {
+    inner: D,
+    lo: f64,
+    hi: f64,
+}
+
+impl<D: Sample> Clamped<D> {
+    /// Wrap `inner`, constraining samples to `[lo, hi]`.
+    pub fn new(inner: D, lo: f64, hi: f64) -> Self {
+        assert!(lo <= hi);
+        Clamped { inner, lo, hi }
+    }
+}
+
+impl<D: Sample> Sample for Clamped<D> {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        for _ in 0..16 {
+            let v = self.inner.sample(rng);
+            if v >= self.lo && v <= self.hi {
+                return v;
+            }
+        }
+        self.inner.sample(rng).clamp(self.lo, self.hi)
+    }
+}
+
+/// Shift another distribution by a constant offset.
+pub struct Shifted<D: Sample> {
+    inner: D,
+    offset: f64,
+}
+
+impl<D: Sample> Shifted<D> {
+    /// Wrap `inner`, adding `offset` to every sample.
+    pub fn new(inner: D, offset: f64) -> Self {
+        Shifted { inner, offset }
+    }
+}
+
+impl<D: Sample> Sample for Shifted<D> {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        self.inner.sample(rng) + self.offset
+    }
+}
+
+impl Sample for DynDist {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        self.as_ref().sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn draw_sorted<D: Sample>(d: &D, n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let mut v: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v
+    }
+
+    fn quantile(sorted: &[f64], p: f64) -> f64 {
+        sorted[((sorted.len() as f64 - 1.0) * p) as usize]
+    }
+
+    #[test]
+    fn inv_norm_cdf_known_values() {
+        assert!((inv_norm_cdf(0.5)).abs() < 1e-9);
+        assert!((inv_norm_cdf(0.975) - 1.959964).abs() < 1e-4);
+        assert!((inv_norm_cdf(0.025) + 1.959964).abs() < 1e-4);
+        assert!((inv_norm_cdf(0.841344746) - 1.0).abs() < 1e-6);
+        // Tail regions (the rational approximation switches branches).
+        assert!((inv_norm_cdf(0.001) + 3.090232).abs() < 1e-4);
+        assert!((inv_norm_cdf(0.999) - 3.090232).abs() < 1e-4);
+    }
+
+    #[test]
+    fn exp_mean_matches() {
+        let d = Exp::from_mean(5.0);
+        let s = draw_sorted(&d, 50_000, 1);
+        let mean = s.iter().sum::<f64>() / s.len() as f64;
+        assert!((mean - 5.0).abs() < 0.15, "mean={mean}");
+        // Median of Exp(λ) is ln2/λ.
+        assert!((quantile(&s, 0.5) - 5.0 * 2f64.ln()).abs() < 0.15);
+    }
+
+    #[test]
+    fn lognormal_quantile_calibration() {
+        // The paper's idle-period marginals: median 2 (min), p75 = 4.
+        let d = LogNormal::from_median_and_quantile(2.0, 0.75, 4.0);
+        assert!((d.quantile(0.5) - 2.0).abs() < 1e-9);
+        assert!((d.quantile(0.75) - 4.0).abs() < 1e-6);
+        let s = draw_sorted(&d, 80_000, 2);
+        assert!((quantile(&s, 0.5) - 2.0).abs() < 0.1, "med={}", quantile(&s, 0.5));
+        assert!((quantile(&s, 0.75) - 4.0).abs() < 0.2);
+        let mean = s.iter().sum::<f64>() / s.len() as f64;
+        assert!((mean - d.mean()).abs() < 0.2 * d.mean());
+    }
+
+    #[test]
+    fn weibull_median() {
+        // Median of Weibull(k, λ) is λ (ln 2)^{1/k}.
+        let d = Weibull::new(0.8, 3.0);
+        let s = draw_sorted(&d, 50_000, 3);
+        let expect = 3.0 * (2f64.ln()).powf(1.0 / 0.8);
+        assert!((quantile(&s, 0.5) - expect).abs() < 0.1 * expect);
+    }
+
+    #[test]
+    fn pareto_min_and_tail() {
+        let d = Pareto::new(2.0, 1.5);
+        let s = draw_sorted(&d, 50_000, 4);
+        assert!(s[0] >= 2.0);
+        // Median = x_min * 2^{1/alpha}.
+        let expect = 2.0 * 2f64.powf(1.0 / 1.5);
+        assert!((quantile(&s, 0.5) - expect).abs() < 0.1 * expect);
+        // The tail should be heavy: p99 well above the median.
+        assert!(quantile(&s, 0.99) > 4.0 * expect);
+    }
+
+    #[test]
+    fn mixture_weights_respected() {
+        let m = Mixture::new(vec![
+            (0.9, Box::new(Constant(1.0)) as DynDist),
+            (0.1, Box::new(Constant(100.0)) as DynDist),
+        ]);
+        let s = draw_sorted(&m, 20_000, 5);
+        let big = s.iter().filter(|v| **v > 50.0).count() as f64 / s.len() as f64;
+        assert!((big - 0.1).abs() < 0.02, "big share={big}");
+    }
+
+    #[test]
+    fn empirical_resamples_support() {
+        let e = Empirical::new(vec![1.0, 2.0, 3.0]);
+        let s = draw_sorted(&e, 3_000, 6);
+        assert!(s.iter().all(|v| [1.0, 2.0, 3.0].contains(v)));
+        assert!(s.contains(&1.0) && s.contains(&2.0) && s.contains(&3.0));
+    }
+
+    #[test]
+    fn clamped_respects_bounds() {
+        let c = Clamped::new(LogNormal::new(0.0, 3.0), 0.5, 2.0);
+        let s = draw_sorted(&c, 5_000, 7);
+        assert!(s[0] >= 0.5 && *s.last().unwrap() <= 2.0);
+    }
+
+    #[test]
+    fn shifted_offsets() {
+        let sh = Shifted::new(Constant(1.0), 4.0);
+        let mut rng = SimRng::seed_from_u64(8);
+        assert_eq!(sh.sample(&mut rng), 5.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mixture_rejects_empty() {
+        let _ = Mixture::new(vec![]);
+    }
+}

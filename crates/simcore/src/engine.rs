@@ -1,0 +1,285 @@
+//! The simulation driver: [`Engine`] advances virtual time by repeatedly
+//! popping the earliest event and handing it to a [`Process`]
+//! implementation, which pushes follow-up events through an [`Outbox`].
+
+use crate::events::EventQueue;
+use crate::time::{SimDuration, SimTime};
+
+/// Where a [`Process`] deposits follow-up events.
+///
+/// Events may be scheduled at or after the current instant; scheduling in
+/// the past is a logic error and is clamped to "now" (with a debug
+/// assertion so tests catch it).
+pub struct Outbox<E> {
+    now: SimTime,
+    staged: Vec<(SimTime, E)>,
+}
+
+impl<E> Outbox<E> {
+    /// A fresh outbox anchored at `now`.
+    pub fn new(now: SimTime) -> Self {
+        Outbox {
+            now,
+            staged: Vec::new(),
+        }
+    }
+
+    /// The current simulation instant.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `event` at absolute time `at` (clamped to `now`).
+    pub fn at(&mut self, at: SimTime, event: E) {
+        debug_assert!(
+            at >= self.now,
+            "event scheduled in the past: {at} < {}",
+            self.now
+        );
+        self.staged.push((at.max(self.now), event));
+    }
+
+    /// Schedule `event` after a relative delay.
+    pub fn after(&mut self, delay: SimDuration, event: E) {
+        self.staged.push((self.now + delay, event));
+    }
+
+    /// Schedule `event` at the current instant (processed after all
+    /// already-queued events for this instant).
+    pub fn now_event(&mut self, event: E) {
+        self.staged.push((self.now, event));
+    }
+
+    /// Number of staged events.
+    pub fn len(&self) -> usize {
+        self.staged.len()
+    }
+
+    /// True iff nothing is staged.
+    pub fn is_empty(&self) -> bool {
+        self.staged.is_empty()
+    }
+
+    /// Drain the staged events (used by composition layers that translate
+    /// a subsystem outbox into the global event enum).
+    pub fn drain(&mut self) -> std::vec::Drain<'_, (SimTime, E)> {
+        self.staged.drain(..)
+    }
+
+    /// Re-anchor the outbox at a new instant, asserting it is empty.
+    pub fn reset(&mut self, now: SimTime) {
+        debug_assert!(self.staged.is_empty(), "outbox reset with staged events");
+        self.now = now;
+    }
+}
+
+/// A system driven by the engine.
+pub trait Process<E> {
+    /// Handle one event at its timestamp; push follow-ups into `out`.
+    fn handle(&mut self, now: SimTime, event: E, out: &mut Outbox<E>);
+}
+
+// Allow closures as processes — handy in tests and small examples.
+impl<E, F: FnMut(SimTime, E, &mut Outbox<E>)> Process<E> for F {
+    fn handle(&mut self, now: SimTime, event: E, out: &mut Outbox<E>) {
+        self(now, event, out)
+    }
+}
+
+/// Why the engine stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopCondition {
+    /// The queue ran dry.
+    QueueEmpty,
+    /// The configured horizon was reached; events at or beyond the
+    /// horizon remain queued.
+    HorizonReached,
+    /// The configured step budget was exhausted (runaway protection).
+    StepBudgetExhausted,
+}
+
+/// The simulation driver.
+///
+/// ```
+/// use hpcwhisk_simcore::{Engine, Outbox, SimDuration, SimTime};
+///
+/// // Count ticks of a 1-second clock for one minute.
+/// let mut ticks = 0u32;
+/// let mut engine = Engine::new();
+/// engine.schedule(SimTime::ZERO, ());
+/// engine.run_until(
+///     SimTime::from_mins(1),
+///     &mut |_now: SimTime, (): (), out: &mut Outbox<()>| {
+///         ticks += 1;
+///         out.after(SimDuration::from_secs(1), ());
+///     },
+/// );
+/// assert_eq!(ticks, 60);
+/// ```
+pub struct Engine<E> {
+    queue: EventQueue<E>,
+    now: SimTime,
+    step_budget: u64,
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Engine<E> {
+    /// A fresh engine at t = 0 with a very large step budget.
+    pub fn new() -> Self {
+        Engine {
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            step_budget: u64::MAX,
+        }
+    }
+
+    /// Cap the total number of events processed (runaway protection in
+    /// tests and calibration loops).
+    pub fn with_step_budget(mut self, budget: u64) -> Self {
+        self.step_budget = budget;
+        self
+    }
+
+    /// Current simulation time (the timestamp of the last processed
+    /// event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule an initial event.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        self.queue.push(at, event);
+    }
+
+    /// Pending event count.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Total events processed so far.
+    pub fn steps(&self) -> u64 {
+        self.queue.total_popped()
+    }
+
+    /// Run until the queue empties, the step budget is exhausted, or an
+    /// event at or beyond `horizon` is reached (that event stays queued).
+    pub fn run_until<P: Process<E>>(&mut self, horizon: SimTime, process: &mut P) -> StopCondition {
+        let mut out = Outbox::new(self.now);
+        loop {
+            if self.queue.total_popped() >= self.step_budget {
+                return StopCondition::StepBudgetExhausted;
+            }
+            match self.queue.peek_time() {
+                None => return StopCondition::QueueEmpty,
+                Some(t) if t >= horizon => {
+                    self.now = horizon;
+                    return StopCondition::HorizonReached;
+                }
+                Some(_) => {}
+            }
+            let (t, ev) = self.queue.pop().expect("peeked entry vanished");
+            self.now = t;
+            out.reset(t);
+            process.handle(t, ev, &mut out);
+            for (at, e) in out.drain() {
+                self.queue.push(at, e);
+            }
+        }
+    }
+
+    /// Run until the queue empties (or the step budget trips).
+    pub fn run_to_completion<P: Process<E>>(&mut self, process: &mut P) -> StopCondition {
+        self.run_until(SimTime::MAX, process)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    enum Ev {
+        Ping(u32),
+        Stopper,
+    }
+
+    #[test]
+    fn ping_chain_runs_in_order() {
+        let mut engine = Engine::new();
+        engine.schedule(SimTime::from_secs(1), Ev::Ping(0));
+        let mut seen = vec![];
+        let cond = engine.run_to_completion(&mut |now: SimTime, ev: Ev, out: &mut Outbox<Ev>| {
+            if let Ev::Ping(n) = ev {
+                seen.push((now, n));
+                if n < 4 {
+                    out.after(SimDuration::from_secs(2), Ev::Ping(n + 1));
+                }
+            }
+        });
+        assert_eq!(cond, StopCondition::QueueEmpty);
+        assert_eq!(seen.len(), 5);
+        assert_eq!(seen[4], (SimTime::from_secs(9), 4));
+        assert_eq!(engine.steps(), 5);
+    }
+
+    #[test]
+    fn horizon_stops_and_preserves_future_events() {
+        let mut engine = Engine::new();
+        engine.schedule(SimTime::from_secs(5), Ev::Stopper);
+        engine.schedule(SimTime::from_secs(1), Ev::Ping(1));
+        let mut count = 0;
+        let cond = engine.run_until(
+            SimTime::from_secs(3),
+            &mut |_: SimTime, _: Ev, _: &mut Outbox<Ev>| count += 1,
+        );
+        assert_eq!(cond, StopCondition::HorizonReached);
+        assert_eq!(count, 1);
+        assert_eq!(engine.pending(), 1);
+        assert_eq!(engine.now(), SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn step_budget_trips() {
+        let mut engine = Engine::new().with_step_budget(10);
+        engine.schedule(SimTime::ZERO, Ev::Ping(0));
+        let cond = engine.run_to_completion(&mut |_: SimTime, _: Ev, out: &mut Outbox<Ev>| {
+            out.after(SimDuration::from_millis(1), Ev::Ping(0));
+        });
+        assert_eq!(cond, StopCondition::StepBudgetExhausted);
+        assert_eq!(engine.steps(), 10);
+    }
+
+    #[test]
+    fn same_instant_events_processed_in_push_order() {
+        let mut engine = Engine::new();
+        for i in 0..5 {
+            engine.schedule(SimTime::from_secs(1), Ev::Ping(i));
+        }
+        let mut seen = vec![];
+        engine.run_to_completion(&mut |_: SimTime, ev: Ev, _: &mut Outbox<Ev>| {
+            if let Ev::Ping(n) = ev {
+                seen.push(n)
+            }
+        });
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn outbox_now_event_runs_same_instant() {
+        let mut engine = Engine::new();
+        engine.schedule(SimTime::from_secs(2), Ev::Ping(0));
+        let mut times = vec![];
+        engine.run_to_completion(&mut |now: SimTime, ev: Ev, out: &mut Outbox<Ev>| {
+            times.push(now);
+            if ev == Ev::Ping(0) && times.len() == 1 {
+                out.now_event(Ev::Ping(1));
+            }
+        });
+        assert_eq!(times, vec![SimTime::from_secs(2), SimTime::from_secs(2)]);
+    }
+}

@@ -1,0 +1,209 @@
+//! The deterministic event queue at the heart of the DES engine.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An entry in the queue: ordered by `(time, seq)` ascending, where `seq`
+/// is a monotonically increasing insertion counter. The tiebreaker makes
+/// simulation runs bit-for-bit reproducible even when many events share a
+/// timestamp (common: scheduler passes, poll ticks).
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest entry is popped
+        // first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A time-ordered, insertion-stable event queue.
+///
+/// ```
+/// use hpcwhisk_simcore::{EventQueue, SimTime};
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_secs(2), "b");
+/// q.push(SimTime::from_secs(1), "a");
+/// q.push(SimTime::from_secs(2), "c");
+/// assert_eq!(q.pop(), Some((SimTime::from_secs(1), "a")));
+/// assert_eq!(q.pop(), Some((SimTime::from_secs(2), "b")));
+/// assert_eq!(q.pop(), Some((SimTime::from_secs(2), "c")));
+/// assert_eq!(q.pop(), None);
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+    popped: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            popped: 0,
+        }
+    }
+
+    /// An empty queue with pre-reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            seq: 0,
+            popped: 0,
+        }
+    }
+
+    /// Schedule `event` at `time`. Events pushed for the same instant pop
+    /// in push order.
+    pub fn push(&mut self, time: SimTime, event: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { time, seq, event });
+    }
+
+    /// Remove and return the earliest event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let e = self.heap.pop()?;
+        self.popped += 1;
+        Some((e.time, e.event))
+    }
+
+    /// Timestamp of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True iff no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever popped (the engine's step counter).
+    pub fn total_popped(&self) -> u64 {
+        self.popped
+    }
+
+    /// Total number of events ever pushed.
+    pub fn total_pushed(&self) -> u64 {
+        self.seq
+    }
+
+    /// Drop every pending event.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fifo_within_same_timestamp() {
+        let mut q = EventQueue::new();
+        for i in 0..100u32 {
+            q.push(SimTime::from_secs(7), i);
+        }
+        for i in 0..100u32 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn time_ordering_dominates() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(5), "late");
+        q.push(SimTime::from_secs(1), "early");
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(1)));
+        assert_eq!(q.pop().unwrap().1, "early");
+        assert_eq!(q.pop().unwrap().1, "late");
+    }
+
+    #[test]
+    fn counters() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(SimTime::ZERO, ());
+        q.push(SimTime::ZERO, ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.total_pushed(), 2);
+        q.pop();
+        assert_eq!(q.total_popped(), 1);
+        q.clear();
+        assert!(q.is_empty());
+        // Counters survive a clear.
+        assert_eq!(q.total_pushed(), 2);
+    }
+
+    proptest! {
+        /// Popping must always yield a non-decreasing time sequence, and
+        /// for equal times the original insertion order.
+        #[test]
+        fn prop_pop_order(times in proptest::collection::vec(0u64..1_000, 1..200)) {
+            let mut q = EventQueue::new();
+            for (i, t) in times.iter().enumerate() {
+                q.push(SimTime::from_millis(*t), i);
+            }
+            let mut prev: Option<(SimTime, usize)> = None;
+            while let Some((t, idx)) = q.pop() {
+                if let Some((pt, pidx)) = prev {
+                    prop_assert!(t >= pt);
+                    if t == pt {
+                        prop_assert!(idx > pidx);
+                    }
+                }
+                prev = Some((t, idx));
+            }
+        }
+
+        /// The queue never loses or duplicates events.
+        #[test]
+        fn prop_conservation(times in proptest::collection::vec(0u64..500, 0..100)) {
+            let mut q = EventQueue::new();
+            for t in &times {
+                q.push(SimTime::from_millis(*t), *t);
+            }
+            let mut out = vec![];
+            while let Some((_, e)) = q.pop() {
+                out.push(e);
+            }
+            let mut expect = times.clone();
+            expect.sort_unstable();
+            out.sort_unstable();
+            prop_assert_eq!(out, expect);
+        }
+    }
+}

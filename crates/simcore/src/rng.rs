@@ -1,0 +1,167 @@
+//! Seeded randomness for reproducible experiments.
+//!
+//! Every stochastic choice in the reproduction flows through [`SimRng`],
+//! so any experiment is fully determined by `(configuration, seed)`.
+//! Child RNGs derived with [`SimRng::fork`] let subsystems own
+//! independent streams whose draws do not interleave, which keeps results
+//! stable when one subsystem changes how often it samples.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A seeded, forkable random number generator.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: SmallRng,
+}
+
+impl SimRng {
+    /// Create from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SimRng {
+            inner: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derive an independent child stream. The label decorrelates
+    /// children forked from the same parent state.
+    pub fn fork(&mut self, label: u64) -> SimRng {
+        let s = self.inner.next_u64() ^ label.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        SimRng::seed_from_u64(s)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        self.inner.random::<f64>()
+    }
+
+    /// Uniform draw in `[0, 1)` that is never exactly 0 (safe for
+    /// `ln(u)`).
+    pub fn f64_open(&mut self) -> f64 {
+        loop {
+            let u = self.f64();
+            if u > 0.0 {
+                return u;
+            }
+        }
+    }
+
+    /// Uniform integer in `[lo, hi)`. Panics if the range is empty.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        self.inner.random_range(lo..hi)
+    }
+
+    /// Uniform usize in `[0, n)`. Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index() over empty domain");
+        self.inner.random_range(0..n)
+    }
+
+    /// Uniform f64 in `[lo, hi)`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.f64()
+    }
+
+    /// Bernoulli draw.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Uniformly choose an element of a non-empty slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.index(items.len())]
+    }
+
+    /// Fisher–Yates shuffle in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.index(i + 1);
+            items.swap(i, j);
+        }
+    }
+
+    /// A raw 64-bit draw (used by forks and hashing helpers).
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = SimRng::seed_from_u64(42);
+        let mut b = SimRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::seed_from_u64(1);
+        let mut b = SimRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn forks_are_independent_and_deterministic() {
+        let mut parent1 = SimRng::seed_from_u64(7);
+        let mut parent2 = SimRng::seed_from_u64(7);
+        let mut c1 = parent1.fork(1);
+        let mut c2 = parent2.fork(1);
+        for _ in 0..50 {
+            assert_eq!(c1.next_u64(), c2.next_u64());
+        }
+        // Different labels from identical parent states diverge.
+        let mut p3 = SimRng::seed_from_u64(7);
+        let mut p4 = SimRng::seed_from_u64(7);
+        let mut d1 = p3.fork(1);
+        let mut d2 = p4.fork(2);
+        let same = (0..64).filter(|_| d1.next_u64() == d2.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn uniform_mean_is_reasonable() {
+        let mut rng = SimRng::seed_from_u64(3);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rng.f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean={mean}");
+    }
+
+    #[test]
+    fn range_bounds_respected() {
+        let mut rng = SimRng::seed_from_u64(4);
+        for _ in 0..1_000 {
+            let v = rng.range_u64(10, 20);
+            assert!((10..20).contains(&v));
+            let f = rng.range_f64(-1.0, 1.0);
+            assert!((-1.0..1.0).contains(&f));
+            let i = rng.index(7);
+            assert!(i < 7);
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = SimRng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::seed_from_u64(6);
+        assert!(!(0..100).any(|_| rng.chance(0.0)));
+        assert!((0..100).all(|_| rng.chance(1.1)));
+    }
+}

@@ -1,0 +1,77 @@
+//! Activation (invocation) records and outcomes.
+
+use crate::ids::{FunctionId, InvokerId};
+use simcore::SimTime;
+
+/// Client-visible outcome of one invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Executed and answered.
+    Success,
+    /// Failed during execution (container creation refused / crashed).
+    Failed,
+    /// Never answered before the controller deadline.
+    Timeout,
+}
+
+/// Result of submitting an invocation to the controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InvokeResult {
+    /// Accepted and queued.
+    Accepted(crate::ids::ActivationId),
+    /// 503 Service Unavailable: no healthy invoker registered (§III-E).
+    Rejected503,
+}
+
+/// Controller-side lifecycle of an activation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActState {
+    /// Queued or executing somewhere.
+    InFlight,
+    /// Answered (successfully or not); late results are ignored.
+    Answered(Outcome),
+}
+
+/// The controller's record of one activation.
+#[derive(Debug, Clone)]
+pub struct ActivationRecord {
+    /// The function being invoked.
+    pub function: FunctionId,
+    /// Client submission time.
+    pub submitted: SimTime,
+    /// Timeout deadline.
+    pub deadline: SimTime,
+    /// Lifecycle state.
+    pub state: ActState,
+    /// Which invoker's topic currently holds / executed it.
+    pub assigned: Option<InvokerId>,
+    /// Delivery attempts (> 1 after fast-lane re-routing).
+    pub attempts: u32,
+}
+
+impl ActivationRecord {
+    /// True iff the client is still waiting.
+    pub fn in_flight(&self) -> bool {
+        self.state == ActState::InFlight
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_flight_transitions() {
+        let mut r = ActivationRecord {
+            function: FunctionId(0),
+            submitted: SimTime::ZERO,
+            deadline: SimTime::from_secs(60),
+            state: ActState::InFlight,
+            assigned: None,
+            attempts: 1,
+        };
+        assert!(r.in_flight());
+        r.state = ActState::Answered(Outcome::Success);
+        assert!(!r.in_flight());
+    }
+}

@@ -1,0 +1,124 @@
+//! FaaS platform configuration and the latency model.
+
+use simcore::{SimDuration, SimRng};
+
+/// Whether the HPC-Whisk dynamic-worker extensions are active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DynamicsMode {
+    /// The paper's system: SIGTERM-driven drain, fast-lane re-routing,
+    /// recovery of a silently-dead invoker's queue once its death is
+    /// noticed.
+    HpcWhisk,
+    /// Stock OpenWhisk behaviour: a departing worker's queued requests
+    /// are never re-routed and simply time out (§II: "any unexpected
+    /// event ... may result in no answers to some of the calls").
+    Baseline,
+}
+
+/// Tunables of the simulated OpenWhisk deployment.
+///
+/// Latency constants are calibrated so a warm 10 ms sleep function has a
+/// client-observed median response around the paper's 865 ms (§V-C);
+/// every one gets ±15% multiplicative jitter at sampling time.
+#[derive(Debug, Clone)]
+pub struct WhiskConfig {
+    /// HPC-Whisk extensions on/off.
+    pub mode: DynamicsMode,
+    /// Client ↔ controller round trip (Gatling ran off-cluster).
+    pub client_rtt: SimDuration,
+    /// Controller request handling overhead.
+    pub ctrl_overhead: SimDuration,
+    /// Kafka produce → visible-to-consumer delay.
+    pub kafka_delay: SimDuration,
+    /// Invoker topic poll period.
+    pub poll_interval: SimDuration,
+    /// Container dispatch overhead per invocation (Singularity exec).
+    pub dispatch: SimDuration,
+    /// Cold start: creating + booting a function container (§II: usually
+    /// less than 500 ms).
+    pub cold_start: SimDuration,
+    /// Result propagation back to the controller.
+    pub result_path: SimDuration,
+    /// Container slots per invoker (max concurrently running container
+    /// processes — the limit the paper's failure window hit, §V-C).
+    pub container_slots: usize,
+    /// Max concurrent container *creations*; exceeding it fails the
+    /// activation ("failed during execution").
+    pub cold_concurrency: usize,
+    /// Invoker-side buffer of pulled-but-unstarted requests.
+    pub buffer_max: usize,
+    /// Controller-side activation deadline; unanswered activations are
+    /// reported as timeouts.
+    pub deadline: SimDuration,
+    /// How long until the controller notices a silently-dead invoker
+    /// (missed health pings).
+    pub health_timeout: SimDuration,
+    /// Time a draining invoker needs to flush its buffer and
+    /// de-register ("a few seconds", §III-C).
+    pub drain_flush: SimDuration,
+    /// Cadence of the controller's timeout scan.
+    pub timeout_scan_every: SimDuration,
+}
+
+impl Default for WhiskConfig {
+    fn default() -> Self {
+        WhiskConfig {
+            mode: DynamicsMode::HpcWhisk,
+            client_rtt: SimDuration::from_millis(280),
+            ctrl_overhead: SimDuration::from_millis(40),
+            kafka_delay: SimDuration::from_millis(25),
+            poll_interval: SimDuration::from_millis(200),
+            dispatch: SimDuration::from_millis(340),
+            cold_start: SimDuration::from_millis(450),
+            result_path: SimDuration::from_millis(90),
+            container_slots: 16,
+            cold_concurrency: 4,
+            buffer_max: 128,
+            deadline: SimDuration::from_secs(60),
+            health_timeout: SimDuration::from_secs(10),
+            drain_flush: SimDuration::from_millis(1_500),
+            timeout_scan_every: SimDuration::from_secs(1),
+        }
+    }
+}
+
+impl WhiskConfig {
+    /// Sample a latency constant with ±15% multiplicative jitter.
+    pub fn jitter(&self, base: SimDuration, rng: &mut SimRng) -> SimDuration {
+        let f = rng.range_f64(0.85, 1.15);
+        SimDuration::from_secs_f64(base.as_secs_f64() * f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_sums_to_target_median() {
+        // Warm path: ctrl + kafka + E[poll wait] + dispatch + exec +
+        // result + client rtt ≈ 0.88 s — the paper's 865 ms ballpark.
+        let c = WhiskConfig::default();
+        let warm_ms = c.ctrl_overhead.as_millis()
+            + c.kafka_delay.as_millis()
+            + c.poll_interval.as_millis() / 2
+            + c.dispatch.as_millis()
+            + 10
+            + c.result_path.as_millis()
+            + c.client_rtt.as_millis();
+        assert!(
+            (800..=1000).contains(&warm_ms),
+            "warm path sums to {warm_ms} ms"
+        );
+    }
+
+    #[test]
+    fn jitter_stays_within_bounds() {
+        let c = WhiskConfig::default();
+        let mut rng = SimRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let d = c.jitter(SimDuration::from_millis(100), &mut rng);
+            assert!(d.as_millis() >= 84 && d.as_millis() <= 116, "{d}");
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Per-invoker container pool: warm/cold lifecycle with LRU eviction and
+//! a bounded cold-start concurrency (exceeding it fails the activation —
+//! the mechanism behind the paper's failure window when few invokers
+//! carried the whole load, §V-C).
+
+use crate::ids::FunctionId;
+use simcore::SimTime;
+
+/// Outcome of trying to place an activation on a container.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Acquire {
+    /// A warm container for this function was available.
+    Warm,
+    /// A new container must be cold-started (slot reserved).
+    Cold,
+    /// A cold start is needed but too many containers are already
+    /// booting; the caller decides whether to wait or fail.
+    ColdBlocked,
+    /// Every slot is running; try again when one frees.
+    NoCapacity,
+}
+
+/// The container pool of one invoker node.
+#[derive(Debug, Clone)]
+pub struct ContainerPool {
+    slots: usize,
+    cold_concurrency: usize,
+    busy: usize,
+    cold_starting: usize,
+    /// Idle warm containers: `(function, last_used)`.
+    warm_idle: Vec<(FunctionId, SimTime)>,
+    evictions: u64,
+}
+
+impl ContainerPool {
+    /// A pool with `slots` container slots and the given cold-start
+    /// concurrency bound.
+    pub fn new(slots: usize, cold_concurrency: usize) -> Self {
+        assert!(slots >= 1);
+        ContainerPool {
+            slots,
+            cold_concurrency: cold_concurrency.max(1),
+            busy: 0,
+            cold_starting: 0,
+            warm_idle: Vec::new(),
+            evictions: 0,
+        }
+    }
+
+    /// Try to place an activation of `f`.
+    pub fn acquire(&mut self, f: FunctionId, _now: SimTime) -> Acquire {
+        if let Some(pos) = self.warm_idle.iter().position(|(wf, _)| *wf == f) {
+            self.warm_idle.swap_remove(pos);
+            self.busy += 1;
+            return Acquire::Warm;
+        }
+        if self.busy + self.warm_idle.len() >= self.slots {
+            if self.warm_idle.is_empty() {
+                return Acquire::NoCapacity;
+            }
+            // Evict the least recently used idle container to make room.
+            let lru = self
+                .warm_idle
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, t))| *t)
+                .map(|(i, _)| i)
+                .expect("non-empty");
+            self.warm_idle.swap_remove(lru);
+            self.evictions += 1;
+        }
+        if self.cold_starting >= self.cold_concurrency {
+            return Acquire::ColdBlocked;
+        }
+        self.busy += 1;
+        self.cold_starting += 1;
+        Acquire::Cold
+    }
+
+    /// A cold start finished booting (the slot stays busy with the
+    /// execution).
+    pub fn cold_done(&mut self) {
+        debug_assert!(self.cold_starting > 0);
+        self.cold_starting = self.cold_starting.saturating_sub(1);
+    }
+
+    /// An execution finished: the container becomes warm-idle.
+    pub fn release(&mut self, f: FunctionId, now: SimTime) {
+        debug_assert!(self.busy > 0);
+        self.busy -= 1;
+        self.warm_idle.push((f, now));
+        debug_assert!(self.busy + self.warm_idle.len() <= self.slots);
+    }
+
+    /// A running execution was abandoned (interrupt/kill): the slot is
+    /// freed without keeping a warm container.
+    pub fn abandon(&mut self) {
+        self.busy = self.busy.saturating_sub(1);
+    }
+
+    /// Containers currently executing.
+    pub fn busy(&self) -> usize {
+        self.busy
+    }
+
+    /// Idle warm containers.
+    pub fn n_warm_idle(&self) -> usize {
+        self.warm_idle.len()
+    }
+
+    /// Free capacity for new executions.
+    pub fn free_slots(&self) -> usize {
+        self.slots - self.busy
+    }
+
+    /// Total evictions so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn warm_hit_after_release() {
+        let mut p = ContainerPool::new(2, 4);
+        assert_eq!(p.acquire(FunctionId(1), t(0)), Acquire::Cold);
+        p.cold_done();
+        p.release(FunctionId(1), t(1));
+        assert_eq!(p.acquire(FunctionId(1), t(2)), Acquire::Warm);
+        assert_eq!(p.busy(), 1);
+    }
+
+    #[test]
+    fn no_capacity_when_all_busy() {
+        let mut p = ContainerPool::new(1, 4);
+        assert_eq!(p.acquire(FunctionId(1), t(0)), Acquire::Cold);
+        assert_eq!(p.acquire(FunctionId(2), t(0)), Acquire::NoCapacity);
+    }
+
+    #[test]
+    fn lru_eviction_picks_oldest() {
+        let mut p = ContainerPool::new(2, 4);
+        // Warm two containers for functions 1 and 2.
+        p.acquire(FunctionId(1), t(0));
+        p.cold_done();
+        p.release(FunctionId(1), t(1));
+        p.acquire(FunctionId(2), t(2));
+        p.cold_done();
+        p.release(FunctionId(2), t(5));
+        // A third function forces eviction of the LRU (function 1).
+        assert_eq!(p.acquire(FunctionId(3), t(6)), Acquire::Cold);
+        p.cold_done();
+        assert_eq!(p.evictions(), 1);
+        p.release(FunctionId(3), t(7));
+        // Function 2 is still warm, function 1 is not.
+        assert_eq!(p.acquire(FunctionId(2), t(8)), Acquire::Warm);
+        p.release(FunctionId(2), t(9));
+        assert_ne!(p.acquire(FunctionId(1), t(10)), Acquire::Warm);
+    }
+
+    #[test]
+    fn cold_concurrency_limit_fails() {
+        let mut p = ContainerPool::new(8, 2);
+        assert_eq!(p.acquire(FunctionId(1), t(0)), Acquire::Cold);
+        assert_eq!(p.acquire(FunctionId(2), t(0)), Acquire::Cold);
+        assert_eq!(p.acquire(FunctionId(3), t(0)), Acquire::ColdBlocked);
+        p.cold_done();
+        assert_eq!(p.acquire(FunctionId(3), t(1)), Acquire::Cold);
+    }
+
+    #[test]
+    fn abandon_frees_slot_without_warm_container() {
+        let mut p = ContainerPool::new(1, 1);
+        p.acquire(FunctionId(1), t(0));
+        p.cold_done();
+        p.abandon();
+        assert_eq!(p.busy(), 0);
+        assert_eq!(p.n_warm_idle(), 0);
+        assert_eq!(p.free_slots(), 1);
+    }
+
+    #[test]
+    fn capacity_invariant_under_churn() {
+        let mut p = ContainerPool::new(4, 2);
+        let mut running: Vec<FunctionId> = vec![];
+        for i in 0..200u32 {
+            let f = FunctionId(i % 7);
+            match p.acquire(f, t(i as u64)) {
+                Acquire::Warm => running.push(f),
+                Acquire::Cold => {
+                    p.cold_done();
+                    running.push(f);
+                }
+                Acquire::ColdBlocked | Acquire::NoCapacity => {
+                    if let Some(g) = running.pop() {
+                        p.release(g, t(i as u64));
+                    }
+                }
+            }
+            assert!(p.busy() + p.n_warm_idle() <= 4);
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Invoker (worker) state.
+
+use crate::container::ContainerPool;
+use crate::ids::ActivationId;
+use mq::TopicId;
+use std::collections::{HashSet, VecDeque};
+
+/// Invoker lifecycle, from the controller's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InvokerState {
+    /// Registered and routable.
+    Healthy,
+    /// SIGTERM received: finishing the handoff, not routable.
+    Draining,
+    /// Died without de-registering; the controller has not noticed yet
+    /// and still routes to it (the paper's "irresponsive" workers).
+    DeadUnnoticed,
+}
+
+/// One worker node's invoker.
+#[derive(Debug)]
+pub struct Invoker {
+    /// Lifecycle state.
+    pub state: InvokerState,
+    /// Its private Kafka topic.
+    pub topic: TopicId,
+    /// Pulled-but-unstarted activations (the "internal buffer" the drain
+    /// protocol flushes to the fast lane, §III-C).
+    pub buffer: VecDeque<ActivationId>,
+    /// Activations currently executing in containers.
+    pub running: HashSet<ActivationId>,
+    /// The node's container pool.
+    pub pool: ContainerPool,
+    /// Controller-side estimate of outstanding work (routing pressure).
+    pub ctrl_inflight: usize,
+}
+
+impl Invoker {
+    /// A fresh healthy invoker.
+    pub fn new(topic: TopicId, slots: usize, cold_concurrency: usize) -> Self {
+        Invoker {
+            state: InvokerState::Healthy,
+            topic,
+            buffer: VecDeque::new(),
+            running: HashSet::new(),
+            pool: ContainerPool::new(slots, cold_concurrency),
+            ctrl_inflight: 0,
+        }
+    }
+
+    /// Routable by the controller?
+    pub fn routable(&self) -> bool {
+        // DeadUnnoticed stays true: the controller does not know yet.
+        matches!(self.state, InvokerState::Healthy | InvokerState::DeadUnnoticed)
+    }
+
+    /// Actually able to process work?
+    pub fn alive(&self) -> bool {
+        matches!(self.state, InvokerState::Healthy | InvokerState::Draining)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mq::Broker;
+
+    #[test]
+    fn state_predicates() {
+        let mut b: Broker<ActivationId> = Broker::new();
+        let t = b.create_topic("inv-0");
+        let mut inv = Invoker::new(t, 4, 2);
+        assert!(inv.routable() && inv.alive());
+        inv.state = InvokerState::Draining;
+        assert!(!inv.routable() && inv.alive());
+        inv.state = InvokerState::DeadUnnoticed;
+        assert!(inv.routable() && !inv.alive());
+    }
+}

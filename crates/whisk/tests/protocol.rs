@@ -1,0 +1,410 @@
+//! Protocol-level tests of the FaaS platform: the invocation data path,
+//! 503 behaviour, the drain/fast-lane handoff (no request lost), the
+//! baseline-OpenWhisk ablation (requests lost), silent-death recovery,
+//! timeouts, and container-pool saturation failures.
+
+use hpcwhisk_whisk::{
+    DynamicsMode, FunctionId, FunctionSpec, InvokeResult, InvokerId, Outcome, WhiskConfig,
+    WhiskEvent, WhiskNote, WhiskSys,
+};
+use simcore::{Engine, Outbox, SimDuration, SimTime};
+
+struct Harness {
+    sys: WhiskSys,
+    engine: Engine<WhiskEvent>,
+    notes: Vec<(SimTime, WhiskNote)>,
+}
+
+impl Harness {
+    fn new(cfg: WhiskConfig) -> Self {
+        let mut sys = WhiskSys::new(cfg, 7);
+        let mut engine = Engine::new();
+        let mut out = Outbox::new(SimTime::ZERO);
+        sys.bootstrap(SimTime::ZERO, &mut out);
+        for (t, e) in out.drain() {
+            engine.schedule(t, e);
+        }
+        Harness {
+            sys,
+            engine,
+            notes: Vec::new(),
+        }
+    }
+
+    fn run_until(&mut self, horizon: SimTime) {
+        let sys = &mut self.sys;
+        let notes = &mut self.notes;
+        self.engine.run_until(
+            horizon,
+            &mut |now: SimTime, ev: WhiskEvent, out: &mut Outbox<WhiskEvent>| {
+                let mut local = Vec::new();
+                sys.handle(now, ev, out, &mut local);
+                notes.extend(local.into_iter().map(|n| (now, n)));
+            },
+        );
+    }
+
+    fn apply<R>(
+        &mut self,
+        t: SimTime,
+        f: impl FnOnce(&mut WhiskSys, SimTime, &mut Outbox<WhiskEvent>, &mut Vec<WhiskNote>) -> R,
+    ) -> R {
+        self.run_until(t);
+        let mut out = Outbox::new(t);
+        let mut local = Vec::new();
+        let r = f(&mut self.sys, t, &mut out, &mut local);
+        self.notes.extend(local.into_iter().map(|n| (t, n)));
+        for (at, e) in out.drain() {
+            self.engine.schedule(at, e);
+        }
+        r
+    }
+
+    fn invoke_at(&mut self, t: SimTime, f: FunctionId) -> InvokeResult {
+        self.apply(t, |sys, now, out, notes| sys.invoke(now, f, out, notes))
+    }
+
+    fn start_invoker_at(&mut self, t: SimTime, key: u64) -> InvokerId {
+        self.apply(t, |sys, now, out, notes| {
+            sys.start_invoker(now, key, out, notes)
+        })
+    }
+
+    fn outcomes(&self) -> Vec<(Outcome, SimTime, SimTime)> {
+        self.notes
+            .iter()
+            .filter_map(|(_, n)| match n {
+                WhiskNote::ActivationDone {
+                    outcome,
+                    submitted,
+                    answered,
+                    ..
+                } => Some((*outcome, *submitted, *answered)),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+fn secs(s: u64) -> SimTime {
+    SimTime::from_secs(s)
+}
+
+#[test]
+fn rejects_503_with_no_invokers() {
+    let mut h = Harness::new(WhiskConfig::default());
+    let f = h.sys.register_function(FunctionSpec::sleep("f", SimDuration::from_millis(10)));
+    let r = h.invoke_at(secs(1), f);
+    assert_eq!(r, InvokeResult::Rejected503);
+    assert_eq!(h.sys.counters().rejected_503, 1);
+    assert!(h
+        .notes
+        .iter()
+        .any(|(_, n)| matches!(n, WhiskNote::Rejected503 { .. })));
+}
+
+#[test]
+fn warm_invocation_completes_with_calibrated_latency() {
+    let mut h = Harness::new(WhiskConfig::default());
+    let f = h.sys.register_function(FunctionSpec::sleep("f", SimDuration::from_millis(10)));
+    h.start_invoker_at(secs(0), 1);
+    // First call cold-starts; repeat calls should be warm.
+    for i in 0..20 {
+        let r = h.invoke_at(secs(2 + i), f);
+        assert!(matches!(r, InvokeResult::Accepted(_)));
+    }
+    h.run_until(secs(60));
+    let outs = h.outcomes();
+    assert_eq!(outs.len(), 20);
+    assert!(outs.iter().all(|(o, _, _)| *o == Outcome::Success));
+    assert_eq!(h.sys.counters().cold_starts, 1);
+    assert_eq!(h.sys.counters().warm_starts, 19);
+    // Warm latency lands in the paper's ~0.8-1.0 s ballpark.
+    let mut lat: Vec<f64> = outs
+        .iter()
+        .skip(1)
+        .map(|(_, s, a)| a.since(*s).as_secs_f64())
+        .collect();
+    lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = lat[lat.len() / 2];
+    assert!(
+        (0.6..=1.2).contains(&median),
+        "median warm latency {median}s"
+    );
+}
+
+#[test]
+fn drain_reroutes_everything_no_request_lost() {
+    // One invoker receives a burst, gets SIGTERM mid-burst, a second
+    // invoker picks everything up from the fast lane: zero timeouts.
+    let mut h = Harness::new(WhiskConfig::default());
+    let f = h.sys.register_function(FunctionSpec::sleep("f", SimDuration::from_millis(10)));
+    h.start_invoker_at(secs(0), 1);
+    for i in 0..40 {
+        h.invoke_at(secs(2) + SimDuration::from_millis(i * 20), f);
+    }
+    // SIGTERM arrives while much of the burst is still queued.
+    h.apply(secs(2) + SimDuration::from_millis(450), |sys, now, out, notes| {
+        sys.sigterm_invoker(now, InvokerId(1), out, notes)
+    });
+    h.start_invoker_at(secs(3), 2);
+    h.run_until(secs(120));
+    let outs = h.outcomes();
+    assert_eq!(outs.len(), 40, "every request answered");
+    let succ = outs.iter().filter(|(o, _, _)| *o == Outcome::Success).count();
+    assert_eq!(succ, 40, "no request lost during drain");
+    assert_eq!(h.sys.counters().timeout, 0);
+    assert!(h.sys.counters().moved_to_fastlane + h.sys.counters().refired > 0);
+    assert_eq!(h.sys.counters().drains_clean, 1);
+    // The drained invoker de-registered cleanly.
+    assert!(h.notes.iter().any(|(_, n)| matches!(
+        n,
+        WhiskNote::InvokerGone { inv, clean: true } if *inv == InvokerId(1)
+    )));
+}
+
+#[test]
+fn baseline_mode_loses_silently_dead_invokers_queue() {
+    let cfg = WhiskConfig {
+        mode: DynamicsMode::Baseline,
+        ..WhiskConfig::default()
+    };
+    let mut h = Harness::new(cfg);
+    let fns: Vec<FunctionId> = (0..20)
+        .map(|i| {
+            h.sys.register_function(FunctionSpec::sleep(
+                &format!("f{i}"),
+                SimDuration::from_millis(10),
+            ))
+        })
+        .collect();
+    h.start_invoker_at(secs(0), 1);
+    h.start_invoker_at(secs(0), 2);
+    h.run_until(secs(5));
+    // Kill invoker 1 silently, then send a burst: requests hashed to it
+    // keep landing in its topic until the death is noticed.
+    h.apply(secs(5), |sys, now, out, notes| {
+        sys.kill_invoker(now, InvokerId(1), out, notes)
+    });
+    for i in 0..30u64 {
+        h.invoke_at(secs(6) + SimDuration::from_millis(i * 100), fns[(i % 20) as usize]);
+    }
+    h.run_until(secs(120));
+    let outs = h.outcomes();
+    assert_eq!(outs.len(), 30);
+    let timeouts = outs.iter().filter(|(o, _, _)| *o == Outcome::Timeout).count();
+    let succ = outs.iter().filter(|(o, _, _)| *o == Outcome::Success).count();
+    // Exactly the requests routed to the dead invoker time out.
+    assert!(timeouts > 0, "baseline must lose the dead invoker's queue");
+    assert_eq!(timeouts + succ, 30);
+    assert_eq!(h.sys.counters().dropped_after_death as usize, timeouts);
+}
+
+#[test]
+fn hpcwhisk_mode_recovers_silently_dead_invokers_queue() {
+    let mut h = Harness::new(WhiskConfig::default());
+    let fns: Vec<FunctionId> = (0..20)
+        .map(|i| {
+            h.sys.register_function(FunctionSpec::sleep(
+                &format!("f{i}"),
+                SimDuration::from_millis(10),
+            ))
+        })
+        .collect();
+    h.start_invoker_at(secs(0), 1);
+    h.start_invoker_at(secs(0), 2);
+    h.run_until(secs(5));
+    h.apply(secs(5), |sys, now, out, notes| {
+        sys.kill_invoker(now, InvokerId(1), out, notes)
+    });
+    for i in 0..30u64 {
+        h.invoke_at(secs(6) + SimDuration::from_millis(i * 100), fns[(i % 20) as usize]);
+    }
+    h.run_until(secs(120));
+    let outs = h.outcomes();
+    assert_eq!(outs.len(), 30);
+    let succ = outs.iter().filter(|(o, _, _)| *o == Outcome::Success).count();
+    // Requests that were still unpulled in the dead invoker's topic get
+    // recovered to the fast lane once the death is noticed (only those
+    // pulled into the dead invoker's buffer could be lost; none here,
+    // since it was killed before the burst).
+    assert_eq!(succ, 30, "HPC-Whisk recovers the orphaned queue");
+    assert!(h.sys.counters().recovered_after_death > 0);
+    assert_eq!(h.sys.counters().hard_deaths, 1);
+}
+
+#[test]
+fn requests_during_zero_workers_wait_in_fast_lane_or_reject() {
+    let mut h = Harness::new(WhiskConfig::default());
+    let f = h.sys.register_function(FunctionSpec::sleep("f", SimDuration::from_millis(10)));
+    // No invokers yet: rejected.
+    assert_eq!(h.invoke_at(secs(1), f), InvokeResult::Rejected503);
+    // Invoker appears; accepted request during its life but enqueued to
+    // it right as it drains → lands in fast lane → next invoker serves.
+    h.start_invoker_at(secs(2), 1);
+    let r = h.invoke_at(secs(3), f);
+    assert!(matches!(r, InvokeResult::Accepted(_)));
+    h.apply(secs(3) + SimDuration::from_millis(1), |sys, now, out, notes| {
+        sys.sigterm_invoker(now, InvokerId(1), out, notes)
+    });
+    h.run_until(secs(10));
+    // Not answered yet (no invoker), should be waiting in fast lane.
+    assert_eq!(h.outcomes().len(), 0);
+    assert!(h.sys.fast_lane_depth() > 0);
+    h.start_invoker_at(secs(12), 2);
+    h.run_until(secs(60));
+    let outs = h.outcomes();
+    assert_eq!(outs.len(), 1);
+    assert_eq!(outs[0].0, Outcome::Success);
+}
+
+#[test]
+fn unanswered_requests_time_out_at_deadline() {
+    let cfg = WhiskConfig {
+        deadline: SimDuration::from_secs(10),
+        ..WhiskConfig::default()
+    };
+    let mut h = Harness::new(cfg);
+    let f = h.sys.register_function(FunctionSpec::sleep("f", SimDuration::from_millis(10)));
+    h.start_invoker_at(secs(0), 1);
+    let r = h.invoke_at(secs(1), f);
+    let InvokeResult::Accepted(_act) = r else {
+        panic!()
+    };
+    // Invoker dies silently right away; no other invoker ever comes.
+    h.apply(secs(1) + SimDuration::from_millis(10), |sys, now, out, notes| {
+        sys.kill_invoker(now, InvokerId(1), out, notes)
+    });
+    h.run_until(secs(30));
+    let outs = h.outcomes();
+    assert_eq!(outs.len(), 1);
+    assert_eq!(outs[0].0, Outcome::Timeout);
+    // Timeout declared near the 10 s deadline (within scan cadence).
+    let answered = outs[0].2;
+    assert!(answered >= secs(11) && answered <= secs(13), "at {answered}");
+    assert_eq!(h.sys.counters().timeout, 1);
+}
+
+#[test]
+fn cold_start_saturation_fails_activations() {
+    // A single invoker with tiny cold concurrency and many distinct
+    // functions: container churn must produce Failed outcomes — the
+    // paper's "upper limit of concurrently running container processes"
+    // failure mode (§V-C).
+    let cfg = WhiskConfig {
+        container_slots: 4,
+        cold_concurrency: 1,
+        buffer_max: 32,
+        ..WhiskConfig::default()
+    };
+    let mut h = Harness::new(cfg);
+    let fns: Vec<FunctionId> = (0..50)
+        .map(|i| {
+            h.sys
+                .register_function(FunctionSpec::sleep(&format!("f{i}"), SimDuration::from_millis(10)))
+        })
+        .collect();
+    h.start_invoker_at(secs(0), 1);
+    for i in 0..200u64 {
+        let f = fns[(i % 50) as usize];
+        h.invoke_at(secs(1) + SimDuration::from_millis(i * 25), f);
+    }
+    h.run_until(secs(180));
+    let outs = h.outcomes();
+    assert_eq!(outs.len(), 200, "every request eventually answered");
+    let failed = outs.iter().filter(|(o, _, _)| *o == Outcome::Failed).count();
+    let succ = outs.iter().filter(|(o, _, _)| *o == Outcome::Success).count();
+    let timeout = outs.iter().filter(|(o, _, _)| *o == Outcome::Timeout).count();
+    assert!(failed > 0, "saturated cold starts must fail some requests");
+    assert!(succ > 0, "the node keeps serving through the churn");
+    assert!(failed < 200, "not everything fails");
+    assert_eq!(succ + failed + timeout, 200);
+}
+
+#[test]
+fn routing_sticks_to_home_invoker_for_warm_affinity() {
+    let mut h = Harness::new(WhiskConfig::default());
+    let f = h.sys.register_function(FunctionSpec::sleep("f", SimDuration::from_millis(10)));
+    for k in 1..=4 {
+        h.start_invoker_at(secs(0), k);
+    }
+    for i in 0..30 {
+        h.invoke_at(secs(2 + i), f);
+    }
+    h.run_until(secs(60));
+    // One cold start total: every call of the same function landed on
+    // the same (home) invoker.
+    assert_eq!(h.sys.counters().cold_starts, 1);
+    assert_eq!(h.sys.counters().warm_starts, 29);
+}
+
+#[test]
+fn healthy_series_tracks_lifecycle() {
+    let mut h = Harness::new(WhiskConfig::default());
+    h.start_invoker_at(secs(0), 1);
+    h.start_invoker_at(secs(10), 2);
+    h.apply(secs(20), |sys, now, out, notes| {
+        sys.sigterm_invoker(now, InvokerId(1), out, notes)
+    });
+    h.run_until(secs(40));
+    let s = h.sys.series();
+    assert_eq!(s.healthy.value_at(secs(5)), 1.0);
+    assert_eq!(s.healthy.value_at(secs(15)), 2.0);
+    assert_eq!(s.healthy.value_at(secs(25)), 1.0);
+    // Draining counted as irresponsive until de-registration.
+    assert_eq!(s.irresp.value_at(secs(20)), 1.0);
+    assert_eq!(s.irresp.value_at(secs(30)), 0.0);
+    assert_eq!(h.sys.n_healthy(), 1);
+}
+
+#[test]
+fn interruptible_execution_rerouted_on_drain() {
+    // A long-running interruptible function is aborted at SIGTERM and
+    // re-executed elsewhere; attempts > 1 in the final note.
+    let mut h = Harness::new(WhiskConfig::default());
+    let f = h
+        .sys
+        .register_function(FunctionSpec::sleep("slow", SimDuration::from_secs(20)));
+    h.start_invoker_at(secs(0), 1);
+    let r = h.invoke_at(secs(1), f);
+    assert!(matches!(r, InvokeResult::Accepted(_)));
+    // Let it start executing, then SIGTERM.
+    h.apply(secs(3), |sys, now, out, notes| {
+        sys.sigterm_invoker(now, InvokerId(1), out, notes)
+    });
+    h.start_invoker_at(secs(4), 2);
+    h.run_until(secs(90));
+    let done: Vec<_> = h
+        .notes
+        .iter()
+        .filter_map(|(_, n)| match n {
+            WhiskNote::ActivationDone {
+                outcome, attempts, ..
+            } => Some((*outcome, *attempts)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(done.len(), 1);
+    assert_eq!(done[0].0, Outcome::Success);
+    assert!(done[0].1 >= 2, "re-routed execution has attempts >= 2");
+}
+
+#[test]
+fn non_interruptible_execution_completes_during_drain() {
+    let mut h = Harness::new(WhiskConfig::default());
+    let f = h.sys.register_function(
+        FunctionSpec::sleep("careful", SimDuration::from_millis(500)).non_interruptible(),
+    );
+    h.start_invoker_at(secs(0), 1);
+    h.invoke_at(secs(1), f);
+    // SIGTERM while executing; the run must be allowed to finish
+    // (drain_flush 1.5 s > remaining exec time).
+    h.apply(secs(2), |sys, now, out, notes| {
+        sys.sigterm_invoker(now, InvokerId(1), out, notes)
+    });
+    h.run_until(secs(30));
+    let outs = h.outcomes();
+    assert_eq!(outs.len(), 1);
+    assert_eq!(outs[0].0, Outcome::Success);
+    assert_eq!(h.sys.counters().refired, 0);
+}

@@ -1,0 +1,254 @@
+//! Trace-driven prime demand: converts an idle trace into the stream of
+//! pinned demand claims that drives the cluster simulator in the
+//! Table II/III experiments.
+//!
+//! The *complement* of a node's idle intervals is its busy time; each
+//! busy interval becomes one pinned claim. Crucially, a claim carries
+//! two start times: the **actual** start (when the demand really takes
+//! the node — the moment the idle gap ends in the trace) and the
+//! **announced** start (where Slurm's backfill reservation sits).
+//! Because running jobs declare limits longer than their runtimes
+//! (Fig. 2 slack), the announced start is `actual + noise`; pilots sized
+//! against the announced gap overhang the real claim and get preempted —
+//! exactly the uncertainty HPC-Whisk's drain protocol absorbs.
+
+use cluster::{AvailabilityTrace, JobSpec, NodeId};
+use simcore::dist::{LogNormal, Sample};
+use simcore::{SimDuration, SimRng, SimTime};
+
+/// One prime-demand claim derived from the trace.
+#[derive(Debug, Clone)]
+pub struct DemandClaim {
+    /// The node it occupies.
+    pub node: NodeId,
+    /// When the demand queue entry becomes visible to the scheduler.
+    pub submit_at: SimTime,
+    /// Actual claim start.
+    pub start: SimTime,
+    /// Start time the scheduler believes (>= start).
+    pub announced: SimTime,
+    /// Actual busy duration.
+    pub duration: SimDuration,
+    /// Declared limit (duration + slack).
+    pub declared: SimDuration,
+}
+
+impl DemandClaim {
+    /// Convert into a cluster job spec.
+    pub fn to_spec(&self) -> JobSpec {
+        JobSpec::pinned_demand(
+            vec![self.node],
+            self.start,
+            self.announced,
+            self.declared,
+            self.duration,
+        )
+    }
+}
+
+/// Parameters of the announcement-noise model.
+#[derive(Debug, Clone)]
+pub struct DemandModel {
+    /// Probability that a claim's start was perfectly predictable to the
+    /// backfill scheduler (announced == actual).
+    pub exact_prob: f64,
+    /// Announcement lateness when not exact (minutes; announced =
+    /// actual + noise).
+    pub noise_mins: LogNormal,
+    /// Cap on announcement noise (minutes).
+    pub noise_cap_mins: f64,
+    /// How far ahead of the actual start the claim is submitted
+    /// (minutes).
+    pub lead_mins: (f64, f64),
+    /// Declared-limit slack added to the busy duration (minutes).
+    pub slack_mins: LogNormal,
+}
+
+impl Default for DemandModel {
+    fn default() -> Self {
+        DemandModel {
+            exact_prob: 0.75,
+            noise_mins: LogNormal::from_median_and_quantile(2.5, 0.9, 12.0),
+            noise_cap_mins: 30.0,
+            lead_mins: (20.0, 60.0),
+            slack_mins: LogNormal::from_median_and_quantile(30.0, 0.9, 180.0),
+        }
+    }
+}
+
+impl DemandModel {
+    /// Derive the full claim stream for a trace. Claims are returned
+    /// sorted by `submit_at`. Busy intervals already in progress at the
+    /// trace start get `submit_at == start == ZERO` (the day begins on a
+    /// full cluster).
+    pub fn claims_for(&self, trace: &AvailabilityTrace, seed: u64) -> Vec<DemandClaim> {
+        let mut rng = SimRng::seed_from_u64(seed ^ 0xdeaa_aa);
+        let mut claims = Vec::new();
+        for (n, gaps) in trace.per_node.iter().enumerate() {
+            let node = NodeId(n as u32);
+            // Busy intervals: [start-of-horizon, gap0), [gap0.end,
+            // gap1.start), ..., [last.end, horizon).
+            let mut busy_from = trace.start;
+            let mut edges: Vec<(SimTime, SimTime)> = Vec::with_capacity(gaps.len() + 1);
+            for (a, b) in gaps {
+                if *a > busy_from {
+                    edges.push((busy_from, *a));
+                }
+                busy_from = *b;
+            }
+            if trace.end > busy_from {
+                edges.push((busy_from, trace.end));
+            }
+            for (from, to) in edges {
+                let duration = to - from;
+                if duration.is_zero() {
+                    continue;
+                }
+                let slack =
+                    SimDuration::from_mins_f64(self.slack_mins.sample(&mut rng).clamp(1.0, 720.0));
+                let declared = duration + slack;
+                let (announced, submit_at) = if from == trace.start {
+                    (from, from)
+                } else {
+                    let noise = if rng.chance(self.exact_prob) {
+                        SimDuration::ZERO
+                    } else {
+                        SimDuration::from_mins_f64(
+                            self.noise_mins.sample(&mut rng).min(self.noise_cap_mins),
+                        )
+                    };
+                    let lead = SimDuration::from_mins_f64(
+                        rng.range_f64(self.lead_mins.0, self.lead_mins.1),
+                    );
+                    // Saturating: claims near the horizon start submit
+                    // at t = 0.
+                    (from + noise, from - lead)
+                };
+                claims.push(DemandClaim {
+                    node,
+                    submit_at,
+                    start: from,
+                    announced,
+                    duration,
+                    declared,
+                });
+            }
+        }
+        claims.sort_by_key(|c| (c.submit_at, c.node));
+        claims
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace_one_node() -> AvailabilityTrace {
+        // Node 0 idle [10,14) and [30,40) min of a 60-min horizon.
+        AvailabilityTrace::from_intervals(
+            SimTime::ZERO,
+            SimTime::from_mins(60),
+            vec![vec![
+                (SimTime::from_mins(10), SimTime::from_mins(14)),
+                (SimTime::from_mins(30), SimTime::from_mins(40)),
+            ]],
+        )
+    }
+
+    #[test]
+    fn busy_complement_is_correct() {
+        let claims = DemandModel::default().claims_for(&trace_one_node(), 1);
+        assert_eq!(claims.len(), 3);
+        // [0,10), [14,30), [40,60).
+        assert_eq!(claims[0].start, SimTime::ZERO);
+        assert_eq!(claims[0].duration, SimDuration::from_mins(10));
+        let c1 = claims
+            .iter()
+            .find(|c| c.start == SimTime::from_mins(14))
+            .unwrap();
+        assert_eq!(c1.duration, SimDuration::from_mins(16));
+        let c2 = claims
+            .iter()
+            .find(|c| c.start == SimTime::from_mins(40))
+            .unwrap();
+        assert_eq!(c2.duration, SimDuration::from_mins(20));
+    }
+
+    #[test]
+    fn announcement_never_precedes_actual_start() {
+        let model = DemandModel::default();
+        let trace = trace_one_node();
+        for seed in 0..50 {
+            for c in model.claims_for(&trace, seed) {
+                assert!(c.announced >= c.start);
+                assert!(c.submit_at <= c.start);
+                assert!(c.declared >= c.duration);
+            }
+        }
+    }
+
+    #[test]
+    fn exact_prob_share_roughly_respected() {
+        // Over many nodes, the share of exact announcements matches.
+        let mut per_node = Vec::new();
+        for _ in 0..400 {
+            per_node.push(vec![(SimTime::from_mins(10), SimTime::from_mins(12))]);
+        }
+        let trace =
+            AvailabilityTrace::from_intervals(SimTime::ZERO, SimTime::from_mins(60), per_node);
+        let model = DemandModel::default();
+        let claims = model.claims_for(&trace, 3);
+        let later: Vec<_> = claims
+            .iter()
+            .filter(|c| c.start > SimTime::ZERO)
+            .collect();
+        let exact = later.iter().filter(|c| c.announced == c.start).count();
+        let share = exact as f64 / later.len() as f64;
+        assert!(
+            (share - model.exact_prob).abs() < 0.1,
+            "exact share = {share}"
+        );
+    }
+
+    #[test]
+    fn initial_claims_cover_full_cluster_start() {
+        let claims = DemandModel::default().claims_for(&trace_one_node(), 2);
+        let first = &claims[0];
+        assert_eq!(first.submit_at, SimTime::ZERO);
+        assert_eq!(first.announced, SimTime::ZERO);
+    }
+
+    #[test]
+    fn spec_conversion_roundtrips() {
+        let claims = DemandModel::default().claims_for(&trace_one_node(), 4);
+        let spec = claims[1].to_spec();
+        assert_eq!(spec.pinned_nodes.as_deref(), Some(&[NodeId(0)][..]));
+        assert_eq!(spec.earliest_start, Some(claims[1].start));
+        assert!(spec.time_limit >= claims[1].duration);
+    }
+
+    #[test]
+    fn claims_sorted_by_submit_time() {
+        let m = DemandModel::default();
+        let trace = IdleTraceFixture::small();
+        let claims = m.claims_for(&trace, 5);
+        for w in claims.windows(2) {
+            assert!(w[0].submit_at <= w[1].submit_at);
+        }
+    }
+
+    struct IdleTraceFixture;
+    impl IdleTraceFixture {
+        fn small() -> AvailabilityTrace {
+            AvailabilityTrace::from_intervals(
+                SimTime::ZERO,
+                SimTime::from_mins(120),
+                vec![
+                    vec![(SimTime::from_mins(5), SimTime::from_mins(9))],
+                    vec![(SimTime::from_mins(50), SimTime::from_mins(70))],
+                    vec![],
+                ],
+            )
+        }
+    }
+}

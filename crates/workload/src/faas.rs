@@ -1,0 +1,126 @@
+//! FaaS request workloads.
+//!
+//! * [`ConstantRateLoadGen`] — the paper's responsiveness workload
+//!   (§V-C): a constant 10 calls/second spread uniformly over 100
+//!   identical sleep functions with distinct names, 864,000 requests
+//!   over 24 h, generated open-loop (Gatling style).
+//! * [`AzureDurationModel`] — a duration mix shaped like the Azure
+//!   Functions characterization the paper cites (§I: 50% of functions
+//!   complete in < 3 s, 90% in < 1 min), for the workload examples.
+
+use simcore::dist::{LogNormal, Sample};
+use simcore::{SimDuration, SimRng, SimTime};
+
+/// Open-loop constant-rate request generator.
+#[derive(Debug, Clone)]
+pub struct ConstantRateLoadGen {
+    /// Requests per second.
+    pub qps: f64,
+    /// Number of distinct functions to spread requests over.
+    pub n_functions: usize,
+}
+
+impl ConstantRateLoadGen {
+    /// The paper's configuration: 10 QPS over 100 functions.
+    pub fn paper() -> Self {
+        ConstantRateLoadGen {
+            qps: 10.0,
+            n_functions: 100,
+        }
+    }
+
+    /// Fixed spacing between consecutive requests.
+    pub fn spacing(&self) -> SimDuration {
+        SimDuration::from_secs_f64(1.0 / self.qps)
+    }
+
+    /// Total requests over a horizon.
+    pub fn total_requests(&self, horizon: SimDuration) -> u64 {
+        (horizon.as_secs_f64() * self.qps).round() as u64
+    }
+
+    /// The function index for the `i`-th request (uniform random but
+    /// deterministic per seed).
+    pub fn function_for(&self, i: u64, rng: &mut SimRng) -> usize {
+        let _ = i;
+        rng.index(self.n_functions)
+    }
+
+    /// Timestamp of the `i`-th request.
+    pub fn time_of(&self, i: u64) -> SimTime {
+        SimTime::from_millis((i as f64 * 1_000.0 / self.qps).round() as u64)
+    }
+}
+
+/// Azure-like function-duration mix.
+#[derive(Debug, Clone)]
+pub struct AzureDurationModel {
+    dist: LogNormal,
+    bounds_secs: (f64, f64),
+}
+
+impl Default for AzureDurationModel {
+    fn default() -> Self {
+        // Median 3 s; P(d < 60 s) = 90%  →  sigma = ln(20)/1.2816.
+        AzureDurationModel {
+            dist: LogNormal::from_median_and_quantile(3.0, 0.90, 60.0),
+            bounds_secs: (0.01, 540.0),
+        }
+    }
+}
+
+impl AzureDurationModel {
+    /// Sample one function duration.
+    pub fn sample(&self, rng: &mut SimRng) -> SimDuration {
+        let s = self
+            .dist
+            .sample(rng)
+            .clamp(self.bounds_secs.0, self.bounds_secs.1);
+        SimDuration::from_secs_f64(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_loadgen_produces_864k_requests_per_day() {
+        let g = ConstantRateLoadGen::paper();
+        assert_eq!(g.total_requests(SimDuration::from_hours(24)), 864_000);
+        assert_eq!(g.spacing(), SimDuration::from_millis(100));
+    }
+
+    #[test]
+    fn request_times_are_evenly_spaced() {
+        let g = ConstantRateLoadGen::paper();
+        assert_eq!(g.time_of(0), SimTime::ZERO);
+        assert_eq!(g.time_of(10), SimTime::from_secs(1));
+        assert_eq!(g.time_of(35), SimTime::from_millis(3_500));
+    }
+
+    #[test]
+    fn function_choice_covers_all_functions() {
+        let g = ConstantRateLoadGen::paper();
+        let mut rng = SimRng::seed_from_u64(1);
+        let mut seen = vec![false; g.n_functions];
+        for i in 0..5_000 {
+            seen[g.function_for(i, &mut rng)] = true;
+        }
+        assert!(seen.iter().all(|s| *s), "all 100 functions exercised");
+    }
+
+    #[test]
+    fn azure_durations_match_cited_marginals() {
+        let m = AzureDurationModel::default();
+        let mut rng = SimRng::seed_from_u64(2);
+        let mut d: Vec<f64> = (0..30_000)
+            .map(|_| m.sample(&mut rng).as_secs_f64())
+            .collect();
+        d.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let med = d[d.len() / 2];
+        assert!((2.2..=3.8).contains(&med), "median = {med} s");
+        let p90 = d[d.len() * 9 / 10];
+        assert!((40.0..=80.0).contains(&p90), "p90 = {p90} s");
+    }
+}

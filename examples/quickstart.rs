@@ -1,0 +1,92 @@
+//! Quickstart: harvest the idle gaps of a small cluster for FaaS.
+//!
+//! Builds an 8-node cluster day with a handcrafted idle pattern, runs
+//! the fib pilot manager and a light request load through the full
+//! HPC-Whisk stack, and prints what the FaaS users and the cluster
+//! operators would each see.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use hpc_whisk::core::{lengths, run_day, DayConfig};
+use hpc_whisk::cluster::AvailabilityTrace;
+use hpc_whisk::simcore::SimTime;
+use hpc_whisk::workload::ConstantRateLoadGen;
+
+fn main() {
+    // When each node is idle over a 2-hour window (minutes).
+    let mins = |m: u64| SimTime::from_mins(m);
+    let gaps = vec![
+        vec![(mins(5), mins(15)), (mins(40), mins(44))],
+        vec![(mins(10), mins(90))],
+        vec![(mins(20), mins(26))],
+        vec![(mins(30), mins(32)), (mins(60), mins(80))],
+        vec![(mins(50), mins(54))],
+        vec![], // this node never idles
+        vec![(mins(70), mins(73))],
+        vec![(mins(100), mins(118))],
+    ];
+    let trace = AvailabilityTrace::from_intervals(SimTime::ZERO, mins(120), gaps);
+
+    // The paper's fib configuration, scaled-down load: 2 requests per
+    // second over 20 functions.
+    let mut cfg = DayConfig::fib_paper(42);
+    cfg.load = Some(ConstantRateLoadGen {
+        qps: 2.0,
+        n_functions: 20,
+    });
+    let mut report = run_day(&trace, cfg);
+
+    println!("== the FaaS user's view ==");
+    let c = &report.whisk_counters;
+    println!("requests submitted: {}", c.submitted);
+    println!(
+        "  accepted {:.1}%  (503 when no worker was available: {})",
+        report.acceptance_rate() * 100.0,
+        c.rejected_503
+    );
+    let (s, f, t) = report.accepted_outcome_shares();
+    println!(
+        "  of accepted: {:.1}% success, {:.1}% failed, {:.1}% timed out",
+        s * 100.0,
+        f * 100.0,
+        t * 100.0
+    );
+    if !report.latency_success_secs.is_empty() {
+        println!(
+            "  median response time: {:.0} ms",
+            report.latency_success_secs.median() * 1000.0
+        );
+    }
+
+    println!("\n== the cluster operator's view ==");
+    let sl = report.slurm_level();
+    println!(
+        "idle-or-pilot nodes on average: {:.2} (median {})",
+        sl.avg_available, sl.median_available
+    );
+    println!(
+        "share of that surface running FaaS pilots: {:.1}%",
+        sl.used_share * 100.0
+    );
+    let cc = &report.cluster_counters;
+    println!(
+        "pilots started: {} (preempted by prime jobs: {})",
+        cc.pilots_started, cc.pilots_preempted
+    );
+    println!(
+        "prime-job delay caused by pilots: max {:.1} s (grace bound: 180 s)",
+        cc.demand_delay_secs.max().unwrap_or(0.0)
+    );
+
+    println!("\n== the clairvoyant bound ==");
+    let sim = report.simulation(lengths::A1.to_vec());
+    println!(
+        "offline greedy fill could have covered {:.1}% of the surface",
+        sim.coverage() * 100.0
+    );
+    let ow = report.ow_level();
+    println!(
+        "healthy invokers over time: avg {:.2}, no-invoker time {}",
+        ow.healthy.3, ow.no_invoker_total
+    );
+}

@@ -1,0 +1,60 @@
+//! Integration: the HPC-Whisk dynamic-worker extensions vs stock
+//! OpenWhisk, end to end — the system-level counterpart of the
+//! `whisk` crate's protocol tests.
+
+use hpc_whisk::core::{run_day, DayConfig};
+use hpc_whisk::simcore::SimDuration;
+use hpc_whisk::whisk::DynamicsMode;
+use hpc_whisk::workload::{ConstantRateLoadGen, IdleModel};
+
+#[test]
+fn baseline_openwhisk_loses_requests_hpcwhisk_does_not() {
+    let mut m = IdleModel::var_day();
+    m.n_nodes = 150;
+    m.target_avg_idle = 4.0;
+    m.forced_outage = None;
+    let trace = m.generate(SimDuration::from_hours(3), 23);
+
+    let mut on = DayConfig::fib_paper(5);
+    on.load = Some(ConstantRateLoadGen {
+        qps: 3.0,
+        n_functions: 30,
+    });
+    let mut off = on.clone();
+    off.whisk.mode = DynamicsMode::Baseline;
+
+    let rep_on = run_day(&trace, on);
+    let rep_off = run_day(&trace, off);
+
+    let lost_on = rep_on.whisk_counters.timeout;
+    let lost_off = rep_off.whisk_counters.timeout;
+    assert!(
+        lost_off > lost_on.saturating_mul(3),
+        "baseline must lose far more: baseline {lost_off} vs hpc-whisk {lost_on}"
+    );
+    // The protocol's bookkeeping was actually exercised.
+    assert!(rep_on.whisk_counters.moved_to_fastlane + rep_on.whisk_counters.refired > 0);
+    assert!(rep_on.whisk_counters.drains_clean > 0);
+    // Stock OpenWhisk never de-registers cleanly.
+    assert_eq!(rep_off.whisk_counters.drains_clean, 0);
+    assert!(rep_off.whisk_counters.hard_deaths > 0);
+}
+
+#[test]
+fn success_rates_match_papers_band_with_protocol_on() {
+    let mut m = IdleModel::fib_day();
+    m.n_nodes = 150;
+    m.target_avg_idle = 5.0;
+    let trace = m.generate(SimDuration::from_hours(3), 31);
+    let mut cfg = DayConfig::fib_paper(6);
+    cfg.load = Some(ConstantRateLoadGen {
+        qps: 3.0,
+        n_functions: 30,
+    });
+    let report = run_day(&trace, cfg);
+    let (succ, fail, timeout) = report.accepted_outcome_shares();
+    // Paper §V-C: 95%+ of accepted invocations end with success.
+    assert!(succ >= 0.93, "success {succ:.3}");
+    assert!(fail <= 0.05, "failed {fail:.3}");
+    assert!(timeout <= 0.05, "timeout {timeout:.3}");
+}

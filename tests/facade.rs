@@ -1,0 +1,77 @@
+//! Smoke tests of the `hpc_whisk` facade: every substrate is reachable
+//! and does its basic job through the re-exported paths.
+
+use hpc_whisk::metrics::{Cdf, StepSeries};
+use hpc_whisk::mq::Broker;
+use hpc_whisk::sebs::{bfs, mst, pagerank, Graph, Kernel, PlatformModel};
+use hpc_whisk::simcore::{Engine, Outbox, SimDuration, SimRng, SimTime};
+use hpc_whisk::whisk::LiveController;
+use hpc_whisk::workload::{AzureDurationModel, HpcWorkloadModel};
+
+#[test]
+fn simcore_engine_via_facade() {
+    let mut engine: Engine<u8> = Engine::new();
+    engine.schedule(SimTime::from_secs(1), 0);
+    let mut n = 0;
+    engine.run_until(
+        SimTime::from_secs(10),
+        &mut |_: SimTime, _: u8, out: &mut Outbox<u8>| {
+            n += 1;
+            if n < 3 {
+                out.after(SimDuration::from_secs(1), 0);
+            }
+        },
+    );
+    assert_eq!(n, 3);
+}
+
+#[test]
+fn metrics_via_facade() {
+    let mut c = Cdf::from_values([1.0, 2.0, 3.0]);
+    assert_eq!(c.median(), 2.0);
+    let mut s = StepSeries::new(SimTime::ZERO, 0.0);
+    s.set(SimTime::from_secs(5), 2.0);
+    assert!((s.time_avg(SimTime::ZERO, SimTime::from_secs(10)) - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn broker_via_facade() {
+    let mut b: Broker<u32> = Broker::new();
+    let t = b.create_topic("x");
+    b.produce(t, SimTime::ZERO, 7);
+    assert_eq!(b.fetch(t, 10)[0].payload, 7);
+}
+
+#[test]
+fn sebs_kernels_via_facade() {
+    let g = Graph::barabasi_albert(500, 2, 1);
+    assert_eq!(bfs(&g, 0).1, 500);
+    assert_eq!(mst(&g).1, 499);
+    let (ranks, _) = pagerank(&g, 1e-8, 100);
+    assert!((ranks.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+    // Platform model and kernel runner cooperate.
+    let m = hpc_whisk::sebs::measure(Kernel::Bfs, &g, 0, 3);
+    assert!(m.on_platform(&PlatformModel::aws_lambda_2048()) > m.median_secs() * 1.1);
+}
+
+#[test]
+fn workload_models_via_facade() {
+    let mut rng = SimRng::seed_from_u64(1);
+    let j = HpcWorkloadModel::prometheus().sample_job(&mut rng);
+    assert!(j.nodes >= 1);
+    let d = AzureDurationModel::default().sample(&mut rng);
+    assert!(d > SimDuration::ZERO);
+}
+
+#[test]
+fn live_controller_via_facade() {
+    let ctrl = LiveController::new();
+    ctrl.start_invoker(1);
+    ctrl.invoke(0, || 5).unwrap();
+    let r = ctrl
+        .results
+        .recv_timeout(std::time::Duration::from_secs(5))
+        .unwrap();
+    assert_eq!(r.value, 5);
+    ctrl.shutdown();
+}

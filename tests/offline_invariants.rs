@@ -1,0 +1,83 @@
+//! Integration: structural invariants of Table I that must hold on any
+//! generated trace — the properties the paper's §IV-B argument rests on.
+
+use hpc_whisk::core::offline::{simulate, OfflineConfig};
+use hpc_whisk::core::lengths;
+use hpc_whisk::simcore::SimDuration;
+use hpc_whisk::workload::IdleModel;
+
+fn day_trace(seed: u64) -> hpc_whisk::cluster::AvailabilityTrace {
+    let mut m = IdleModel::prometheus_week();
+    m.n_nodes = 400;
+    m.target_avg_idle = 4.0;
+    m.generate(SimDuration::from_hours(12), seed)
+}
+
+#[test]
+fn not_used_share_is_identical_across_all_sets() {
+    // Every set contains 2-minute jobs, so greedy fill covers exactly
+    // the even part of every gap: the unusable remainder (sub-2-minute
+    // slivers and odd leftovers) is set-independent.
+    let trace = day_trace(3);
+    let mut unused: Vec<f64> = Vec::new();
+    for (_, set) in lengths::all_sets() {
+        unused.push(simulate(&trace, &OfflineConfig::table1(set)).unused_share);
+    }
+    for u in &unused {
+        assert!(
+            (u - unused[0]).abs() < 1e-9,
+            "unused shares differ: {unused:?}"
+        );
+    }
+}
+
+#[test]
+fn job_count_ordering_matches_the_paper() {
+    // Paper Table I: C2 < C1 < A1 < A3 < A2 < B in number of jobs.
+    let trace = day_trace(5);
+    let count = |set: Vec<u64>| simulate(&trace, &OfflineConfig::table1(set)).n_jobs;
+    let c2 = count(lengths::c2());
+    let c1 = count(lengths::c1());
+    let a1 = count(lengths::A1.to_vec());
+    let a3 = count(lengths::A3.to_vec());
+    let a2 = count(lengths::A2.to_vec());
+    let b = count(lengths::B.to_vec());
+    assert!(c2 <= c1, "C2 {c2} vs C1 {c1}");
+    assert!(c1 <= a1 + a1 / 10, "C1 {c1} vs A1 {a1}");
+    assert!(a1 <= a3, "A1 {a1} vs A3 {a3}");
+    assert!(a3 <= a2, "A3 {a3} vs A2 {a2}");
+    assert!(a2 <= b, "A2 {a2} vs B {b}");
+}
+
+#[test]
+fn more_jobs_means_more_warmup_and_less_ready() {
+    let trace = day_trace(7);
+    let b = simulate(&trace, &OfflineConfig::table1(lengths::B.to_vec()));
+    let c2 = simulate(&trace, &OfflineConfig::table1(lengths::c2()));
+    assert!(b.n_jobs > c2.n_jobs);
+    assert!(b.warmup_share > c2.warmup_share);
+    assert!(b.ready_share < c2.ready_share);
+    // Shares always partition the surface.
+    for r in [&b, &c2] {
+        let sum = r.warmup_share + r.ready_share + r.unused_share;
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn longer_warmup_strictly_hurts() {
+    let trace = day_trace(9);
+    let mut prev_ready = f64::INFINITY;
+    for warmup_secs in [5u64, 20, 60, 110] {
+        let cfg = OfflineConfig {
+            lengths_mins: lengths::A1.to_vec(),
+            warmup: SimDuration::from_secs(warmup_secs),
+        };
+        let r = simulate(&trace, &cfg);
+        assert!(
+            r.ready_share < prev_ready,
+            "ready share must fall as warm-up grows"
+        );
+        prev_ready = r.ready_share;
+    }
+}
