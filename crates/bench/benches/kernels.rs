@@ -9,12 +9,8 @@ fn bench_kernels(c: &mut Criterion) {
     let g = Graph::barabasi_albert(20_000, 3, 7);
     let mut group = c.benchmark_group("sebs");
     group.sample_size(30);
-    group.bench_function("bfs_20k", |b| {
-        b.iter(|| black_box(bfs(&g, 0).1))
-    });
-    group.bench_function("mst_20k", |b| {
-        b.iter(|| black_box(mst(&g).0))
-    });
+    group.bench_function("bfs_20k", |b| b.iter(|| black_box(bfs(&g, 0).1)));
+    group.bench_function("mst_20k", |b| b.iter(|| black_box(mst(&g).0)));
     group.bench_function("pagerank_20k_seq", |b| {
         b.iter(|| black_box(pagerank(&g, 1e-8, 100).1))
     });

@@ -3,8 +3,8 @@
 //! how many calibration sweeps are affordable.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use hpcwhisk_core::offline::{simulate, OfflineConfig};
 use hpcwhisk_core::lengths;
+use hpcwhisk_core::offline::{simulate, OfflineConfig};
 use simcore::SimDuration;
 use std::hint::black_box;
 use workload::IdleModel;

@@ -60,7 +60,11 @@ fn main() {
     let lost_off = rep_off.whisk_counters.timeout;
     println!(
         "→ requests lost (timeout): {lost_off} baseline vs {lost_on} with the drain protocol ({}x)",
-        if lost_on > 0 { lost_off / lost_on.max(1) } else { lost_off }
+        if lost_on > 0 {
+            lost_off / lost_on.max(1)
+        } else {
+            lost_off
+        }
     );
 
     section("Ablation 2: fib longest-first priority vs uniform priority");

@@ -9,10 +9,12 @@
 //! short jobs in front of blocked wide jobs, and preemption driven by
 //! genuinely unpredictable job completions.
 
-use cluster::{ClusterEvent, ClusterNote, ClusterSim, JobKind, PollSample, SlurmConfig};
+use cluster::{ClusterEvent, ClusterNote, ClusterSim, Counters, JobKind, PollSample, SlurmConfig};
 use hpcwhisk_bench::{quick_mode, section, Comparison};
 use hpcwhisk_core::coverage;
 use hpcwhisk_core::{lengths, FibManager, PilotManager, REPLENISH_EVERY};
+use metrics::OnlineStats;
+use rayon::prelude::*;
 use simcore::{Engine, Outbox, SimDuration, SimRng, SimTime};
 use workload::{BacklogDriver, HpcWorkloadModel};
 
@@ -24,18 +26,21 @@ enum Ev {
     PilotExit(cluster::JobId),
 }
 
-fn main() {
-    let (n_nodes, hours) = if quick_mode() { (200, 2) } else { (1_000, 12) };
-    let horizon = SimTime::from_hours(hours);
-    let warmup_window = SimTime::from_mins(45); // scheduler fill-up
+/// Scheduler fill-up window excluded from the reported samples.
+const WARMUP_MINS: u64 = 45;
 
-    let mut sim = ClusterSim::new(SlurmConfig::default(), n_nodes, 2022);
+/// One closed-loop run, fully determined by `seed`.
+fn run_closed_loop(seed: u64, n_nodes: usize, hours: u64) -> (Counters, Vec<PollSample>) {
+    let horizon = SimTime::from_hours(hours);
+    let warmup_window = SimTime::from_mins(WARMUP_MINS);
+
+    let mut sim = ClusterSim::new(SlurmConfig::default(), n_nodes, seed);
     let model = HpcWorkloadModel::prometheus();
     let driver = BacklogDriver::new(model, n_nodes);
     let mut manager = FibManager::paper(lengths::A1.to_vec());
-    let mut rng = SimRng::seed_from_u64(77);
+    let mut rng = SimRng::seed_from_u64(seed ^ 77);
 
-    let mut engine: Engine<Ev> = Engine::new();
+    let mut engine: Engine<Ev> = Engine::with_queue_capacity(4_096);
     {
         let mut co = Outbox::new(SimTime::ZERO);
         sim.bootstrap(SimTime::ZERO, &mut co);
@@ -48,69 +53,90 @@ fn main() {
 
     let mut samples: Vec<PollSample> = Vec::new();
 
-    engine.run_until(horizon, &mut |now: SimTime,
-                                    ev: Ev,
-                                    out: &mut Outbox<Ev>| {
-        let mut co = Outbox::new(now);
-        let mut notes: Vec<ClusterNote> = Vec::new();
-        match ev {
-            Ev::C(e) => sim.handle(now, e, &mut co, &mut notes),
-            Ev::HpcTick => {
-                // Refresh the pending-work estimate from the queue and
-                // top the backlog up to the driver's target.
-                let mut est = 0.0;
-                sim_pending_hpc(&sim, &mut est);
-                if std::env::var("CLOSED_LOOP_DEBUG").is_ok()
-                    && now.as_mins_f64() as u64 % 15 == 0
-                {
-                    let hpc_pending = sim.pending_matching(|j| j.spec.kind == JobKind::Hpc);
-                    eprintln!(
+    engine.run_until(
+        horizon,
+        &mut |now: SimTime, ev: Ev, out: &mut Outbox<Ev>| {
+            let mut co = Outbox::new(now);
+            let mut notes: Vec<ClusterNote> = Vec::new();
+            match ev {
+                Ev::C(e) => sim.handle(now, e, &mut co, &mut notes),
+                Ev::HpcTick => {
+                    // Refresh the pending-work estimate from the queue and
+                    // top the backlog up to the driver's target.
+                    let mut est = 0.0;
+                    sim_pending_hpc(&sim, &mut est);
+                    if std::env::var("CLOSED_LOOP_DEBUG").is_ok()
+                        && (now.as_mins_f64() as u64).is_multiple_of(15)
+                    {
+                        let hpc_pending = sim.pending_matching(|j| j.spec.kind == JobKind::Hpc);
+                        eprintln!(
                         "[{now}] idle={} pilot={} pending_hpc={} pending_nh={est:.0} started={}",
                         sim.n_idle(),
                         sim.n_pilot_nodes(),
                         hpc_pending,
                         sim.counters().hpc_started
                     );
+                    }
+                    for spec in driver.replenish(est, &mut rng) {
+                        sim.submit(now, spec, &mut co);
+                    }
+                    out.after(SimDuration::from_mins(1), Ev::HpcTick);
                 }
-                for spec in driver.replenish(est, &mut rng) {
-                    sim.submit(now, spec, &mut co);
+                Ev::ManagerTick => {
+                    for spec in manager.replenish(&sim) {
+                        sim.submit(now, spec, &mut co);
+                    }
+                    out.after(REPLENISH_EVERY, Ev::ManagerTick);
                 }
-                out.after(SimDuration::from_mins(1), Ev::HpcTick);
+                Ev::PilotExit(j) => sim.pilot_exited(now, j, &mut co, &mut notes),
             }
-            Ev::ManagerTick => {
-                for spec in manager.replenish(&sim) {
-                    sim.submit(now, spec, &mut co);
-                }
-                out.after(REPLENISH_EVERY, Ev::ManagerTick);
+            for (t, e) in co.drain() {
+                out.at(t, Ev::C(e));
             }
-            Ev::PilotExit(j) => sim.pilot_exited(now, j, &mut co, &mut notes),
-        }
-        for (t, e) in co.drain() {
-            out.at(t, Ev::C(e));
-        }
-        for n in notes {
-            match n {
-                ClusterNote::JobSigterm { job, .. } => {
-                    if sim.job(job).spec.kind == JobKind::Pilot {
+            for n in notes {
+                match n {
+                    ClusterNote::JobSigterm { job, .. }
+                        if sim.job(job).spec.kind == JobKind::Pilot =>
+                    {
                         // Invoker drains in ~2 s and exits.
                         out.after(SimDuration::from_secs(2), Ev::PilotExit(job));
                     }
-                }
-                ClusterNote::Polled(s) => {
-                    if now >= warmup_window {
+                    ClusterNote::Polled(s) if now >= warmup_window => {
                         samples.push(s);
                     }
+                    _ => {}
                 }
-                _ => {}
             }
-        }
-    });
+        },
+    );
+
+    (sim.counters().clone(), samples)
+}
+
+fn main() {
+    let (n_nodes, hours) = if quick_mode() { (200, 2) } else { (1_000, 12) };
+    let seeds: Vec<u64> = if quick_mode() {
+        vec![2022]
+    } else {
+        vec![2022, 2023, 2024]
+    };
+
+    // Independent replications across seeds, one core each (the rayon
+    // fanout leaves per-seed determinism untouched).
+    let runs: Vec<(u64, Counters, Vec<PollSample>)> = seeds
+        .clone()
+        .into_par_iter()
+        .map(|seed| {
+            let (c, samples) = run_closed_loop(seed, n_nodes, hours);
+            (seed, c, samples)
+        })
+        .collect();
+    let (c, samples) = (&runs[0].1, &runs[0].2);
 
     section("Closed-loop harvest: emergent idleness from a generated job stream");
-    let c = sim.counters();
     println!(
-        "{n_nodes} nodes, {hours} h (first {} warm-up excluded)",
-        warmup_window
+        "{n_nodes} nodes, {hours} h (first {WARMUP_MINS} min warm-up excluded), seed {}",
+        seeds[0]
     );
     println!(
         "HPC jobs started {} / completed {}; backfill reservations created: {}",
@@ -121,7 +147,7 @@ fn main() {
         c.pilots_started, c.pilots_preempted, c.pilots_timed_out
     );
 
-    let sl = coverage::slurm_level(&samples);
+    let sl = coverage::slurm_level(samples);
     let utilization = 1.0 - sl.avg_available / n_nodes as f64;
     println!(
         "emergent utilization: {:.2}% busy; {:.2} available nodes on average",
@@ -137,6 +163,32 @@ fn main() {
          preemptions show the safety valve worked {} times",
         c.pilots_preempted
     );
+
+    if runs.len() > 1 {
+        section("Replication stability across seeds");
+        let mut util = OnlineStats::new();
+        let mut cov = OnlineStats::new();
+        println!("seed | utilization % | coverage % | pilots | preempted");
+        for (seed, rc, rs) in &runs {
+            let rsl = coverage::slurm_level(rs);
+            let ru = (1.0 - rsl.avg_available / n_nodes as f64) * 100.0;
+            println!(
+                "{seed} | {ru:>13.2} | {:>10.1} | {:>6} | {:>9}",
+                rsl.used_share * 100.0,
+                rc.pilots_started,
+                rc.pilots_preempted
+            );
+            util.add(ru);
+            cov.add(rsl.used_share * 100.0);
+        }
+        println!(
+            "utilization {:.2}% ± {:.2}; coverage {:.1}% ± {:.1}",
+            util.mean(),
+            util.stddev(),
+            cov.mean(),
+            cov.stddev()
+        );
+    }
 
     section("Sanity vs the paper's regime");
     let mut cmp = Comparison::new();

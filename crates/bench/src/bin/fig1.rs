@@ -74,11 +74,19 @@ fn main() {
     c.add("median idle nodes", 5.0, counts.quantile(0.5));
     c.add("~80th pctile idle nodes", 13.0, counts.quantile(0.8));
     c.add("zero-idle share %", 10.11, zero_frac * 100.0);
-    c.add("longest zero-idle h", 1.55, longest_zero.as_secs_f64() / 3600.0);
+    c.add(
+        "longest zero-idle h",
+        1.55,
+        longest_zero.as_secs_f64() / 3600.0,
+    );
     c.add("median idle period min", 2.0, lens.median());
     c.add("p75 idle period min", 4.0, lens.quantile(0.75));
     c.add("mean idle period min", 5.0, lens.mean());
-    c.add("P(idle period > 23 min) %", 5.0, lens.fraction_gt(23.0) * 100.0);
+    c.add(
+        "P(idle period > 23 min) %",
+        5.0,
+        lens.fraction_gt(23.0) * 100.0,
+    );
     c.add(
         "idle surface core-hours (24-core nodes)",
         37_000.0,

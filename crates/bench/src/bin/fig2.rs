@@ -19,7 +19,10 @@ fn main() {
     for _ in 0..n_jobs {
         let j = model.sample_job(&mut rng);
         let lim = j.time_limit.as_mins_f64();
-        let rt = j.actual_runtime.expect("hpc jobs have runtimes").as_mins_f64();
+        let rt = j
+            .actual_runtime
+            .expect("hpc jobs have runtimes")
+            .as_mins_f64();
         limits.add(lim);
         runtimes.add(rt);
         slack.add(lim - rt);
@@ -37,8 +40,12 @@ fn main() {
             slack.quantile(p)
         );
     }
-    println!("\njob sizes: median {} nodes, p90 {} nodes, max {} nodes",
-        sizes.quantile(0.5), sizes.quantile(0.9), sizes.max());
+    println!(
+        "\njob sizes: median {} nodes, p90 {} nodes, max {} nodes",
+        sizes.quantile(0.5),
+        sizes.quantile(0.9),
+        sizes.max()
+    );
 
     section("Paper vs measured");
     let mut c = Comparison::new();

@@ -18,9 +18,12 @@ use simcore::{SimDuration, SimTime};
 const JOBS: [(u32, u64); 4] = [(3, 5), (1, 13), (2, 7), (4, 8)];
 const N_NODES: usize = 5;
 
+/// One placed job: `(job index, start, end, nodes)`.
+type PlacedJob = (usize, u64, u64, Vec<usize>);
+
 /// A list schedule: jobs placed in the given order, each at the
 /// earliest time enough nodes are simultaneously free.
-fn list_schedule(order: &[usize]) -> (u64, Vec<(usize, u64, u64, Vec<usize>)>) {
+fn list_schedule(order: &[usize]) -> (u64, Vec<PlacedJob>) {
     // free_at[n] = when node n becomes free.
     let mut free_at = [0u64; N_NODES];
     let mut placed = Vec::new();

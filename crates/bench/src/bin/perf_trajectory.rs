@@ -1,0 +1,209 @@
+//! Perf-trajectory probe: times the measured hot paths (scheduler
+//! passes at production scale, DES engine dispatch, event queue, broker,
+//! offline simulator) *without* criterion and writes the results to
+//! `BENCH_results.json`, so successive PRs can track the performance
+//! trajectory with a single `cargo run --release -p hpcwhisk_bench
+//! --bin perf_trajectory [output.json]`.
+//!
+//! Methodology: per hot path, the setup is rebuilt outside the timed
+//! region, the routine runs `iters` times, and the reported figure is
+//! the **median** over `samples` repetitions (robust to scheduler
+//! noise). Absolute numbers are machine-dependent; the file is a
+//! trajectory record, not a cross-machine comparison.
+
+use cluster::{ClusterEvent, ClusterSim, JobSpec, SlurmConfig};
+use hpcwhisk_core::offline::{simulate, OfflineConfig};
+use hpcwhisk_core::{lengths, FibManager, PilotManager};
+use mq::Broker;
+use simcore::{Engine, EventQueue, Outbox, SimDuration, SimTime};
+use std::hint::black_box;
+use std::time::Instant;
+use workload::IdleModel;
+
+struct Probe {
+    name: &'static str,
+    ns_per_op: f64,
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs[xs.len() / 2]
+}
+
+/// Time `routine` on fresh `setup` output, `iters` ops per sample.
+fn probe<I, O>(
+    name: &'static str,
+    samples: usize,
+    iters: usize,
+    mut setup: impl FnMut() -> I,
+    mut routine: impl FnMut(I) -> O,
+) -> Probe {
+    let mut per_sample = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+        let t = Instant::now();
+        for input in inputs {
+            black_box(routine(input));
+        }
+        per_sample.push(t.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    let ns = median(per_sample);
+    eprintln!("{name:<36} {:>12.0} ns/op  ({:>10.1} ops/s)", ns, 1e9 / ns);
+    Probe {
+        name,
+        ns_per_op: ns,
+    }
+}
+
+/// The scheduler bench fixture: a 2,239-node cluster, ~95% occupied by
+/// pinned demand, with a full fib pilot queue pending (mirrors
+/// `benches/scheduler.rs`).
+fn loaded_cluster() -> ClusterSim {
+    let mut sim = ClusterSim::new(SlurmConfig::default(), 2_239, 1);
+    let mut out = Outbox::new(SimTime::ZERO);
+    let mut notes = Vec::new();
+    for n in 0..2_128u32 {
+        sim.force_start(
+            SimTime::ZERO,
+            JobSpec::pinned_demand(
+                vec![cluster::NodeId(n)],
+                SimTime::ZERO,
+                SimTime::ZERO,
+                SimDuration::from_hours(8),
+                SimDuration::from_hours(7),
+            ),
+            &mut out,
+            &mut notes,
+        );
+    }
+    let mut mgr = FibManager::paper(lengths::A1.to_vec());
+    for spec in mgr.replenish(&sim) {
+        sim.submit(SimTime::ZERO, spec, &mut out);
+    }
+    sim
+}
+
+fn cluster_pass(ev: ClusterEvent) -> impl FnMut(ClusterSim) -> usize {
+    move |mut sim: ClusterSim| {
+        let mut out = Outbox::new(SimTime::ZERO);
+        let mut notes = Vec::new();
+        sim.handle(SimTime::ZERO, ev.clone(), &mut out, &mut notes);
+        notes.len()
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_results.json".to_string());
+    // Fail fast on an unwritable destination — the probes below take a
+    // while and their results would be lost.
+    if let Err(e) = std::fs::write(&out_path, "{}\n") {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(2);
+    }
+    let mut probes = Vec::new();
+
+    probes.push(probe(
+        "scheduler/backfill_pass_2239_nodes",
+        9,
+        3,
+        loaded_cluster,
+        cluster_pass(ClusterEvent::BackfillPass),
+    ));
+    probes.push(probe(
+        "scheduler/quick_pass_2239_nodes",
+        9,
+        3,
+        loaded_cluster,
+        cluster_pass(ClusterEvent::QuickPass),
+    ));
+    probes.push(probe(
+        "scheduler/poll_sample_2239_nodes",
+        9,
+        3,
+        loaded_cluster,
+        cluster_pass(ClusterEvent::Poll),
+    ));
+    probes.push(probe(
+        "engine/ping_chain_100k",
+        7,
+        1,
+        || (),
+        |()| {
+            let mut engine: Engine<u32> = Engine::new();
+            engine.schedule(SimTime::ZERO, 0u32);
+            let mut count = 0u64;
+            engine.run_until(
+                SimTime::from_secs(100_000),
+                &mut |_now: SimTime, ev: u32, out: &mut Outbox<u32>| {
+                    count += 1;
+                    if count < 100_000 {
+                        out.after(SimDuration::from_millis(1_000), ev.wrapping_add(1));
+                    }
+                },
+            );
+            count
+        },
+    ));
+    probes.push(probe(
+        "event_queue/push_pop_10k",
+        9,
+        5,
+        EventQueue::<u64>::new,
+        |mut q| {
+            for i in 0..10_000u64 {
+                q.push(SimTime::from_millis((i * 7919) % 100_000), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, e)) = q.pop() {
+                acc = acc.wrapping_add(e);
+            }
+            acc
+        },
+    ));
+    probes.push(probe(
+        "broker/produce_fetch_10k",
+        9,
+        5,
+        || {
+            let mut br: Broker<u64> = Broker::new();
+            let t = br.create_topic("t");
+            (br, t)
+        },
+        |(mut br, t)| {
+            for i in 0..10_000u64 {
+                br.produce(t, SimTime::ZERO, i);
+            }
+            let mut acc = 0u64;
+            while !br.fetch(t, 64).is_empty() {
+                acc += 1;
+            }
+            acc
+        },
+    ));
+    {
+        let trace = IdleModel::prometheus_week().generate(SimDuration::from_hours(24), 42);
+        probes.push(probe(
+            "offline/simulate_A1_day",
+            7,
+            1,
+            || (),
+            |()| simulate(&trace, &OfflineConfig::table1(lengths::A1.to_vec())).n_jobs,
+        ));
+    }
+
+    let mut json = String::from("{\n  \"probes\": [\n");
+    for (i, p) in probes.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"ns_per_op\": {:.0}, \"ops_per_sec\": {:.2}}}{}\n",
+            p.name,
+            p.ns_per_op,
+            1e9 / p.ns_per_op,
+            if i + 1 < probes.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, json).expect("write results file");
+    eprintln!("wrote {out_path}");
+}

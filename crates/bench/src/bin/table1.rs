@@ -70,7 +70,9 @@ fn main() {
         "C2 has the fewest jobs / best ready share",
         "yes",
         if c2.n_jobs <= c1.n_jobs
-            && reports.iter().all(|(_, _, r)| c2.ready_share >= r.ready_share - 1e-9)
+            && reports
+                .iter()
+                .all(|(_, _, r)| c2.ready_share >= r.ready_share - 1e-9)
         {
             "yes"
         } else {
@@ -81,7 +83,9 @@ fn main() {
         "B places the most jobs / worst ready share",
         "yes",
         if reports.iter().all(|(_, _, r)| b.n_jobs >= r.n_jobs)
-            && reports.iter().all(|(_, _, r)| b.ready_share <= r.ready_share + 1e-9)
+            && reports
+                .iter()
+                .all(|(_, _, r)| b.ready_share <= r.ready_share + 1e-9)
         {
             "yes"
         } else {

@@ -109,7 +109,10 @@ fn main() {
         fail * 100.0,
         to_share * 100.0
     );
-    println!("median response time of successes: {:.0} ms", med_rt * 1000.0);
+    println!(
+        "median response time of successes: {:.0} ms",
+        med_rt * 1000.0
+    );
 
     section("Paper vs measured");
     let mut c = Comparison::new();

@@ -123,7 +123,10 @@ fn main() {
         fail * 100.0,
         to_share * 100.0
     );
-    println!("median response time of successes: {:.0} ms", med_rt * 1000.0);
+    println!(
+        "median response time of successes: {:.0} ms",
+        med_rt * 1000.0
+    );
 
     section("Diagnostics");
     let cc = &rep.cluster_counters;

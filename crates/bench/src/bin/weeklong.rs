@@ -9,7 +9,7 @@
 //! uses the Fig. 1 idle-process calibration.
 
 use hpcwhisk_bench::{quick_mode, section};
-use hpcwhisk_core::{lengths, run_day, DayConfig};
+use hpcwhisk_core::{lengths, DayConfig};
 use metrics::OnlineStats;
 use rayon::prelude::*;
 use simcore::SimDuration;
@@ -28,19 +28,30 @@ fn main() {
     };
 
     section("Week-long fib harvest (per-day runs)");
-    println!("day | avail avg | coverage % | clairvoyant % | pilots | preempted | max prime delay s");
+    println!(
+        "day | avail avg | coverage % | clairvoyant % | pilots | preempted | max prime delay s"
+    );
 
-    let results: Vec<(u64, f64, f64, f64, u64, u64, f64)> = (0..days)
+    // Trace generation fans out with rayon; the day simulations go
+    // through the shared parallel driver (deterministic per-seed).
+    let day_inputs: Vec<_> = (0..days)
         .into_par_iter()
         .map(|day| {
             let trace = model.generate(SimDuration::from_hours(24), 100 + day);
             let mut cfg = DayConfig::fib_paper(100 + day);
             cfg.load = None;
-            let rep = run_day(&trace, cfg);
+            (trace, cfg)
+        })
+        .collect();
+    let reports = hpcwhisk_core::run_days(day_inputs);
+    let results: Vec<(u64, f64, f64, f64, u64, u64, f64)> = reports
+        .into_iter()
+        .enumerate()
+        .map(|(day, rep)| {
             let slurm = rep.slurm_level();
             let sim = rep.simulation(lengths::A1.to_vec());
             (
-                day,
+                day as u64,
                 slurm.avg_available,
                 slurm.used_share * 100.0,
                 sim.coverage() * 100.0,

@@ -84,7 +84,10 @@ impl SlurmConfig {
     /// Number of slots in the backfill window.
     pub fn n_slots(&self) -> u32 {
         let n = self.bf_window.as_millis() / self.bf_resolution.as_millis();
-        assert!(n >= 1 && n <= 63, "window/resolution must give 1..=63 slots");
+        assert!(
+            (1..=63).contains(&n),
+            "window/resolution must give 1..=63 slots"
+        );
         n as u32
     }
 

@@ -6,7 +6,7 @@
 //! which reacts by booting/draining OpenWhisk invokers and feeds the
 //! poll log into coverage accounting.
 
-use crate::ids::{JobId, NodeId};
+use crate::ids::{JobId, NodeId, NodeList};
 use crate::job::JobOutcome;
 use simcore::SimTime;
 
@@ -84,7 +84,7 @@ pub enum ClusterNote {
         /// The job.
         job: JobId,
         /// Allocated nodes.
-        nodes: Vec<NodeId>,
+        nodes: NodeList,
         /// Scheduler-granted end time.
         granted_end: SimTime,
     },

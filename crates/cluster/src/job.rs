@@ -1,6 +1,6 @@
 //! Job specifications and lifecycle state.
 
-use crate::ids::NodeId;
+use crate::ids::{NodeId, NodeList};
 use simcore::{SimDuration, SimTime};
 
 /// What kind of job this is, determining its scheduling treatment.
@@ -40,7 +40,7 @@ pub struct JobSpec {
     pub preemptible: bool,
     /// Trace-driven mode: the job must run exactly on these nodes
     /// (models exogenous prime demand claiming specific nodes).
-    pub pinned_nodes: Option<Vec<NodeId>>,
+    pub pinned_nodes: Option<NodeList>,
     /// Trace-driven mode: earliest start (the demand's intended claim
     /// time); the scheduler will not start the job before it.
     pub earliest_start: Option<SimTime>,
@@ -126,7 +126,7 @@ impl JobSpec {
             priority_tier: 1,
             priority: 0,
             preemptible: false,
-            pinned_nodes: Some(nodes),
+            pinned_nodes: Some(nodes.into()),
             earliest_start: Some(start),
             announced_start: Some(announced.max(start)),
         }
@@ -161,7 +161,7 @@ pub enum JobState {
         /// Scheduler-granted end (start + granted duration).
         granted_end: SimTime,
         /// Allocated nodes.
-        nodes: Vec<NodeId>,
+        nodes: NodeList,
     },
     /// Received SIGTERM; will be SIGKILLed at `kill_at` unless it exits
     /// first.
@@ -171,7 +171,7 @@ pub enum JobState {
         /// SIGKILL deadline.
         kill_at: SimTime,
         /// Allocated nodes.
-        nodes: Vec<NodeId>,
+        nodes: NodeList,
         /// What the eventual outcome will be recorded as.
         outcome: JobOutcome,
     },
@@ -279,7 +279,7 @@ mod tests {
         j.state = JobState::Running {
             start: SimTime::from_secs(5),
             granted_end: SimTime::from_secs(125),
-            nodes: vec![NodeId(3)],
+            nodes: NodeList::single(NodeId(3)),
         };
         assert!(j.is_active());
         assert_eq!(j.held_nodes(), &[NodeId(3)]);

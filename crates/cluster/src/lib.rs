@@ -35,7 +35,7 @@ pub mod trace;
 
 pub use config::SlurmConfig;
 pub use events::{ClusterEvent, ClusterNote, PollSample, SigtermReason};
-pub use ids::{JobId, NodeId};
+pub use ids::{JobId, NodeId, NodeList};
 pub use job::{Job, JobKind, JobOutcome, JobSpec, JobState};
 pub use node::{Node, NodeState};
 pub use sim::{ClusterSeries, ClusterSim, Counters};

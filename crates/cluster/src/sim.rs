@@ -19,10 +19,31 @@
 //! invoker and calling [`ClusterSim::pilot_exited`], which releases the
 //! node within seconds — this is how "HPC-Whisk jobs never significantly
 //! dislodge HPC jobs" (§III-D) is realized.
+//!
+//! # Pass-cost engineering
+//!
+//! Three structures keep a pass cheap on a 2,239-node cluster:
+//!
+//! * a **per-node projection summary** ([`NodeProjection`]), refreshed
+//!   incrementally on node/job transitions, so building the pass
+//!   timelines is a branch-light linear sweep that never touches the
+//!   job table;
+//! * a **state epoch + clean-pass marker**: every scheduling-relevant
+//!   mutation bumps `epoch`; a rate-limited quick pass whose epoch
+//!   matches the last *mutation-free* quick pass (and with no pinned
+//!   claim newly due) is a proven no-op and returns in O(1);
+//! * the cluster-wide **idle bitset** intersected with the timeline's
+//!   slot-0-free bitset, so the per-job eligible/startable lookup
+//!   inspects only candidate nodes instead of scanning the cluster.
+//!
+//! The pre-optimization pass is retained as `run_pass_reference`
+//! (enabled via [`ClusterSim::set_reference_mode`]); a differential
+//! proptest in `tests/differential.rs` asserts both produce bit-equal
+//! schedules.
 
 use crate::config::SlurmConfig;
 use crate::events::{ClusterEvent, ClusterNote, PollSample, SigtermReason};
-use crate::ids::{JobId, NodeId};
+use crate::ids::{JobId, NodeId, NodeList};
 use crate::job::{Job, JobKind, JobOutcome, JobSpec, JobState};
 use crate::node::{Node, NodeState};
 use crate::timeline::{FitPolicy, Timeline};
@@ -42,8 +63,8 @@ struct Reservation {
 /// A job waiting for preempted/busy nodes to be handed over.
 #[derive(Debug, Clone)]
 struct Handover {
-    needed: Vec<NodeId>,
-    ready: Vec<NodeId>,
+    needed: NodeList,
+    ready: NodeList,
 }
 
 /// Which flavour of scheduling pass is running.
@@ -51,6 +72,23 @@ struct Handover {
 enum PassMode {
     Quick,
     Backfill,
+}
+
+/// How a node projects onto the pass timelines — a cached summary of
+/// `(node state, holder job state, waiter status)`, refreshed on every
+/// transition so a pass never consults the job table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NodeProjection {
+    /// Idle: free in both views.
+    Free,
+    /// Down, reserved, or draining with a promised waiter: blocked in
+    /// both views for the whole window.
+    Blocked,
+    /// Held by a preemptible pilot until `t`: blocked in the pilot view
+    /// only (invisible to the HPC view).
+    PilotUntil(SimTime),
+    /// Held by a non-preemptible job until `t`: blocked in both views.
+    BothUntil(SimTime),
 }
 
 /// Ground-truth state series maintained by the simulator (the poller's
@@ -82,6 +120,9 @@ pub struct Counters {
     pub pilots_node_failed: u64,
     /// Quick passes executed.
     pub quick_passes: u64,
+    /// Quick passes proven no-ops by the epoch check and skipped in O(1)
+    /// (counted inside `quick_passes` as well).
+    pub quick_passes_skipped: u64,
     /// Backfill passes executed.
     pub backfill_passes: u64,
     /// Future-start reservations created.
@@ -110,12 +151,33 @@ pub struct ClusterSim {
     n_idle: i64,
     n_pilot: i64,
     n_down: i64,
+    /// Cached per-node pass projections (see [`NodeProjection`]).
+    projection: Vec<NodeProjection>,
+    /// Bit `n` set iff node `n` is idle — intersected with the
+    /// timeline's slot-0-free set for the eligible-node lookup.
+    idle_bits: Vec<u64>,
+    /// Bumped on every scheduling-relevant mutation.
+    epoch: u64,
+    /// Epoch recorded by the last quick pass that completed without any
+    /// mutation; a matching epoch proves the next quick pass a no-op.
+    quick_clean_epoch: Option<u64>,
+    /// Earliest future `earliest_start` among pending pinned claims at
+    /// the time `quick_clean_epoch` was recorded.
+    next_pinned_due: Option<SimTime>,
+    /// Run the retained pre-optimization pass instead (differential
+    /// tests only).
+    reference_mode: bool,
 }
 
 impl ClusterSim {
     /// A cluster of `n_nodes` idle nodes.
     pub fn new(cfg: SlurmConfig, n_nodes: usize, seed: u64) -> Self {
         let start = SimTime::ZERO;
+        let words = n_nodes.div_ceil(64);
+        let mut idle_bits = vec![u64::MAX; words];
+        if !n_nodes.is_multiple_of(64) && words > 0 {
+            idle_bits[words - 1] = (1u64 << (n_nodes % 64)) - 1;
+        }
         ClusterSim {
             cfg,
             nodes: vec![Node::new(); n_nodes],
@@ -136,6 +198,12 @@ impl ClusterSim {
             n_idle: n_nodes as i64,
             n_pilot: 0,
             n_down: 0,
+            projection: vec![NodeProjection::Free; n_nodes],
+            idle_bits,
+            epoch: 0,
+            quick_clean_epoch: None,
+            next_pinned_due: None,
+            reference_mode: false,
         }
     }
 
@@ -145,9 +213,21 @@ impl ClusterSim {
         out.at(now, ClusterEvent::Poll);
     }
 
+    /// Switch to the retained pre-optimization scheduling pass
+    /// (differential regression tests only).
+    #[doc(hidden)]
+    pub fn set_reference_mode(&mut self, on: bool) {
+        self.reference_mode = on;
+    }
+
     /// Number of nodes.
     pub fn n_nodes(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Number of job records ever submitted.
+    pub fn n_jobs(&self) -> usize {
+        self.jobs.len()
     }
 
     /// Current idle node count.
@@ -175,6 +255,20 @@ impl ClusterSim {
         &self.counters
     }
 
+    /// The live future-start reservations `(job, start, end, nodes)` of
+    /// still-pending jobs, sorted by job id (differential tests).
+    #[doc(hidden)]
+    pub fn reservation_snapshot(&self) -> Vec<(JobId, SimTime, SimTime, Vec<NodeId>)> {
+        let mut v: Vec<_> = self
+            .reservations
+            .iter()
+            .filter(|r| self.jobs[r.job.0 as usize].is_pending())
+            .map(|r| (r.job, r.start, r.end, r.nodes.clone()))
+            .collect();
+        v.sort_by_key(|r| r.0);
+        v
+    }
+
     /// Pending job count matching a predicate (manager replenishment).
     pub fn pending_matching(&self, pred: impl Fn(&Job) -> bool) -> usize {
         self.pending
@@ -199,12 +293,7 @@ impl ClusterSim {
     }
 
     /// Submit a job.
-    pub fn submit(
-        &mut self,
-        now: SimTime,
-        spec: JobSpec,
-        out: &mut Outbox<ClusterEvent>,
-    ) -> JobId {
+    pub fn submit(&mut self, now: SimTime, spec: JobSpec, out: &mut Outbox<ClusterEvent>) -> JobId {
         assert!(spec.nodes >= 1, "job must request at least one node");
         assert!(
             spec.nodes as usize <= self.nodes.len(),
@@ -223,6 +312,7 @@ impl ClusterSim {
             state: JobState::Pending,
         });
         self.pending.push(id);
+        self.epoch += 1;
         // Pinned claims must fire close to their intended start even if
         // the cluster is otherwise quiet.
         if let Some(t) = self.jobs[id.0 as usize].spec.earliest_start {
@@ -278,6 +368,7 @@ impl ClusterSim {
             at: now,
         };
         self.pending.retain(|j| *j != id);
+        self.epoch += 1;
         true
     }
 
@@ -315,7 +406,20 @@ impl ClusterSim {
                 if now >= earliest || self.counters.quick_passes == 0 {
                     self.last_quick = now;
                     self.counters.quick_passes += 1;
-                    self.run_pass(now, PassMode::Quick, out, notes);
+                    if !self.reference_mode && self.quick_pass_is_noop(now) {
+                        // O(1) skip: no mutation since the last clean
+                        // pass and no pinned claim newly due — a full
+                        // pass would place nothing and emit nothing.
+                        self.counters.quick_passes_skipped += 1;
+                    } else {
+                        let before = self.epoch;
+                        if self.reference_mode {
+                            self.run_pass_reference(now, PassMode::Quick, out, notes);
+                        } else {
+                            self.run_pass(now, PassMode::Quick, out, notes);
+                        }
+                        self.record_quick_outcome(now, before);
+                    }
                 } else {
                     // Rate-limited: re-arm instead of dropping the
                     // trigger so no wakeup is ever lost.
@@ -324,7 +428,14 @@ impl ClusterSim {
             }
             ClusterEvent::BackfillPass => {
                 self.counters.backfill_passes += 1;
-                let cost = self.run_pass(now, PassMode::Backfill, out, notes);
+                let cost = if self.reference_mode {
+                    self.run_pass_reference(now, PassMode::Backfill, out, notes)
+                } else {
+                    self.run_pass(now, PassMode::Backfill, out, notes)
+                };
+                // Reservations were rebuilt: the next quick pass must
+                // look again.
+                self.epoch += 1;
                 let next = self.cfg.bf_interval.max(cost);
                 out.after(next, ClusterEvent::BackfillPass);
             }
@@ -335,8 +446,9 @@ impl ClusterSim {
             }
             ClusterEvent::TimeLimit(id) => self.on_time_limit(now, id, out, notes),
             ClusterEvent::GraceExpired(id) => {
-                if let JobState::Draining { kill_at, outcome, .. } =
-                    self.jobs[id.0 as usize].state.clone()
+                if let JobState::Draining {
+                    kill_at, outcome, ..
+                } = self.jobs[id.0 as usize].state.clone()
                 {
                     if kill_at <= now {
                         self.end_job(now, id, outcome, out, notes);
@@ -359,10 +471,318 @@ impl ClusterSim {
     }
 
     // ------------------------------------------------------------------
+    // Incremental pass bookkeeping
+    // ------------------------------------------------------------------
+
+    /// True iff a quick pass right now is provably a no-op.
+    fn quick_pass_is_noop(&self, now: SimTime) -> bool {
+        self.quick_clean_epoch == Some(self.epoch)
+            && self.next_pinned_due.is_none_or(|due| now < due)
+    }
+
+    /// Record whether the quick pass that just ran was mutation-free.
+    fn record_quick_outcome(&mut self, now: SimTime, epoch_before: u64) {
+        if self.epoch == epoch_before {
+            self.quick_clean_epoch = Some(self.epoch);
+            self.next_pinned_due = self
+                .pending
+                .iter()
+                .filter_map(|id| self.jobs[id.0 as usize].spec.earliest_start)
+                .filter(|t| *t > now)
+                .min();
+        } else {
+            self.quick_clean_epoch = None;
+        }
+    }
+
+    /// Recompute a node's cached pass projection from authoritative
+    /// state. O(1); called on every transition affecting the node.
+    fn refresh_node(&mut self, n: NodeId) {
+        let i = n.0 as usize;
+        let p = match self.nodes[i].state {
+            NodeState::Idle => NodeProjection::Free,
+            NodeState::Down | NodeState::Reserved(_) => NodeProjection::Blocked,
+            NodeState::Busy(j) => {
+                let job = &self.jobs[j.0 as usize];
+                let (pred_end, draining) = match &job.state {
+                    JobState::Running { granted_end, .. } => (*granted_end, false),
+                    JobState::Draining { kill_at, .. } => (*kill_at, true),
+                    _ => unreachable!("busy node with inactive job"),
+                };
+                if draining && self.node_waiter.contains_key(&n) {
+                    // Node promised to a preempting job.
+                    NodeProjection::Blocked
+                } else if job.spec.preemptible {
+                    // Preemptible pilots are invisible to the HPC view.
+                    NodeProjection::PilotUntil(pred_end)
+                } else {
+                    NodeProjection::BothUntil(pred_end)
+                }
+            }
+        };
+        self.projection[i] = p;
+        let bit = 1u64 << (n.0 % 64);
+        if self.nodes[i].is_idle() {
+            self.idle_bits[i / 64] |= bit;
+        } else {
+            self.idle_bits[i / 64] &= !bit;
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Scheduling passes
     // ------------------------------------------------------------------
 
+    /// Project node occupancy and live reservations onto fresh pass
+    /// timelines (shared by the optimized and reference passes; the
+    /// optimized variant reads the cached projections).
+    fn build_timelines(&mut self, now: SimTime, mode: PassMode) -> (Timeline, Timeline) {
+        let n_slots = self.cfg.n_slots();
+        let mut tl_pilot = Timeline::new(now, self.cfg.bf_resolution, n_slots, self.nodes.len());
+        let mut tl_hpc = tl_pilot.clone();
+
+        // 1. Current node occupancy, from the cached projections.
+        for (i, p) in self.projection.iter().enumerate() {
+            let nid = NodeId(i as u32);
+            match p {
+                NodeProjection::Free => {}
+                NodeProjection::Blocked => {
+                    tl_pilot.block_all(nid);
+                    tl_hpc.block_all(nid);
+                }
+                NodeProjection::PilotUntil(t) => tl_pilot.block_until(nid, *t),
+                NodeProjection::BothUntil(t) => {
+                    tl_pilot.block_until(nid, *t);
+                    tl_hpc.block_until(nid, *t);
+                }
+            }
+        }
+
+        // 2. Project reservations. Pinned pending claims always reserve
+        //    their announced window; unpinned reservations persist from
+        //    the last backfill pass (rebuilt by the caller when
+        //    mode=Backfill).
+        for id in &self.pending {
+            let job = &self.jobs[id.0 as usize];
+            if !job.is_pending() {
+                continue;
+            }
+            if let (Some(nodes), Some(_)) = (&job.spec.pinned_nodes, job.spec.earliest_start) {
+                let ann = job.spec.announced_start.unwrap();
+                let end = ann + job.spec.time_limit;
+                for n in nodes {
+                    tl_pilot.block_interval(*n, ann, end);
+                    tl_hpc.block_interval(*n, ann, end);
+                }
+            }
+        }
+        if mode == PassMode::Backfill {
+            self.reservations.clear();
+        } else {
+            self.reservations
+                .retain(|r| self.jobs[r.job.0 as usize].is_pending());
+            for r in &self.reservations {
+                for n in &r.nodes {
+                    tl_pilot.block_interval(*n, r.start, r.end);
+                    tl_hpc.block_interval(*n, r.start, r.end);
+                }
+            }
+        }
+        (tl_pilot, tl_hpc)
+    }
+
+    /// The pass queue: pending jobs ordered tier desc, priority desc,
+    /// FIFO. Pinned claims not yet due are excluded — their windows are
+    /// already projected as reservations and their firing is scheduled
+    /// separately, so they must not eat pass budget.
+    fn pass_queue(&self, now: SimTime) -> Vec<JobId> {
+        let mut queue: Vec<JobId> = self
+            .pending
+            .iter()
+            .copied()
+            .filter(|id| {
+                let j = &self.jobs[id.0 as usize];
+                j.is_pending() && j.spec.earliest_start.is_none_or(|t| t <= now)
+            })
+            .collect();
+        queue.sort_by(|a, b| {
+            let ja = &self.jobs[a.0 as usize];
+            let jb = &self.jobs[b.0 as usize];
+            jb.spec
+                .priority_tier
+                .cmp(&ja.spec.priority_tier)
+                .then(jb.spec.priority.cmp(&ja.spec.priority))
+                .then(ja.submitted.cmp(&jb.submitted))
+                .then(a.cmp(b))
+        });
+        queue
+    }
+
+    /// Up to `k` nodes able to start a `d`-slot HPC job now, genuinely
+    /// idle nodes first, ascending node id within each class — the
+    /// indexed equivalent of the reference scan-and-partition. Iterates
+    /// only the intersection of the timeline's slot-0-free set with the
+    /// idle (resp. non-idle) bitset.
+    fn startable_for_hpc(&self, tl_hpc: &Timeline, k: u32, d: u32) -> NodeList {
+        let mut chosen = NodeList::with_capacity(k as usize);
+        let words = tl_hpc.now_free_words();
+        for held_pass in [false, true] {
+            for (w, bits) in words.iter().enumerate() {
+                let mut m = if held_pass {
+                    bits & !self.idle_bits[w]
+                } else {
+                    bits & self.idle_bits[w]
+                };
+                while m != 0 {
+                    let b = m.trailing_zeros();
+                    m &= m - 1;
+                    let n = NodeId((w * 64) as u32 + b);
+                    if tl_hpc.is_free_range(n, 0, d) {
+                        chosen.push(n);
+                        if chosen.len() as u32 == k {
+                            return chosen;
+                        }
+                    }
+                }
+            }
+        }
+        chosen
+    }
+
     fn run_pass(
+        &mut self,
+        now: SimTime,
+        mode: PassMode,
+        out: &mut Outbox<ClusterEvent>,
+        notes: &mut Vec<ClusterNote>,
+    ) -> SimDuration {
+        let n_slots = self.cfg.n_slots();
+        let (mut tl_pilot, mut tl_hpc) = self.build_timelines(now, mode);
+        let queue = self.pass_queue(now);
+
+        let limit = match mode {
+            PassMode::Quick => self.cfg.sched_queue_depth,
+            PassMode::Backfill => self.cfg.bf_max_job_test,
+        };
+        let mut examined = 0usize;
+        let mut var_budget = self.cfg.var_extension_budget_slots;
+        let mut var_slots_computed: u64 = 0;
+        let mut reservations_created = 0usize;
+        let mut new_reservations: Vec<Reservation> = Vec::new();
+
+        for id in queue {
+            if examined >= limit {
+                break;
+            }
+            examined += 1;
+            let job = &self.jobs[id.0 as usize];
+            if self.handovers.contains_key(&id) {
+                // Waiting on a preemption handover; pinned claims may
+                // still be able to grab newly freed nodes.
+                if job.spec.pinned_nodes.is_some() {
+                    self.claim_pinned(now, id, out, notes);
+                }
+                continue;
+            }
+            match job.spec.kind {
+                JobKind::Hpc => {
+                    if job.spec.pinned_nodes.is_some() {
+                        self.claim_pinned(now, id, out, notes);
+                        // The claim owns (or is actively reclaiming) its
+                        // nodes from this instant; nothing else may be
+                        // placed on them later in this very pass — the
+                        // timelines were built before the claim fired.
+                        if let Some(nodes) = &self.jobs[id.0 as usize].spec.pinned_nodes {
+                            for n in nodes {
+                                tl_pilot.block_all(*n);
+                                tl_hpc.block_all(*n);
+                            }
+                        }
+                        continue;
+                    }
+                    let d = self.cfg.slots_ceil(job.spec.time_limit).max(1);
+                    let k = job.spec.nodes;
+                    let limit_dur = job.spec.time_limit;
+                    // Start now? The HPC view treats pilot nodes as free;
+                    // prefer genuinely idle nodes over pilot-held.
+                    let startable = self.startable_for_hpc(&tl_hpc, k, d);
+                    if startable.len() as u32 == k {
+                        for n in &startable {
+                            tl_hpc.block_until(*n, now + limit_dur);
+                            tl_pilot.block_until(*n, now + limit_dur);
+                        }
+                        self.start_or_handover(now, id, startable, out, notes);
+                    } else if mode == PassMode::Backfill
+                        && reservations_created < self.cfg.bf_max_reservations
+                    {
+                        if let Some((s, nodes)) = tl_hpc.find_start(k, d, n_slots - 1) {
+                            let start = tl_hpc.slot_start(s);
+                            let end = start + limit_dur;
+                            for n in &nodes {
+                                tl_hpc.block_interval(*n, start, end);
+                                tl_pilot.block_interval(*n, start, end);
+                            }
+                            new_reservations.push(Reservation {
+                                job: id,
+                                start,
+                                end,
+                                nodes,
+                            });
+                            reservations_created += 1;
+                            self.counters.reservations_made += 1;
+                        }
+                    }
+                }
+                JobKind::Pilot => {
+                    if mode == PassMode::Quick && !self.cfg.quick_pass_places_pilots {
+                        continue;
+                    }
+                    let max_slots = self.cfg.slots_ceil(job.spec.time_limit).max(1);
+                    let (d_fit, is_var) = match job.spec.min_time {
+                        Some(mt) => (self.cfg.slots_ceil(mt).max(1), true),
+                        None => (max_slots, false),
+                    };
+                    let Some(node) = tl_pilot.find_single_now(d_fit, FitPolicy::BestFit) else {
+                        continue;
+                    };
+                    let granted_slots = if is_var {
+                        if mode == PassMode::Quick && self.cfg.quick_var_min_only {
+                            d_fit
+                        } else {
+                            let run = tl_pilot.free_run_from(node, 0).min(max_slots);
+                            let ext = (run - d_fit).min(var_budget);
+                            var_budget -= ext;
+                            var_slots_computed += ext as u64;
+                            d_fit + ext
+                        }
+                    } else {
+                        max_slots
+                    };
+                    let granted = self.cfg.slots_to_duration(granted_slots);
+                    tl_pilot.block_until(node, now + granted);
+                    self.start_job(now, id, NodeList::single(node), granted, out, notes);
+                }
+            }
+        }
+
+        if mode == PassMode::Backfill {
+            self.reservations = new_reservations;
+        }
+        self.pending
+            .retain(|id| self.jobs[id.0 as usize].is_pending());
+
+        // Simulated pass cost (delays the next backfill pass).
+        SimDuration::from_millis(
+            self.cfg.bf_per_job_cost.as_millis() * examined as u64
+                + self.cfg.bf_var_slot_cost.as_millis() * var_slots_computed,
+        )
+    }
+
+    /// The pre-optimization scheduling pass, retained verbatim as the
+    /// behavioural reference for the differential regression tests:
+    /// rebuilds both timelines from the node/job tables and scans the
+    /// whole cluster per queued HPC job.
+    fn run_pass_reference(
         &mut self,
         now: SimTime,
         mode: PassMode,
@@ -407,9 +827,7 @@ impl ClusterSim {
             }
         }
 
-        // 2. Project reservations. Pinned pending claims always reserve
-        //    their announced window; unpinned reservations persist from
-        //    the last backfill pass (rebuilt below when mode=Backfill).
+        // 2. Project reservations.
         for id in &self.pending {
             let job = &self.jobs[id.0 as usize];
             if let (Some(nodes), Some(_)) = (&job.spec.pinned_nodes, job.spec.earliest_start) {
@@ -434,29 +852,8 @@ impl ClusterSim {
             }
         }
 
-        // 3. Order the queue: tier desc, priority desc, FIFO. Pinned
-        //    claims that are not due yet are excluded — their windows are
-        //    already projected as reservations and their firing is
-        //    scheduled separately, so they must not eat pass budget.
-        let mut queue: Vec<JobId> = self
-            .pending
-            .iter()
-            .copied()
-            .filter(|id| {
-                let j = &self.jobs[id.0 as usize];
-                j.is_pending() && j.spec.earliest_start.map_or(true, |t| t <= now)
-            })
-            .collect();
-        queue.sort_by(|a, b| {
-            let ja = &self.jobs[a.0 as usize];
-            let jb = &self.jobs[b.0 as usize];
-            jb.spec
-                .priority_tier
-                .cmp(&ja.spec.priority_tier)
-                .then(jb.spec.priority.cmp(&ja.spec.priority))
-                .then(ja.submitted.cmp(&jb.submitted))
-                .then(a.cmp(b))
-        });
+        // 3. Order the queue: tier desc, priority desc, FIFO.
+        let queue = self.pass_queue(now);
 
         let limit = match mode {
             PassMode::Quick => self.cfg.sched_queue_depth,
@@ -475,8 +872,6 @@ impl ClusterSim {
             examined += 1;
             let job = &self.jobs[id.0 as usize];
             if self.handovers.contains_key(&id) {
-                // Waiting on a preemption handover; pinned claims may
-                // still be able to grab newly freed nodes.
                 if job.spec.pinned_nodes.is_some() {
                     self.claim_pinned(now, id, out, notes);
                 }
@@ -484,26 +879,25 @@ impl ClusterSim {
             }
             match job.spec.kind {
                 JobKind::Hpc => {
-                    if let Some(nodes) = job.spec.pinned_nodes.clone() {
+                    if job.spec.pinned_nodes.is_some() {
                         self.claim_pinned(now, id, out, notes);
-                        // The claim owns (or is actively reclaiming) its
-                        // nodes from this instant; nothing else may be
-                        // placed on them later in this very pass — the
-                        // timelines were built before the claim fired.
-                        for n in nodes {
-                            tl_pilot.block_all(n);
-                            tl_hpc.block_all(n);
+                        if let Some(nodes) = &self.jobs[id.0 as usize].spec.pinned_nodes {
+                            for n in nodes {
+                                tl_pilot.block_all(*n);
+                                tl_hpc.block_all(*n);
+                            }
                         }
                         continue;
                     }
                     let d = self.cfg.slots_ceil(job.spec.time_limit).max(1);
                     let k = job.spec.nodes;
+                    let limit_dur = job.spec.time_limit;
                     // Start now? The HPC view treats pilot nodes as free.
                     let eligible: Vec<NodeId> = (0..self.nodes.len())
                         .map(|i| NodeId(i as u32))
                         .filter(|n| tl_hpc.is_free_range(*n, 0, d))
                         .collect();
-                    let startable: Vec<NodeId> = {
+                    let startable: NodeList = {
                         // Prefer genuinely idle nodes over pilot-held.
                         let (idle, held): (Vec<_>, Vec<_>) = eligible
                             .iter()
@@ -513,16 +907,16 @@ impl ClusterSim {
                     };
                     if startable.len() as u32 == k {
                         for n in &startable {
-                            tl_hpc.block_until(*n, now + job.spec.time_limit);
-                            tl_pilot.block_until(*n, now + job.spec.time_limit);
+                            tl_hpc.block_until(*n, now + limit_dur);
+                            tl_pilot.block_until(*n, now + limit_dur);
                         }
                         self.start_or_handover(now, id, startable, out, notes);
                     } else if mode == PassMode::Backfill
                         && reservations_created < self.cfg.bf_max_reservations
                     {
-                        if let Some((s, nodes)) = tl_hpc.find_start(k, d, n_slots - 1) {
+                        if let Some((s, nodes)) = tl_hpc.find_start_reference(k, d, n_slots - 1) {
                             let start = tl_hpc.slot_start(s);
-                            let end = start + job.spec.time_limit;
+                            let end = start + limit_dur;
                             for n in &nodes {
                                 tl_hpc.block_interval(*n, start, end);
                                 tl_pilot.block_interval(*n, start, end);
@@ -547,7 +941,8 @@ impl ClusterSim {
                         Some(mt) => (self.cfg.slots_ceil(mt).max(1), true),
                         None => (max_slots, false),
                     };
-                    let Some(node) = tl_pilot.find_single_now(d_fit, FitPolicy::BestFit) else {
+                    let Some(node) = tl_pilot.find_single_now_reference(d_fit, FitPolicy::BestFit)
+                    else {
                         continue;
                     };
                     let granted_slots = if is_var {
@@ -565,7 +960,7 @@ impl ClusterSim {
                     };
                     let granted = self.cfg.slots_to_duration(granted_slots);
                     tl_pilot.block_until(node, now + granted);
-                    self.start_job(now, id, vec![node], granted, out, notes);
+                    self.start_job(now, id, NodeList::single(node), granted, out, notes);
                 }
             }
         }
@@ -576,7 +971,6 @@ impl ClusterSim {
         self.pending
             .retain(|id| self.jobs[id.0 as usize].is_pending());
 
-        // Simulated pass cost (delays the next backfill pass).
         SimDuration::from_millis(
             self.cfg.bf_per_job_cost.as_millis() * examined as u64
                 + self.cfg.bf_var_slot_cost.as_millis() * var_slots_computed,
@@ -584,6 +978,9 @@ impl ClusterSim {
     }
 
     /// Try to claim the pinned nodes of demand job `id`; idempotent.
+    /// The pinned list is borrow-split out of the spec (and restored)
+    /// instead of cloned — this runs on every pass while a claim waits
+    /// on a handover, so the hot path must not allocate.
     fn claim_pinned(
         &mut self,
         now: SimTime,
@@ -591,32 +988,29 @@ impl ClusterSim {
         out: &mut Outbox<ClusterEvent>,
         notes: &mut Vec<ClusterNote>,
     ) {
-        let pinned = self.jobs[id.0 as usize]
-            .spec
-            .pinned_nodes
-            .clone()
+        let pinned = std::mem::take(&mut self.jobs[id.0 as usize].spec.pinned_nodes)
             .expect("claim_pinned on unpinned job");
-        let mut ready: Vec<NodeId> = Vec::new();
-        let mut waiting: Vec<NodeId> = Vec::new();
         // Pass 1: figure out what is claimable; existing handover state
         // is merged (nodes already Reserved(id) count as ready).
+        let mut ready = NodeList::with_capacity(pinned.len());
+        let mut all_ready = true;
         for n in &pinned {
             match self.nodes[n.0 as usize].state {
                 NodeState::Idle => ready.push(*n),
                 NodeState::Reserved(r) if r == id => ready.push(*n),
-                _ => waiting.push(*n),
+                _ => all_ready = false,
             }
         }
-        if waiting.is_empty() {
+        if all_ready {
             self.handovers.remove(&id);
             for n in &ready {
-                if let Some(w) = self.node_waiter.get(n) {
-                    if *w == id {
-                        self.node_waiter.remove(n);
-                    }
+                if self.node_waiter.get(n) == Some(&id) {
+                    self.node_waiter.remove(n);
+                    self.epoch += 1;
                 }
             }
             let limit = self.jobs[id.0 as usize].spec.time_limit;
+            self.jobs[id.0 as usize].spec.pinned_nodes = Some(pinned);
             self.start_job(now, id, ready, limit, out, notes);
             return;
         }
@@ -627,11 +1021,20 @@ impl ClusterSim {
                 self.set_node_state(now, *n, NodeState::Reserved(id));
             }
         }
-        for n in &waiting {
+        for n in &pinned {
+            // Waiting set: pinned minus ready (ready nodes are now
+            // Reserved(id)).
+            match self.nodes[n.0 as usize].state {
+                NodeState::Idle => continue,
+                NodeState::Reserved(r) if r == id => continue,
+                _ => {}
+            }
             if self.node_waiter.contains_key(n) {
                 continue; // already being reclaimed
             }
             self.node_waiter.insert(*n, id);
+            self.epoch += 1;
+            self.refresh_node(*n);
             if let NodeState::Busy(holder) = self.nodes[n.0 as usize].state {
                 let hjob = &self.jobs[holder.0 as usize];
                 if hjob.spec.preemptible && matches!(hjob.state, JobState::Running { .. }) {
@@ -649,13 +1052,18 @@ impl ClusterSim {
                 // Non-preemptible holders: wait for their natural end.
             }
         }
-        self.handovers.insert(
-            id,
-            Handover {
-                needed: pinned,
-                ready,
-            },
-        );
+        match self.handovers.entry(id) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                e.get_mut().ready = ready;
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(Handover {
+                    needed: pinned.clone(),
+                    ready,
+                });
+            }
+        }
+        self.jobs[id.0 as usize].spec.pinned_nodes = Some(pinned);
     }
 
     /// Start job `id` on `nodes` if they are all immediately free;
@@ -664,19 +1072,17 @@ impl ClusterSim {
         &mut self,
         now: SimTime,
         id: JobId,
-        nodes: Vec<NodeId>,
+        nodes: NodeList,
         out: &mut Outbox<ClusterEvent>,
         notes: &mut Vec<ClusterNote>,
     ) {
-        let all_idle = nodes
-            .iter()
-            .all(|n| self.nodes[n.0 as usize].is_idle());
+        let all_idle = nodes.iter().all(|n| self.nodes[n.0 as usize].is_idle());
         if all_idle {
             let limit = self.jobs[id.0 as usize].spec.time_limit;
             self.start_job(now, id, nodes, limit, out, notes);
             return;
         }
-        let mut ready = Vec::new();
+        let mut ready = NodeList::new();
         for n in &nodes {
             match self.nodes[n.0 as usize].state {
                 NodeState::Idle => {
@@ -685,6 +1091,8 @@ impl ClusterSim {
                 }
                 NodeState::Busy(holder) => {
                     self.node_waiter.insert(*n, id);
+                    self.epoch += 1;
+                    self.refresh_node(*n);
                     let hjob = &self.jobs[holder.0 as usize];
                     if hjob.spec.preemptible && matches!(hjob.state, JobState::Running { .. }) {
                         self.sigterm(
@@ -719,14 +1127,11 @@ impl ClusterSim {
         &mut self,
         now: SimTime,
         id: JobId,
-        nodes: Vec<NodeId>,
+        nodes: NodeList,
         granted: SimDuration,
         out: &mut Outbox<ClusterEvent>,
         notes: &mut Vec<ClusterNote>,
     ) {
-        for n in &nodes {
-            self.set_node_state(now, *n, NodeState::Busy(id));
-        }
         self.pending.retain(|j| *j != id);
         let job = &mut self.jobs[id.0 as usize];
         debug_assert!(job.is_pending(), "starting a non-pending job");
@@ -737,6 +1142,12 @@ impl ClusterSim {
             granted_end,
             nodes: nodes.clone(),
         };
+        // Node states refresh after the job record is updated so the
+        // projections see the new holder.
+        for n in &nodes {
+            self.set_node_state(now, *n, NodeState::Busy(id));
+        }
+        let job = &self.jobs[id.0 as usize];
         out.at(granted_end, ClusterEvent::TimeLimit(id));
         if let Some(actual) = job.spec.actual_runtime {
             let end = now + actual.min(granted);
@@ -765,6 +1176,7 @@ impl ClusterSim {
         });
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn sigterm(
         &mut self,
         now: SimTime,
@@ -783,9 +1195,13 @@ impl ClusterSim {
         job.state = JobState::Draining {
             start,
             kill_at,
-            nodes,
+            nodes: nodes.clone(),
             outcome,
         };
+        self.epoch += 1;
+        for n in &nodes {
+            self.refresh_node(*n);
+        }
         out.at(kill_at, ClusterEvent::GraceExpired(id));
         notes.push(ClusterNote::JobSigterm {
             job: id,
@@ -837,6 +1253,7 @@ impl ClusterSim {
         let nodes: Vec<NodeId> = job.held_nodes().to_vec();
         job.state = JobState::Done { outcome, at: now };
         let kind = job.spec.kind;
+        self.epoch += 1;
         // Emit the end note before handover starts so note order reads
         // causally (ended → successor started).
         notes.push(ClusterNote::JobEnded { job: id, outcome });
@@ -896,7 +1313,9 @@ impl ClusterSim {
             NodeState::Busy(holder) => {
                 // Hard failure: the job dies without SIGTERM — this is
                 // the path baseline OpenWhisk handles badly (§II).
-                self.node_waiter.remove(&n);
+                if self.node_waiter.remove(&n).is_some() {
+                    self.epoch += 1;
+                }
                 self.end_job(now, holder, JobOutcome::NodeFailed, out, notes);
                 self.set_node_state(now, n, NodeState::Down);
             }
@@ -912,6 +1331,8 @@ impl ClusterSim {
                     for wn in h.needed {
                         if self.node_waiter.get(&wn) == Some(&waiter) {
                             self.node_waiter.remove(&wn);
+                            self.epoch += 1;
+                            self.refresh_node(wn);
                         }
                     }
                 }
@@ -942,6 +1363,8 @@ impl ClusterSim {
         }
         node.state = new;
         node.since = now;
+        self.epoch += 1;
+        self.refresh_node(n);
         let delta = |st: NodeState, jobs: &[Job]| -> (i64, i64, i64) {
             match st {
                 NodeState::Idle => (1, 0, 0),
@@ -973,10 +1396,8 @@ impl ClusterSim {
         for (i, node) in self.nodes.iter().enumerate() {
             match node.state {
                 NodeState::Idle => idle[i / 64] |= 1 << (i % 64),
-                NodeState::Busy(j) => {
-                    if self.jobs[j.0 as usize].spec.kind == JobKind::Pilot {
-                        pilot[i / 64] |= 1 << (i % 64);
-                    }
+                NodeState::Busy(j) if self.jobs[j.0 as usize].spec.kind == JobKind::Pilot => {
+                    pilot[i / 64] |= 1 << (i % 64);
                 }
                 _ => {}
             }

@@ -8,6 +8,22 @@
 //! is the free run from now?" — single AND/shift instructions, so a
 //! 2,239-node cluster schedules quickly even with passes every few
 //! seconds.
+//!
+//! Two accelerations keep the per-pass cost flat at production scale:
+//!
+//! * a **slot-0-free node bitset** (`now_free`) maintained on every
+//!   block operation, so "who could start *now*?" queries
+//!   ([`Timeline::find_single_now`], [`Timeline::count_startable`], the
+//!   scheduler's eligible-node lookup) iterate only candidate nodes
+//!   instead of scanning the whole cluster;
+//! * a **bit-parallel fits mask** ([`Timeline::fits_mask`]): the set of
+//!   start slots where `d` consecutive free slots exist is computed in
+//!   O(log d) shift-ANDs per node, turning [`Timeline::find_start`]
+//!   from an O(slots × nodes) loop-of-loops into one node-major
+//!   counting sweep.
+//!
+//! The original scan-based implementations are retained as
+//! `*_reference` methods; property tests assert bit-exact equivalence.
 
 use crate::ids::NodeId;
 use simcore::{SimDuration, SimTime};
@@ -28,20 +44,56 @@ pub struct Timeline {
     origin: SimTime,
     slot_ms: u64,
     n_slots: u32,
+    /// `origin + n_slots · slot_ms`: busy-until times at or past this
+    /// block the whole window without any slot arithmetic — the common
+    /// case for long-running HPC jobs, and the fast path that keeps the
+    /// per-pass projection sweep division-free.
+    window_end: SimTime,
     free: Vec<u64>,
+    /// Bit `n` set iff node `n`'s slot 0 is free — the candidate set for
+    /// every "start now" query.
+    now_free: Vec<u64>,
+}
+
+/// Positions where a run of at least `d` consecutive set bits starts,
+/// computed with the doubling shift-AND trick (`d ≤ 64`). Runs in u128
+/// so that start positions near the window end — whose requirement is
+/// satisfied by the always-free beyond-window region — keep their
+/// virtual free bits instead of shifting in zeroes.
+#[inline]
+fn runs_ge(mut m: u128, d: u32) -> u128 {
+    debug_assert!((1..=64).contains(&d));
+    let mut have = 1u32;
+    while have < d {
+        let step = have.min(d - have);
+        m &= m >> step;
+        have += step;
+    }
+    m
 }
 
 impl Timeline {
     /// A window of `n_slots` slots of `resolution` each, starting at
     /// `origin`, with every node free.
     pub fn new(origin: SimTime, resolution: SimDuration, n_slots: u32, n_nodes: usize) -> Self {
-        assert!(n_slots >= 1 && n_slots <= 63);
+        assert!((1..=63).contains(&n_slots));
         let all_free = (1u64 << n_slots) - 1;
+        let words = n_nodes.div_ceil(64);
+        let mut now_free = vec![u64::MAX; words];
+        if !n_nodes.is_multiple_of(64) {
+            now_free[words.max(1) - 1] = (1u64 << (n_nodes % 64)) - 1;
+        }
+        if n_nodes == 0 {
+            now_free.clear();
+        }
+        let slot_ms = resolution.as_millis();
         Timeline {
             origin,
-            slot_ms: resolution.as_millis(),
+            slot_ms,
             n_slots,
+            window_end: origin + SimDuration::from_millis(slot_ms * n_slots as u64),
             free: vec![all_free; n_nodes],
+            now_free,
         }
     }
 
@@ -83,20 +135,33 @@ impl Timeline {
         self.origin + SimDuration::from_millis(self.slot_ms * s as u64)
     }
 
+    #[inline]
+    fn clear_now_free(&mut self, node: NodeId) {
+        self.now_free[node.0 as usize / 64] &= !(1u64 << (node.0 % 64));
+    }
+
     /// Mark the whole window busy for a node (down nodes).
     pub fn block_all(&mut self, node: NodeId) {
         self.free[node.0 as usize] = 0;
+        self.clear_now_free(node);
     }
 
     /// Mark the node busy from the window start until `t` (rounded up to
     /// a slot boundary) — running jobs with predicted end `t`.
     pub fn block_until(&mut self, node: NodeId, t: SimTime) {
+        if t >= self.window_end {
+            // Busy past the whole window: no slot arithmetic needed.
+            self.free[node.0 as usize] = 0;
+            self.clear_now_free(node);
+            return;
+        }
         let s = self.slot_of_ceil(t);
         if s == 0 {
             return;
         }
         let mask = (1u64 << s) - 1;
         self.free[node.0 as usize] &= !mask;
+        self.clear_now_free(node);
     }
 
     /// Mark slots `[from_slot, to_slot)` busy — reservations.
@@ -107,16 +172,23 @@ impl Timeline {
         }
         let mask = range_mask(from_slot, to);
         self.free[node.0 as usize] &= !mask;
+        if from_slot == 0 {
+            self.clear_now_free(node);
+        }
     }
 
     /// Mark the node busy over the absolute interval `[from, to)`
     /// (outer slot rounding: from rounds down, to rounds up).
     pub fn block_interval(&mut self, node: NodeId, from: SimTime, to: SimTime) {
-        if to <= self.origin {
+        if to <= self.origin || from >= self.window_end {
             return;
         }
         let fs = self.slot_of(from);
-        let ts = self.slot_of_ceil(to);
+        let ts = if to >= self.window_end {
+            self.n_slots
+        } else {
+            self.slot_of_ceil(to)
+        };
         self.block_slots(node, fs, ts);
     }
 
@@ -146,10 +218,157 @@ impl Timeline {
         shifted.trailing_ones().min(self.n_slots - s)
     }
 
+    /// The set of start slots at which `node` can begin a `d`-slot run
+    /// (bit `s` set ⟺ `is_free_range(node, s, d)`), computed in
+    /// O(log d) shift-ANDs. Beyond-window slots count as free, matching
+    /// [`Timeline::is_free_range`]'s truncation.
+    #[inline]
+    pub fn fits_mask(&self, node: NodeId, d: u32) -> u64 {
+        let valid = (1u64 << self.n_slots) - 1;
+        let d = d.clamp(1, self.n_slots);
+        // Everything at or beyond the window end counts as free, so a
+        // start slot near the end only needs the in-window remainder.
+        let ext: u128 = self.free[node.0 as usize] as u128 | (!0u128 << self.n_slots);
+        (runs_ge(ext, d) as u64) & valid
+    }
+
+    /// The words of the slot-0-free node bitset — nodes whose bit is
+    /// clear cannot start anything *now*. Used by the scheduler's
+    /// indexed eligible-node lookup.
+    pub fn now_free_words(&self) -> &[u64] {
+        &self.now_free
+    }
+
     /// Earliest slot `s` at which at least `k` nodes are simultaneously
     /// free for `d` consecutive slots; returns `(s, chosen_nodes)`.
     /// Nodes are chosen first-fit (lowest index).
+    ///
+    /// One node-major sweep accumulates per-slot viable-node counts from
+    /// each node's [`Timeline::fits_mask`]; the earliest slot reaching
+    /// `k` wins and a second bounded pass picks its first `k` nodes.
     pub fn find_start(&self, k: u32, d: u32, max_slot: u32) -> Option<(u32, Vec<NodeId>)> {
+        if k == 0 {
+            // Mirrors the reference scan: the "found k" check sits after
+            // a push, so k = 0 can never match.
+            return None;
+        }
+        let d = d.max(1);
+        let last = max_slot.min(self.n_slots.saturating_sub(1));
+        let slot_lim = if last >= 63 {
+            u64::MAX
+        } else {
+            (1u64 << (last + 1)) - 1
+        };
+        let mut counts = [0u32; 64];
+        for i in 0..self.free.len() {
+            let mut fits = self.fits_mask(NodeId(i as u32), d) & slot_lim;
+            while fits != 0 {
+                let s = fits.trailing_zeros();
+                counts[s as usize] += 1;
+                fits &= fits - 1;
+            }
+            if counts[0] >= k {
+                break; // slot 0 is feasible; nothing can beat it
+            }
+        }
+        let s = (0..=last).find(|s| counts[*s as usize] >= k)?;
+        let mut chosen = Vec::with_capacity(k as usize);
+        for i in 0..self.free.len() {
+            let node = NodeId(i as u32);
+            if self.is_free_range(node, s, d) {
+                chosen.push(node);
+                if chosen.len() as u32 == k {
+                    return Some((s, chosen));
+                }
+            }
+        }
+        unreachable!(
+            "counting sweep found {} nodes at slot {s}, collection found fewer",
+            k
+        )
+    }
+
+    /// Find a single node able to start a `d`-slot job at slot 0.
+    /// Iterates only the slot-0-free candidate set.
+    pub fn find_single_now(&self, d: u32, policy: FitPolicy) -> Option<NodeId> {
+        if d == 0 {
+            // Degenerate request: every node fits; preserve the
+            // reference scan's answers exactly.
+            return self.find_single_now_reference(d, policy);
+        }
+        match policy {
+            FitPolicy::FirstFit => self.iter_now_free().find(|n| self.is_free_range(*n, 0, d)),
+            FitPolicy::BestFit => {
+                // One trailing-ones computation decides both eligibility
+                // (run ≥ min(d, n_slots), matching is_free_range's
+                // window truncation) and the fit quality.
+                let d_eff = d.min(self.n_slots);
+                let mut best: Option<(u32, NodeId)> = None;
+                for node in self.iter_now_free() {
+                    let run = self.free_run_from(node, 0);
+                    if run < d_eff {
+                        continue;
+                    }
+                    match best {
+                        Some((brun, _)) if brun <= run => {}
+                        _ => best = Some((run, node)),
+                    }
+                    if run == d {
+                        break; // perfect fit
+                    }
+                }
+                best.map(|(_, n)| n)
+            }
+        }
+    }
+
+    /// Can `nodes` all run `d` slots starting at slot `s`?
+    pub fn nodes_free_range(&self, nodes: &[NodeId], s: u32, d: u32) -> bool {
+        nodes.iter().all(|n| self.is_free_range(*n, s, d))
+    }
+
+    /// Number of nodes free at slot 0 for at least `d` slots.
+    pub fn count_startable(&self, d: u32) -> u32 {
+        if d == 0 {
+            return self.free.len() as u32;
+        }
+        self.iter_now_free()
+            .filter(|n| self.is_free_range(*n, 0, d))
+            .count() as u32
+    }
+
+    /// Ascending iterator over nodes whose slot 0 is free.
+    fn iter_now_free(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.now_free.iter().enumerate().flat_map(|(w, bits)| {
+            let mut m = *bits;
+            std::iter::from_fn(move || {
+                if m == 0 {
+                    return None;
+                }
+                let b = m.trailing_zeros();
+                m &= m - 1;
+                Some(NodeId((w * 64) as u32 + b))
+            })
+        })
+    }
+
+    /// Raw mask for a node (tests).
+    pub fn mask(&self, node: NodeId) -> u64 {
+        self.free[node.0 as usize]
+    }
+
+    // ------------------------------------------------------------------
+    // Reference implementations (pre-optimization scans), kept for the
+    // differential regression tests.
+    // ------------------------------------------------------------------
+
+    /// Scan-based [`Timeline::find_start`] (O(slots × nodes)).
+    pub fn find_start_reference(
+        &self,
+        k: u32,
+        d: u32,
+        max_slot: u32,
+    ) -> Option<(u32, Vec<NodeId>)> {
         let d = d.max(1);
         let last = max_slot.min(self.n_slots.saturating_sub(1));
         for s in 0..=last {
@@ -167,8 +386,8 @@ impl Timeline {
         None
     }
 
-    /// Find a single node able to start a `d`-slot job at slot 0.
-    pub fn find_single_now(&self, d: u32, policy: FitPolicy) -> Option<NodeId> {
+    /// Scan-based [`Timeline::find_single_now`].
+    pub fn find_single_now_reference(&self, d: u32, policy: FitPolicy) -> Option<NodeId> {
         match policy {
             FitPolicy::FirstFit => (0..self.free.len())
                 .map(|i| NodeId(i as u32))
@@ -194,27 +413,17 @@ impl Timeline {
         }
     }
 
-    /// Can `nodes` all run `d` slots starting at slot `s`?
-    pub fn nodes_free_range(&self, nodes: &[NodeId], s: u32, d: u32) -> bool {
-        nodes.iter().all(|n| self.is_free_range(*n, s, d))
-    }
-
-    /// Number of nodes free at slot 0 for at least `d` slots.
-    pub fn count_startable(&self, d: u32) -> u32 {
+    /// Scan-based [`Timeline::count_startable`].
+    pub fn count_startable_reference(&self, d: u32) -> u32 {
         (0..self.free.len())
             .filter(|i| self.is_free_range(NodeId(*i as u32), 0, d))
             .count() as u32
-    }
-
-    /// Raw mask for a node (tests).
-    pub fn mask(&self, node: NodeId) -> u64 {
-        self.free[node.0 as usize]
     }
 }
 
 fn range_mask(from: u32, to: u32) -> u64 {
     debug_assert!(from < to && to <= 63);
-    (((1u64 << (to - from)) - 1) << from) as u64
+    ((1u64 << (to - from)) - 1) << from
 }
 
 #[cfg(test)]
@@ -314,19 +523,10 @@ mod tests {
         let mut tl = mk(3);
         tl.block_slots(NodeId(0), 10, 60); // run of 10 from 0
         tl.block_slots(NodeId(1), 4, 60); // run of 4
-        // Node 2 fully free (run 60).
-        assert_eq!(
-            tl.find_single_now(3, FitPolicy::BestFit),
-            Some(NodeId(1))
-        );
-        assert_eq!(
-            tl.find_single_now(3, FitPolicy::FirstFit),
-            Some(NodeId(0))
-        );
-        assert_eq!(
-            tl.find_single_now(11, FitPolicy::BestFit),
-            Some(NodeId(2))
-        );
+                                          // Node 2 fully free (run 60).
+        assert_eq!(tl.find_single_now(3, FitPolicy::BestFit), Some(NodeId(1)));
+        assert_eq!(tl.find_single_now(3, FitPolicy::FirstFit), Some(NodeId(0)));
+        assert_eq!(tl.find_single_now(11, FitPolicy::BestFit), Some(NodeId(2)));
         assert_eq!(tl.find_single_now(61, FitPolicy::BestFit), Some(NodeId(2)));
     }
 
@@ -336,6 +536,43 @@ mod tests {
         tl.block_until(NodeId(0), SimTime::from_mins(104));
         assert_eq!(tl.count_startable(1), 2);
         assert_eq!(tl.count_startable(60), 2);
+    }
+
+    #[test]
+    fn fits_mask_matches_is_free_range() {
+        let mut tl = mk(2);
+        tl.block_slots(NodeId(0), 3, 7);
+        tl.block_slots(NodeId(0), 20, 21);
+        tl.block_until(NodeId(1), SimTime::from_mins(108));
+        for d in [1u32, 2, 3, 5, 40, 60, 100] {
+            for n in [NodeId(0), NodeId(1)] {
+                let fits = tl.fits_mask(n, d);
+                for s in 0..60u32 {
+                    assert_eq!(
+                        fits & (1 << s) != 0,
+                        tl.is_free_range(n, s, d),
+                        "node {n} d={d} s={s}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn now_free_tracks_slot0() {
+        let mut tl = mk(130);
+        assert_eq!(tl.count_startable(1), 130);
+        tl.block_all(NodeId(0));
+        tl.block_until(NodeId(64), SimTime::from_mins(102));
+        tl.block_slots(NodeId(129), 0, 1);
+        tl.block_slots(NodeId(5), 10, 20); // slot 0 stays free
+        assert_eq!(tl.count_startable(1), 127);
+        let words = tl.now_free_words();
+        assert_eq!(words.len(), 3);
+        assert_eq!(words[0] & 1, 0);
+        assert_eq!(words[1] & 1, 0);
+        assert_eq!(words[2] & 2, 0);
+        assert_ne!(words[0] & (1 << 5), 0);
     }
 
     mod props {
@@ -414,6 +651,36 @@ mod tests {
                         }
                     }
                 }
+            }
+
+            /// The bit-parallel queries are bit-identical to the scan
+            /// reference under arbitrary block patterns.
+            #[test]
+            fn prop_optimized_matches_reference(
+                blocks in proptest::collection::vec((0usize..6, 0u32..60, 1u32..61), 0..60),
+                untils in proptest::collection::vec((0usize..6, 100u64..220), 0..6),
+                k in 1u32..7, d in 1u32..70, max_slot in 0u32..64,
+            ) {
+                let mut tl = mk(6);
+                for (n, from, len) in blocks {
+                    tl.block_slots(NodeId(n as u32), from, from.saturating_add(len));
+                }
+                for (n, until_min) in untils {
+                    tl.block_until(NodeId(n as u32), SimTime::from_mins(until_min));
+                }
+                prop_assert_eq!(
+                    tl.find_start(k, d, max_slot),
+                    tl.find_start_reference(k, d, max_slot)
+                );
+                prop_assert_eq!(
+                    tl.find_single_now(d, FitPolicy::FirstFit),
+                    tl.find_single_now_reference(d, FitPolicy::FirstFit)
+                );
+                prop_assert_eq!(
+                    tl.find_single_now(d, FitPolicy::BestFit),
+                    tl.find_single_now_reference(d, FitPolicy::BestFit)
+                );
+                prop_assert_eq!(tl.count_startable(d), tl.count_startable_reference(d));
             }
         }
     }

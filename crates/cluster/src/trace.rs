@@ -57,16 +57,12 @@ impl AvailabilityTrace {
     ///
     /// `include_pilot` selects the paper's *joined* baseline (idle ∪
     /// pilot, §V-B) vs. the raw idle view.
-    pub fn from_poll_samples(
-        samples: &[PollSample],
-        n_nodes: usize,
-        include_pilot: bool,
-    ) -> Self {
+    pub fn from_poll_samples(samples: &[PollSample], n_nodes: usize, include_pilot: bool) -> Self {
         assert!(samples.len() >= 2, "need at least two samples");
         let start = samples[0].t;
         let end = samples[samples.len() - 1].t;
         let mut per_node: Vec<Vec<(SimTime, SimTime)>> = vec![Vec::new(); n_nodes];
-        for n in 0..n_nodes {
+        for (n, node_gaps) in per_node.iter_mut().enumerate() {
             let mut open: Option<SimTime> = None;
             for (i, s) in samples.iter().enumerate() {
                 let avail = if include_pilot {
@@ -79,7 +75,7 @@ impl AvailabilityTrace {
                     (true, None) => open = Some(s.t),
                     (false, Some(from)) => {
                         if s.t > from {
-                            per_node[n].push((from, s.t));
+                            node_gaps.push((from, s.t));
                         }
                         open = None;
                     }
@@ -88,7 +84,7 @@ impl AvailabilityTrace {
             }
             if let Some(from) = open {
                 if end > from {
-                    per_node[n].push((from, end));
+                    node_gaps.push((from, end));
                 }
             }
         }
@@ -194,10 +190,7 @@ mod tests {
         let tr = AvailabilityTrace::from_intervals(
             t(0),
             t(100),
-            vec![
-                vec![(t(0), t(50))],
-                vec![(t(25), t(75))],
-            ],
+            vec![vec![(t(0), t(50))], vec![(t(25), t(75))]],
         );
         let s = tr.count_series();
         assert_eq!(s.value_at(t(10)), 1.0);

@@ -1,0 +1,307 @@
+//! Differential regression test for the scheduler-pass optimizations.
+//!
+//! Two identical clusters process an identical randomized workload —
+//! one with the optimized pass (incremental projections, epoch-based
+//! quick-pass skipping, bitset eligible lookup, bit-parallel backfill
+//! search), one with the retained pre-optimization reference pass
+//! ([`ClusterSim::set_reference_mode`]). Every observable — the full
+//! timestamped note stream, job states and granted durations, live
+//! reservations, counters and node tallies — must be **bit-identical**:
+//! the perf work must not change a single scheduling decision.
+
+use hpcwhisk_cluster::{
+    ClusterEvent, ClusterNote, ClusterSim, JobId, JobKind, JobSpec, NodeId, SlurmConfig,
+};
+use proptest::prelude::*;
+use simcore::{Engine, Outbox, SimDuration, SimTime};
+
+/// Drives one [`ClusterSim`] with the DES engine, collecting notes.
+struct Harness {
+    sim: ClusterSim,
+    engine: Engine<ClusterEvent>,
+    notes: Vec<(SimTime, ClusterNote)>,
+}
+
+impl Harness {
+    fn new(cfg: SlurmConfig, n_nodes: usize, reference: bool) -> Self {
+        let mut sim = ClusterSim::new(cfg, n_nodes, 42);
+        sim.set_reference_mode(reference);
+        let mut engine = Engine::new();
+        let mut out = Outbox::new(SimTime::ZERO);
+        sim.bootstrap(SimTime::ZERO, &mut out);
+        for (t, e) in out.drain() {
+            engine.schedule(t, e);
+        }
+        Harness {
+            sim,
+            engine,
+            notes: Vec::new(),
+        }
+    }
+
+    fn run_until(&mut self, horizon: SimTime) {
+        let sim = &mut self.sim;
+        let notes = &mut self.notes;
+        self.engine.run_until(
+            horizon,
+            &mut |now: SimTime, ev: ClusterEvent, out: &mut Outbox<ClusterEvent>| {
+                let mut local = Vec::new();
+                sim.handle(now, ev, out, &mut local);
+                notes.extend(local.into_iter().map(|n| (now, n)));
+            },
+        );
+    }
+
+    fn submit_at(&mut self, t: SimTime, spec: JobSpec) -> JobId {
+        self.run_until(t);
+        let mut out = Outbox::new(t);
+        let id = self.sim.submit(t, spec, &mut out);
+        for (at, e) in out.drain() {
+            self.engine.schedule(at, e);
+        }
+        id
+    }
+
+    fn pilot_exit_at(&mut self, t: SimTime, job: JobId) {
+        self.run_until(t);
+        let mut out = Outbox::new(t);
+        let mut notes = Vec::new();
+        self.sim.pilot_exited(t, job, &mut out, &mut notes);
+        self.notes.extend(notes.into_iter().map(|n| (t, n)));
+        for (at, e) in out.drain() {
+            self.engine.schedule(at, e);
+        }
+    }
+
+    /// SIGTERM deadline of a job, if one was delivered.
+    fn kill_at_of(&self, job: JobId) -> Option<SimTime> {
+        self.notes.iter().find_map(|(_, n)| match n {
+            ClusterNote::JobSigterm {
+                job: j, kill_at, ..
+            } if *j == job => Some(*kill_at),
+            _ => None,
+        })
+    }
+}
+
+/// One generated submission.
+#[derive(Debug, Clone)]
+enum GenJob {
+    Hpc {
+        nodes: u32,
+        limit_mins: u64,
+        actual_mins: u64,
+    },
+    PilotFixed {
+        limit_mins: u64,
+    },
+    PilotVar {
+        max_mins: u64,
+    },
+    PinnedDemand {
+        node: usize,
+        start_min: u64,
+        announce_slack_mins: u64,
+        limit_mins: u64,
+        actual_mins: u64,
+    },
+}
+
+fn job_strategy() -> impl Strategy<Value = GenJob> {
+    prop_oneof![
+        (1u32..4, 2u64..40, 1u64..40).prop_map(|(nodes, limit_mins, actual_mins)| GenJob::Hpc {
+            nodes,
+            limit_mins,
+            actual_mins,
+        }),
+        (2u64..30).prop_map(|limit_mins| GenJob::PilotFixed { limit_mins }),
+        (4u64..60).prop_map(|max_mins| GenJob::PilotVar { max_mins }),
+        (0usize..64, 5u64..100, 0u64..25, 4u64..30, 4u64..30).prop_map(
+            |(node, start_min, announce_slack_mins, limit_mins, actual_mins)| {
+                GenJob::PinnedDemand {
+                    node,
+                    start_min,
+                    announce_slack_mins,
+                    limit_mins,
+                    actual_mins,
+                }
+            }
+        ),
+    ]
+}
+
+fn to_spec(g: &GenJob, n_nodes: usize) -> JobSpec {
+    let m = SimDuration::from_mins;
+    match g {
+        GenJob::Hpc {
+            nodes,
+            limit_mins,
+            actual_mins,
+        } => JobSpec::hpc(
+            (*nodes).min(n_nodes as u32).max(1),
+            m(*limit_mins),
+            m(*actual_mins),
+        ),
+        GenJob::PilotFixed { limit_mins } => JobSpec::pilot_fixed(m(*limit_mins), *limit_mins),
+        GenJob::PilotVar { max_mins } => JobSpec::pilot_var(m(2), m(*max_mins)),
+        GenJob::PinnedDemand {
+            node,
+            start_min,
+            announce_slack_mins,
+            limit_mins,
+            actual_mins,
+        } => JobSpec::pinned_demand(
+            vec![NodeId((*node % n_nodes) as u32)],
+            SimTime::from_mins(*start_min),
+            SimTime::from_mins(*start_min + *announce_slack_mins),
+            m(*limit_mins),
+            m(*actual_mins),
+        ),
+    }
+}
+
+/// Run the same generated scenario on both implementations and demand
+/// bit-identical observables.
+#[allow(clippy::too_many_arguments)]
+fn run_differential(
+    n_nodes: usize,
+    cfg: SlurmConfig,
+    jobs: Vec<(u64, GenJob)>,
+    node_events: Vec<(usize, u64, u64)>,
+    exit_lags_secs: Vec<u64>,
+) {
+    let mut opt = Harness::new(cfg.clone(), n_nodes, false);
+    let mut refr = Harness::new(cfg, n_nodes, true);
+
+    // Node failures/repairs, scheduled up front (before the engine
+    // advances past their timestamps).
+    for (node, down_min, up_delta) in &node_events {
+        let n = NodeId((*node % n_nodes) as u32);
+        let down = SimTime::from_mins(30 + *down_min);
+        let up = down + SimDuration::from_mins(1 + *up_delta);
+        for h in [&mut opt, &mut refr] {
+            h.engine.schedule(down, ClusterEvent::NodeDown(n));
+            h.engine.schedule(up, ClusterEvent::NodeUp(n));
+        }
+    }
+    // Submissions, time-ordered (submit_at advances the engine).
+    let mut jobs = jobs;
+    jobs.sort_by_key(|(t, _)| *t);
+    let mut ids = Vec::new();
+    for (t_min, g) in &jobs {
+        let spec = to_spec(g, n_nodes);
+        let t = SimTime::from_mins(*t_min);
+        let a = opt.submit_at(t, spec.clone());
+        let b = refr.submit_at(t, spec);
+        assert_eq!(a, b);
+        ids.push(a);
+    }
+
+    // Strictly after the last possible submission (240 min), so the
+    // engine clock never runs backwards.
+    let mid = SimTime::from_mins(260);
+    opt.run_until(mid);
+    refr.run_until(mid);
+
+    // Voluntary pilot exits: for each sigterm'd pilot, exit `lag`
+    // seconds after the SIGTERM (if still before the kill deadline).
+    // Decisions derive from the optimized run's notes and are asserted
+    // identical in the reference run first.
+    let mut exits: Vec<(SimTime, JobId)> = Vec::new();
+    for (i, id) in ids.iter().enumerate() {
+        if opt.sim.job(*id).spec.kind != JobKind::Pilot {
+            continue;
+        }
+        let ka = opt.kill_at_of(*id);
+        assert_eq!(ka, refr.kill_at_of(*id), "sigterm divergence for {id}");
+        let Some(kill_at) = ka else { continue };
+        let lag = exit_lags_secs[i % exit_lags_secs.len().max(1)];
+        if lag == 0 {
+            continue; // this pilot never exits voluntarily
+        }
+        let exit = kill_at - SimDuration::from_secs(lag.min(20));
+        if exit > mid {
+            exits.push((exit, *id));
+        }
+    }
+    // Exits must be applied in time order (the harness advances the
+    // engine to each exit instant).
+    exits.sort();
+    for (exit, id) in exits {
+        opt.pilot_exit_at(exit, id);
+        refr.pilot_exit_at(exit, id);
+    }
+
+    let end = SimTime::from_hours(8);
+    opt.run_until(end);
+    refr.run_until(end);
+
+    // --- The perf work must not change schedules: everything observable
+    // must be bit-identical. ---
+    assert_eq!(opt.notes.len(), refr.notes.len(), "note count diverged");
+    for (a, b) in opt.notes.iter().zip(refr.notes.iter()) {
+        assert_eq!(a, b, "note stream diverged");
+    }
+    assert_eq!(opt.sim.n_jobs(), refr.sim.n_jobs());
+    for i in 0..opt.sim.n_jobs() {
+        let id = JobId(i as u64);
+        let (ja, jb) = (opt.sim.job(id), refr.sim.job(id));
+        assert_eq!(ja.state, jb.state, "job {id} state diverged");
+        assert_eq!(ja.granted, jb.granted, "job {id} grant diverged");
+    }
+    assert_eq!(
+        opt.sim.reservation_snapshot(),
+        refr.sim.reservation_snapshot(),
+        "reservations diverged"
+    );
+    let (ca, cb) = (opt.sim.counters(), refr.sim.counters());
+    assert_eq!(ca.hpc_started, cb.hpc_started);
+    assert_eq!(ca.hpc_completed, cb.hpc_completed);
+    assert_eq!(ca.pilots_started, cb.pilots_started);
+    assert_eq!(ca.pilots_preempted, cb.pilots_preempted);
+    assert_eq!(ca.pilots_timed_out, cb.pilots_timed_out);
+    assert_eq!(ca.pilots_node_failed, cb.pilots_node_failed);
+    assert_eq!(ca.quick_passes, cb.quick_passes);
+    assert_eq!(ca.backfill_passes, cb.backfill_passes);
+    assert_eq!(ca.reservations_made, cb.reservations_made);
+    assert_eq!(ca.demand_delay_secs.count(), cb.demand_delay_secs.count());
+    assert_eq!(ca.demand_delay_secs.max(), cb.demand_delay_secs.max());
+    assert_eq!(ca.pilot_granted_mins.count(), cb.pilot_granted_mins.count());
+    assert_eq!(opt.sim.n_idle(), refr.sim.n_idle());
+    assert_eq!(opt.sim.n_pilot_nodes(), refr.sim.n_pilot_nodes());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random mixed workloads on the default config.
+    #[test]
+    fn prop_optimized_pass_matches_reference(
+        n_nodes in 4usize..24,
+        jobs in proptest::collection::vec((0u64..240, job_strategy()), 1..40),
+        node_events in proptest::collection::vec((0usize..24, 0u64..200, 0u64..40), 0..4),
+        exit_lags in proptest::collection::vec(0u64..30, 1..8),
+    ) {
+        run_differential(n_nodes, SlurmConfig::default(), jobs, node_events, exit_lags);
+    }
+
+    /// The var-model config (backfill-only pilot placement, tight
+    /// extension budget, stretched pass cost) — the paper's §V-B2
+    /// machinery.
+    #[test]
+    fn prop_differential_var_config(
+        n_nodes in 4usize..16,
+        jobs in proptest::collection::vec((0u64..240, job_strategy()), 1..30),
+        exit_lags in proptest::collection::vec(0u64..30, 1..8),
+        budget in 4u32..40,
+    ) {
+        let cfg = SlurmConfig {
+            quick_pass_places_pilots: false,
+            var_extension_budget_slots: budget,
+            sched_min_interval: SimDuration::from_secs(10),
+            bf_per_job_cost: SimDuration::from_millis(1_500),
+            ..SlurmConfig::default()
+        };
+        run_differential(n_nodes, cfg, jobs, vec![], exit_lags);
+    }
+}

@@ -3,8 +3,8 @@
 //! extension, pinned demand claims, node failures and the poller.
 
 use hpcwhisk_cluster::{
-    ClusterEvent, ClusterNote, ClusterSim, JobId, JobKind, JobOutcome, JobSpec, JobState,
-    NodeId, SigtermReason, SlurmConfig,
+    ClusterEvent, ClusterNote, ClusterSim, JobId, JobKind, JobOutcome, JobSpec, JobState, NodeId,
+    SigtermReason, SlurmConfig,
 };
 use simcore::{Engine, Outbox, SimDuration, SimTime};
 
@@ -111,7 +111,10 @@ fn single_hpc_job_runs_and_completes() {
     h.run_until(at_min(60));
     let start = h.started(j).expect("job should start");
     // Started within a few seconds (quick pass latency).
-    assert!(start <= at_min(1) + SimDuration::from_secs(5), "start={start}");
+    assert!(
+        start <= at_min(1) + SimDuration::from_secs(5),
+        "start={start}"
+    );
     assert_eq!(h.ended_with(j), Some(JobOutcome::Completed));
     assert_eq!(h.sim.n_idle(), 4);
     assert_eq!(h.sim.counters().hpc_started, 1);
@@ -243,18 +246,14 @@ fn var_pilot_extension_limited_by_reservation() {
     // One node; a pinned demand claim is announced at minute 20. A var
     // pilot (2..120 min) placed by the backfill pass must be granted
     // only up to the reservation, not its 120-minute maximum.
-    let mut cfg = SlurmConfig::default();
-    cfg.quick_pass_places_pilots = false; // placement via backfill only
+    let cfg = SlurmConfig {
+        quick_pass_places_pilots: false, // placement via backfill only
+        ..SlurmConfig::default()
+    };
     let mut h = Harness::with_config(cfg, 1);
     let _claim = h.submit_at(
         at_min(0),
-        JobSpec::pinned_demand(
-            vec![NodeId(0)],
-            at_min(20),
-            at_min(20),
-            mins(30),
-            mins(30),
-        ),
+        JobSpec::pinned_demand(vec![NodeId(0)], at_min(20), at_min(20), mins(30), mins(30)),
     );
     let p = h.submit_at(at_min(0), JobSpec::pilot_var(mins(2), mins(120)));
     h.run_until(at_min(15));
@@ -350,8 +349,10 @@ fn node_failure_kills_pilot_without_sigterm() {
     let mut h = Harness::new(1);
     let p = h.submit_at(at_min(0), JobSpec::pilot_fixed(mins(90), 90));
     h.run_until(at_min(1));
-    h.engine.schedule(at_min(2), ClusterEvent::NodeDown(NodeId(0)));
-    h.engine.schedule(at_min(5), ClusterEvent::NodeUp(NodeId(0)));
+    h.engine
+        .schedule(at_min(2), ClusterEvent::NodeDown(NodeId(0)));
+    h.engine
+        .schedule(at_min(5), ClusterEvent::NodeUp(NodeId(0)));
     h.run_until(at_min(10));
     assert_eq!(h.ended_with(p), Some(JobOutcome::NodeFailed));
     assert!(h.sigterm_of(p).is_none(), "hard failure: no SIGTERM");
@@ -380,7 +381,10 @@ fn poller_emits_samples_with_expected_cadence() {
     }
     let exact10 = gaps.iter().filter(|g| (**g - 10.0).abs() < 1e-9).count();
     let frac = exact10 as f64 / gaps.len() as f64;
-    assert!((frac - 0.7643).abs() < 0.08, "frac of exact 10s gaps = {frac}");
+    assert!(
+        (frac - 0.7643).abs() < 0.08,
+        "frac of exact 10s gaps = {frac}"
+    );
     assert!(gaps.iter().all(|g| *g >= 10.0 - 1e-9 && *g <= 20.0 + 1e-9));
     // Sample content: 7 idle + 1 pilot at the start.
     let first = &samples[0];
@@ -452,9 +456,8 @@ fn fuzz_conservation_across_seeds() {
             let spec = if rng.chance(0.5) {
                 let nodes = 1 + rng.range_u64(0, 4) as u32;
                 let limit = mins(2 + rng.range_u64(0, 30));
-                let actual = SimDuration::from_millis(
-                    rng.range_u64(60_000, limit.as_millis().max(60_001)),
-                );
+                let actual =
+                    SimDuration::from_millis(rng.range_u64(60_000, limit.as_millis().max(60_001)));
                 JobSpec::hpc(nodes, limit, actual)
             } else if rng.chance(0.5) {
                 JobSpec::pilot_fixed(mins(2 + 2 * rng.range_u64(0, 10)), 1)

@@ -63,8 +63,6 @@ pub fn slurm_level(samples: &[PollSample]) -> SlurmLevel {
     } else {
         0.0
     };
-    let mut pilots = pilots;
-    let mut avail = avail;
     SlurmLevel {
         avg_available: avail.mean(),
         median_available: avail.median(),

@@ -13,8 +13,8 @@ use crate::manager::{FibManager, PilotManager, VarManager, REPLENISH_EVERY};
 use crate::offline::{self, OfflineConfig, OfflineReport};
 use crate::pilot::{PilotPhase, PilotTable, WarmupModel};
 use cluster::{
-    AvailabilityTrace, ClusterEvent, ClusterNote, ClusterSim, Counters, JobId, JobKind,
-    PollSample, SlurmConfig,
+    AvailabilityTrace, ClusterEvent, ClusterNote, ClusterSim, Counters, JobId, JobKind, PollSample,
+    SlurmConfig,
 };
 use metrics::{Cdf, MinuteBins, StepSeries};
 use simcore::{Engine, Outbox, Process, SimDuration, SimRng, SimTime};
@@ -290,12 +290,7 @@ impl DayState {
         }
     }
 
-    fn react_cluster(
-        &mut self,
-        now: SimTime,
-        notes: Vec<ClusterNote>,
-        out: &mut Outbox<SysEvent>,
-    ) {
+    fn react_cluster(&mut self, now: SimTime, notes: Vec<ClusterNote>, out: &mut Outbox<SysEvent>) {
         for note in notes {
             match note {
                 ClusterNote::JobStarted { job, .. } => {
@@ -459,8 +454,9 @@ impl Process<SysEvent> for DayState {
                     } else {
                         self.record_commercial(now);
                     }
-                    let next =
-                        SimTime::from_millis(self.start.as_millis() + load.time_of(i + 1).as_millis());
+                    let next = SimTime::from_millis(
+                        self.start.as_millis() + load.time_of(i + 1).as_millis(),
+                    );
                     out.at(next, SysEvent::Load(i + 1));
                 }
             }
@@ -476,16 +472,17 @@ pub fn run_day(trace: &AvailabilityTrace, cfg: DayConfig) -> DayReport {
     let mut whisk = WhiskSys::new(cfg.whisk.clone(), cfg.seed);
     let manager: Box<dyn PilotManager> = match &cfg.manager {
         ManagerKind::Fib(lengths) => Box::new(FibManager::paper(lengths.clone())),
-        ManagerKind::FibUniform(lengths) => {
-            Box::new(FibManager::uniform_priority(lengths.clone()))
-        }
+        ManagerKind::FibUniform(lengths) => Box::new(FibManager::uniform_priority(lengths.clone())),
         ManagerKind::Var => Box::new(VarManager::paper()),
     };
     let manager_name = manager.name();
     let mut rng = SimRng::seed_from_u64(cfg.seed ^ 0xDA71);
 
     let claims = cfg.demand.claims_for(trace, cfg.seed);
-    let mut engine: Engine<SysEvent> = Engine::new();
+    // A day schedules thousands of events up front (claims, load,
+    // maintenance): pre-reserve the queue so the bootstrap burst never
+    // reallocates mid-push.
+    let mut engine: Engine<SysEvent> = Engine::with_queue_capacity(4_096);
 
     // Bootstrap periodic machinery.
     {
@@ -511,7 +508,10 @@ pub fn run_day(trace: &AvailabilityTrace, cfg: DayConfig) -> DayReport {
             if c.start == trace.start {
                 cluster.force_start(trace.start, c.to_spec(), &mut co, &mut cn);
             } else {
-                engine.schedule(c.submit_at.max(trace.start), SysEvent::SubmitClaim(i as u32));
+                engine.schedule(
+                    c.submit_at.max(trace.start),
+                    SysEvent::SubmitClaim(i as u32),
+                );
             }
         }
         for (t, e) in co.drain() {
@@ -608,6 +608,39 @@ pub fn run_day(trace: &AvailabilityTrace, cfg: DayConfig) -> DayReport {
         commercial_bins: state.commercial_bins,
         commercial_latency_secs: state.commercial_latency_secs,
     }
+}
+
+/// Run many independent day experiments across threads. Each `(trace,
+/// config)` pair is a self-contained deterministic simulation (its own
+/// [`SimRng`] streams derived from `config.seed`), so results are
+/// bit-identical to running [`run_day`] sequentially — the rayon fanout
+/// only changes wall-clock. Reports return in input order.
+pub fn run_days(days: Vec<(AvailabilityTrace, DayConfig)>) -> Vec<DayReport> {
+    use rayon::prelude::*;
+    days.into_par_iter()
+        .map(|(trace, cfg)| run_day(&trace, cfg))
+        .collect()
+}
+
+/// Run the same day configuration over many seeds in parallel —
+/// replication studies (error bars for Tables II/III) scale with cores.
+/// Each replication gets `cfg.seed = seed`; per-seed determinism is
+/// guaranteed by the forked `SimRng` streams.
+pub fn run_replications(
+    trace: &AvailabilityTrace,
+    cfg: &DayConfig,
+    seeds: &[u64],
+) -> Vec<DayReport> {
+    use rayon::prelude::*;
+    seeds
+        .to_vec()
+        .into_par_iter()
+        .map(|seed| {
+            let mut c = cfg.clone();
+            c.seed = seed;
+            run_day(trace, c)
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -736,8 +769,7 @@ mod tests {
         cfg.load = Some(light_load());
         cfg.wrapper_cooloff = Some(SimDuration::from_secs(60));
         let report = run_day(&trace, cfg);
-        let (local, commercial, seen_503) =
-            report.wrapper_stats.expect("wrapper enabled");
+        let (local, commercial, seen_503) = report.wrapper_stats.expect("wrapper enabled");
         assert!(commercial > 0, "outage windows must off-load");
         assert!(local > commercial, "the cluster serves the bulk");
         assert!(seen_503 > 0);
@@ -792,6 +824,57 @@ mod tests {
             b.cluster_counters.pilots_started
         );
         assert_eq!(a.samples.len(), b.samples.len());
+    }
+
+    #[test]
+    fn parallel_replications_match_sequential_runs() {
+        let trace = small_trace();
+        let mut cfg = DayConfig::fib_paper(0);
+        cfg.load = Some(light_load());
+        let seeds = [11u64, 23, 47];
+        let par = run_replications(&trace, &cfg, &seeds);
+        for (seed, rep) in seeds.iter().zip(par.iter()) {
+            let mut c = cfg.clone();
+            c.seed = *seed;
+            let seq = run_day(&trace, c);
+            // Bit-identical outcomes: threading must not perturb the
+            // per-seed deterministic streams.
+            assert_eq!(rep.whisk_counters.submitted, seq.whisk_counters.submitted);
+            assert_eq!(rep.whisk_counters.success, seq.whisk_counters.success);
+            assert_eq!(
+                rep.cluster_counters.pilots_started,
+                seq.cluster_counters.pilots_started
+            );
+            assert_eq!(rep.samples.len(), seq.samples.len());
+        }
+        // Distinct seeds genuinely explore different trajectories.
+        assert!(
+            par[0].whisk_counters.success != par[1].whisk_counters.success
+                || par[1].whisk_counters.success != par[2].whisk_counters.success
+        );
+    }
+
+    #[test]
+    fn run_days_preserves_input_order() {
+        let trace = small_trace();
+        let mk = |seed| {
+            let mut c = DayConfig::fib_paper(seed);
+            c.load = None;
+            c
+        };
+        let reports = run_days(vec![
+            (trace.clone(), mk(1)),
+            (trace.clone(), mk(2)),
+            (trace.clone(), mk(3)),
+        ]);
+        assert_eq!(reports.len(), 3);
+        for (i, seed) in [1u64, 2, 3].iter().enumerate() {
+            let seq = run_day(&trace, mk(*seed));
+            assert_eq!(
+                reports[i].cluster_counters.pilots_started, seq.cluster_counters.pilots_started,
+                "report {i} out of order or non-deterministic"
+            );
+        }
     }
 
     #[test]

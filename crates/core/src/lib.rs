@@ -32,7 +32,9 @@ pub mod report;
 pub mod wrapper;
 
 pub use coverage::{OwLevel, SlurmLevel};
-pub use experiment::{run_day, DayConfig, DayReport, ManagerKind, SysEvent};
+pub use experiment::{
+    run_day, run_days, run_replications, DayConfig, DayReport, ManagerKind, SysEvent,
+};
 pub use manager::{FibManager, PilotManager, VarManager, QUEUE_CAP, REPLENISH_EVERY};
 pub use offline::{simulate, OfflineConfig, OfflineReport};
 pub use pilot::{PilotPhase, PilotTable, WarmupModel};

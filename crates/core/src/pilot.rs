@@ -99,7 +99,8 @@ impl PilotTable {
             }
             Some(PilotPhase::Serving) => {
                 if let Some(since) = self.serve_since.remove(&job) {
-                    self.serve_lifetimes_mins.add(now.since(since).as_mins_f64());
+                    self.serve_lifetimes_mins
+                        .add(now.since(since).as_mins_f64());
                 }
             }
             _ => {}
@@ -117,7 +118,8 @@ impl PilotTable {
                 // Hard death while serving (node failure): close the
                 // lifetime here.
                 if let Some(since) = self.serve_since.remove(&job) {
-                    self.serve_lifetimes_mins.add(now.since(since).as_mins_f64());
+                    self.serve_lifetimes_mins
+                        .add(now.since(since).as_mins_f64());
                 }
             }
             _ => {}
@@ -142,7 +144,9 @@ mod tests {
     fn warmup_model_matches_measured_quantiles() {
         let m = WarmupModel::default();
         let mut rng = SimRng::seed_from_u64(1);
-        let mut xs: Vec<f64> = (0..20_000).map(|_| m.sample(&mut rng).as_secs_f64()).collect();
+        let mut xs: Vec<f64> = (0..20_000)
+            .map(|_| m.sample(&mut rng).as_secs_f64())
+            .collect();
         xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let med = xs[xs.len() / 2];
         assert!((11.0..=14.0).contains(&med), "median warm-up = {med}");

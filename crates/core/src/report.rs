@@ -92,7 +92,14 @@ pub fn render_day_table(
     t.separator();
     let q = |v: (f64, f64, f64, f64)| (triple(v.0, v.1, v.2), f2(v.3));
     let (wq, wa) = q(ow.warmup);
-    t.row(&["OW-level".into(), "warm up".into(), wq, wa, "".into(), "".into()]);
+    t.row(&[
+        "OW-level".into(),
+        "warm up".into(),
+        wq,
+        wa,
+        "".into(),
+        "".into(),
+    ]);
     let (hq, ha) = q(ow.healthy);
     t.row(&["".into(), "healthy".into(), hq, ha, "".into(), "".into()]);
     let (iq, ia) = q(ow.irresp);

@@ -46,9 +46,7 @@ impl FallbackWrapper {
 
     /// Decide where the next call goes (Algorithm 1's `if` guard).
     pub fn route(&mut self, now: SimTime) -> Target {
-        let cooling = self
-            .last_503
-            .is_some_and(|t| now.since(t) <= self.cooloff);
+        let cooling = self.last_503.is_some_and(|t| now.since(t) <= self.cooloff);
         if cooling {
             self.sent_commercial += 1;
             Target::Commercial
@@ -154,7 +152,9 @@ mod tests {
     fn commercial_latency_plausible() {
         let b = CommercialBackend::default();
         let mut rng = SimRng::seed_from_u64(1);
-        let mut lat: Vec<f64> = (0..5_000).map(|_| b.latency(&mut rng).as_secs_f64()).collect();
+        let mut lat: Vec<f64> = (0..5_000)
+            .map(|_| b.latency(&mut rng).as_secs_f64())
+            .collect();
         lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let med = lat[lat.len() / 2];
         assert!((0.6..=1.0).contains(&med), "median = {med}");

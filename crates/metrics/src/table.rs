@@ -135,7 +135,12 @@ pub fn f2(x: f64) -> String {
 
 /// Format the paper's `25-50-75p` percentile triple.
 pub fn triple(p25: f64, p50: f64, p75: f64) -> String {
-    format!("{}-{}-{}", p25.round() as i64, p50.round() as i64, p75.round() as i64)
+    format!(
+        "{}-{}-{}",
+        p25.round() as i64,
+        p50.round() as i64,
+        p75.round() as i64
+    )
 }
 
 #[cfg(test)]

@@ -111,7 +111,12 @@ impl StepSeries {
     }
 
     /// Total time within `[from, to)` during which `pred(value)` holds.
-    pub fn time_where(&self, from: SimTime, to: SimTime, pred: impl Fn(f64) -> bool) -> SimDuration {
+    pub fn time_where(
+        &self,
+        from: SimTime,
+        to: SimTime,
+        pred: impl Fn(f64) -> bool,
+    ) -> SimDuration {
         let mut total = SimDuration::ZERO;
         for s in self.iter_segments(from, to) {
             if pred(s.value) {
@@ -122,12 +127,7 @@ impl StepSeries {
     }
 
     /// Fraction of `[from, to)` during which `pred(value)` holds.
-    pub fn fraction_where(
-        &self,
-        from: SimTime,
-        to: SimTime,
-        pred: impl Fn(f64) -> bool,
-    ) -> f64 {
+    pub fn fraction_where(&self, from: SimTime, to: SimTime, pred: impl Fn(f64) -> bool) -> f64 {
         let span = (to - from).as_secs_f64();
         assert!(span > 0.0);
         self.time_where(from, to, pred).as_secs_f64() / span
@@ -181,10 +181,7 @@ impl StepSeries {
         let points = &self.points[start_idx..];
         points.iter().enumerate().filter_map(move |(i, (t, v))| {
             let seg_start = (*t).max(from);
-            let seg_end = points
-                .get(i + 1)
-                .map(|(nt, _)| (*nt).min(to))
-                .unwrap_or(to);
+            let seg_end = points.get(i + 1).map(|(nt, _)| (*nt).min(to)).unwrap_or(to);
             if seg_end <= seg_start {
                 None
             } else {

@@ -87,7 +87,10 @@ mod tests {
         assert!((quarter.speed_factor / full.speed_factor - 4.0).abs() < 1e-9);
         // Above the full-vCPU point, more memory does not speed compute.
         let big = PlatformModel::aws_lambda(3_008);
-        assert_eq!(big.speed_factor, PlatformModel::aws_lambda(2_048).speed_factor);
+        assert_eq!(
+            big.speed_factor,
+            PlatformModel::aws_lambda(2_048).speed_factor
+        );
     }
 
     #[test]

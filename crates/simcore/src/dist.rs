@@ -14,12 +14,15 @@ use crate::rng::SimRng;
 /// Inverse standard-normal CDF (Acklam's rational approximation,
 /// |relative error| < 1.15e-9). Used for quantile-based calibration.
 pub fn inv_norm_cdf(p: f64) -> f64 {
-    assert!(p > 0.0 && p < 1.0, "inv_norm_cdf domain: 0 < p < 1, got {p}");
+    assert!(
+        p > 0.0 && p < 1.0,
+        "inv_norm_cdf domain: 0 < p < 1, got {p}"
+    );
     const A: [f64; 6] = [
         -3.969683028665376e+01,
         2.209460984245205e+02,
         -2.759285104469687e+02,
-        1.383577518672690e+02,
+        1.383_577_518_672_69e2,
         -3.066479806614716e+01,
         2.506628277459239e+00,
     ];
@@ -379,7 +382,11 @@ mod tests {
         assert!((d.quantile(0.5) - 2.0).abs() < 1e-9);
         assert!((d.quantile(0.75) - 4.0).abs() < 1e-6);
         let s = draw_sorted(&d, 80_000, 2);
-        assert!((quantile(&s, 0.5) - 2.0).abs() < 0.1, "med={}", quantile(&s, 0.5));
+        assert!(
+            (quantile(&s, 0.5) - 2.0).abs() < 0.1,
+            "med={}",
+            quantile(&s, 0.5)
+        );
         assert!((quantile(&s, 0.75) - 4.0).abs() < 0.2);
         let mean = s.iter().sum::<f64>() / s.len() as f64;
         assert!((mean - d.mean()).abs() < 0.2 * d.mean());

@@ -95,6 +95,25 @@ impl<E> EventQueue<E> {
         Some((e.time, e.event))
     }
 
+    /// Remove and return the earliest event together with its insertion
+    /// sequence number, so it can be [`EventQueue::requeue`]d without
+    /// losing its FIFO position among same-timestamp events. This is the
+    /// engine's single-heap-access dispatch path: no separate peek.
+    pub fn pop_with_seq(&mut self) -> Option<(SimTime, u64, E)> {
+        let e = self.heap.pop()?;
+        self.popped += 1;
+        Some((e.time, e.seq, e.event))
+    }
+
+    /// Put back an event obtained from [`EventQueue::pop_with_seq`]
+    /// under its original sequence number. The pop is also un-counted,
+    /// so `total_popped` reflects only *processed* events.
+    pub fn requeue(&mut self, time: SimTime, seq: u64, event: E) {
+        debug_assert!(seq < self.seq, "requeue of a seq never handed out");
+        self.popped -= 1;
+        self.heap.push(Entry { time, seq, event });
+    }
+
     /// Timestamp of the earliest pending event, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
         self.heap.peek().map(|e| e.time)

@@ -289,10 +289,7 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        assert_eq!(
-            SimTime::from_millis(3_661_001).to_string(),
-            "01:01:01.001"
-        );
+        assert_eq!(SimTime::from_millis(3_661_001).to_string(), "01:01:01.001");
         assert_eq!(SimDuration::from_secs(30).to_string(), "30.000s");
         assert_eq!(SimDuration::from_mins(5).to_string(), "5.00min");
     }
@@ -303,7 +300,10 @@ mod tests {
         let b = SimTime::from_secs(9);
         assert_eq!(b.since(a), SimDuration::from_secs(5));
         assert_eq!(a.since(b), SimDuration::ZERO);
-        assert_eq!(SimTime::MAX.saturating_add(SimDuration::from_secs(1)), SimTime::MAX);
+        assert_eq!(
+            SimTime::MAX.saturating_add(SimDuration::from_secs(1)),
+            SimTime::MAX
+        );
     }
 
     #[test]

@@ -82,7 +82,9 @@ mod tests {
 
     #[test]
     fn busy_service_time_scales() {
-        let e = ExecModel::Busy { reference_secs: 2.0 };
+        let e = ExecModel::Busy {
+            reference_secs: 2.0,
+        };
         assert_eq!(e.service_time(1.0), SimDuration::from_secs(2));
         assert_eq!(e.service_time(1.15), SimDuration::from_millis(2_300));
     }

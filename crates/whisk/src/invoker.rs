@@ -51,7 +51,10 @@ impl Invoker {
     /// Routable by the controller?
     pub fn routable(&self) -> bool {
         // DeadUnnoticed stays true: the controller does not know yet.
-        matches!(self.state, InvokerState::Healthy | InvokerState::DeadUnnoticed)
+        matches!(
+            self.state,
+            InvokerState::Healthy | InvokerState::DeadUnnoticed
+        )
     }
 
     /// Actually able to process work?

@@ -167,16 +167,15 @@ impl LiveController {
     pub fn sigterm(&self, id: u64) -> bool {
         let invokers = self.invokers.read();
         match invokers.iter().find(|i| i.id == id) {
-            Some(inv) => {
-                inv.state
-                    .compare_exchange(
-                        STATE_HEALTHY,
-                        STATE_DRAINING,
-                        Ordering::SeqCst,
-                        Ordering::SeqCst,
-                    )
-                    .is_ok()
-            }
+            Some(inv) => inv
+                .state
+                .compare_exchange(
+                    STATE_HEALTHY,
+                    STATE_DRAINING,
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                )
+                .is_ok(),
             None => false,
         }
     }
@@ -230,10 +229,7 @@ fn invoker_loop(
         // when idle.
         let req = match fast_lane_rx.try_recv() {
             Ok(r) => Some(r),
-            Err(_) => match queue_rx.recv_timeout(Duration::from_millis(2)) {
-                Ok(r) => Some(r),
-                Err(_) => None,
-            },
+            Err(_) => queue_rx.recv_timeout(Duration::from_millis(2)).ok(),
         };
         if let Some(req) = req {
             let value = (req.work)();
@@ -351,8 +347,9 @@ mod tests {
         let mut seen = 0;
         while seen < 90 {
             let r = ctrl.results.recv_timeout(Duration::from_secs(10)).unwrap();
-            assert_eq!(r.value, r.id * 2
-                // ids are assigned in submission order here
+            assert_eq!(
+                r.value,
+                r.id * 2 // ids are assigned in submission order here
             );
             seen += 1;
         }

@@ -185,7 +185,10 @@ impl WhiskSys {
         self.counters.submitted += 1;
         let Some(inv) = self.route(f) else {
             self.counters.rejected_503 += 1;
-            notes.push(WhiskNote::Rejected503 { function: f, at: now });
+            notes.push(WhiskNote::Rejected503 {
+                function: f,
+                at: now,
+            });
             return InvokeResult::Rejected503;
         };
         let act = ActivationId(self.records.len() as u64);
@@ -695,7 +698,10 @@ mod tests {
             ));
             homes.insert(s.route(f).unwrap());
         }
-        assert!(homes.len() >= 5, "64 functions spread over 8 invokers: {homes:?}");
+        assert!(
+            homes.len() >= 5,
+            "64 functions spread over 8 invokers: {homes:?}"
+        );
     }
 
     #[test]

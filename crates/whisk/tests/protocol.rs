@@ -93,7 +93,9 @@ fn secs(s: u64) -> SimTime {
 #[test]
 fn rejects_503_with_no_invokers() {
     let mut h = Harness::new(WhiskConfig::default());
-    let f = h.sys.register_function(FunctionSpec::sleep("f", SimDuration::from_millis(10)));
+    let f = h
+        .sys
+        .register_function(FunctionSpec::sleep("f", SimDuration::from_millis(10)));
     let r = h.invoke_at(secs(1), f);
     assert_eq!(r, InvokeResult::Rejected503);
     assert_eq!(h.sys.counters().rejected_503, 1);
@@ -106,7 +108,9 @@ fn rejects_503_with_no_invokers() {
 #[test]
 fn warm_invocation_completes_with_calibrated_latency() {
     let mut h = Harness::new(WhiskConfig::default());
-    let f = h.sys.register_function(FunctionSpec::sleep("f", SimDuration::from_millis(10)));
+    let f = h
+        .sys
+        .register_function(FunctionSpec::sleep("f", SimDuration::from_millis(10)));
     h.start_invoker_at(secs(0), 1);
     // First call cold-starts; repeat calls should be warm.
     for i in 0..20 {
@@ -138,20 +142,26 @@ fn drain_reroutes_everything_no_request_lost() {
     // One invoker receives a burst, gets SIGTERM mid-burst, a second
     // invoker picks everything up from the fast lane: zero timeouts.
     let mut h = Harness::new(WhiskConfig::default());
-    let f = h.sys.register_function(FunctionSpec::sleep("f", SimDuration::from_millis(10)));
+    let f = h
+        .sys
+        .register_function(FunctionSpec::sleep("f", SimDuration::from_millis(10)));
     h.start_invoker_at(secs(0), 1);
     for i in 0..40 {
         h.invoke_at(secs(2) + SimDuration::from_millis(i * 20), f);
     }
     // SIGTERM arrives while much of the burst is still queued.
-    h.apply(secs(2) + SimDuration::from_millis(450), |sys, now, out, notes| {
-        sys.sigterm_invoker(now, InvokerId(1), out, notes)
-    });
+    h.apply(
+        secs(2) + SimDuration::from_millis(450),
+        |sys, now, out, notes| sys.sigterm_invoker(now, InvokerId(1), out, notes),
+    );
     h.start_invoker_at(secs(3), 2);
     h.run_until(secs(120));
     let outs = h.outcomes();
     assert_eq!(outs.len(), 40, "every request answered");
-    let succ = outs.iter().filter(|(o, _, _)| *o == Outcome::Success).count();
+    let succ = outs
+        .iter()
+        .filter(|(o, _, _)| *o == Outcome::Success)
+        .count();
     assert_eq!(succ, 40, "no request lost during drain");
     assert_eq!(h.sys.counters().timeout, 0);
     assert!(h.sys.counters().moved_to_fastlane + h.sys.counters().refired > 0);
@@ -187,13 +197,22 @@ fn baseline_mode_loses_silently_dead_invokers_queue() {
         sys.kill_invoker(now, InvokerId(1), out, notes)
     });
     for i in 0..30u64 {
-        h.invoke_at(secs(6) + SimDuration::from_millis(i * 100), fns[(i % 20) as usize]);
+        h.invoke_at(
+            secs(6) + SimDuration::from_millis(i * 100),
+            fns[(i % 20) as usize],
+        );
     }
     h.run_until(secs(120));
     let outs = h.outcomes();
     assert_eq!(outs.len(), 30);
-    let timeouts = outs.iter().filter(|(o, _, _)| *o == Outcome::Timeout).count();
-    let succ = outs.iter().filter(|(o, _, _)| *o == Outcome::Success).count();
+    let timeouts = outs
+        .iter()
+        .filter(|(o, _, _)| *o == Outcome::Timeout)
+        .count();
+    let succ = outs
+        .iter()
+        .filter(|(o, _, _)| *o == Outcome::Success)
+        .count();
     // Exactly the requests routed to the dead invoker time out.
     assert!(timeouts > 0, "baseline must lose the dead invoker's queue");
     assert_eq!(timeouts + succ, 30);
@@ -218,12 +237,18 @@ fn hpcwhisk_mode_recovers_silently_dead_invokers_queue() {
         sys.kill_invoker(now, InvokerId(1), out, notes)
     });
     for i in 0..30u64 {
-        h.invoke_at(secs(6) + SimDuration::from_millis(i * 100), fns[(i % 20) as usize]);
+        h.invoke_at(
+            secs(6) + SimDuration::from_millis(i * 100),
+            fns[(i % 20) as usize],
+        );
     }
     h.run_until(secs(120));
     let outs = h.outcomes();
     assert_eq!(outs.len(), 30);
-    let succ = outs.iter().filter(|(o, _, _)| *o == Outcome::Success).count();
+    let succ = outs
+        .iter()
+        .filter(|(o, _, _)| *o == Outcome::Success)
+        .count();
     // Requests that were still unpulled in the dead invoker's topic get
     // recovered to the fast lane once the death is noticed (only those
     // pulled into the dead invoker's buffer could be lost; none here,
@@ -236,7 +261,9 @@ fn hpcwhisk_mode_recovers_silently_dead_invokers_queue() {
 #[test]
 fn requests_during_zero_workers_wait_in_fast_lane_or_reject() {
     let mut h = Harness::new(WhiskConfig::default());
-    let f = h.sys.register_function(FunctionSpec::sleep("f", SimDuration::from_millis(10)));
+    let f = h
+        .sys
+        .register_function(FunctionSpec::sleep("f", SimDuration::from_millis(10)));
     // No invokers yet: rejected.
     assert_eq!(h.invoke_at(secs(1), f), InvokeResult::Rejected503);
     // Invoker appears; accepted request during its life but enqueued to
@@ -244,9 +271,10 @@ fn requests_during_zero_workers_wait_in_fast_lane_or_reject() {
     h.start_invoker_at(secs(2), 1);
     let r = h.invoke_at(secs(3), f);
     assert!(matches!(r, InvokeResult::Accepted(_)));
-    h.apply(secs(3) + SimDuration::from_millis(1), |sys, now, out, notes| {
-        sys.sigterm_invoker(now, InvokerId(1), out, notes)
-    });
+    h.apply(
+        secs(3) + SimDuration::from_millis(1),
+        |sys, now, out, notes| sys.sigterm_invoker(now, InvokerId(1), out, notes),
+    );
     h.run_until(secs(10));
     // Not answered yet (no invoker), should be waiting in fast lane.
     assert_eq!(h.outcomes().len(), 0);
@@ -265,23 +293,29 @@ fn unanswered_requests_time_out_at_deadline() {
         ..WhiskConfig::default()
     };
     let mut h = Harness::new(cfg);
-    let f = h.sys.register_function(FunctionSpec::sleep("f", SimDuration::from_millis(10)));
+    let f = h
+        .sys
+        .register_function(FunctionSpec::sleep("f", SimDuration::from_millis(10)));
     h.start_invoker_at(secs(0), 1);
     let r = h.invoke_at(secs(1), f);
     let InvokeResult::Accepted(_act) = r else {
         panic!()
     };
     // Invoker dies silently right away; no other invoker ever comes.
-    h.apply(secs(1) + SimDuration::from_millis(10), |sys, now, out, notes| {
-        sys.kill_invoker(now, InvokerId(1), out, notes)
-    });
+    h.apply(
+        secs(1) + SimDuration::from_millis(10),
+        |sys, now, out, notes| sys.kill_invoker(now, InvokerId(1), out, notes),
+    );
     h.run_until(secs(30));
     let outs = h.outcomes();
     assert_eq!(outs.len(), 1);
     assert_eq!(outs[0].0, Outcome::Timeout);
     // Timeout declared near the 10 s deadline (within scan cadence).
     let answered = outs[0].2;
-    assert!(answered >= secs(11) && answered <= secs(13), "at {answered}");
+    assert!(
+        answered >= secs(11) && answered <= secs(13),
+        "at {answered}"
+    );
     assert_eq!(h.sys.counters().timeout, 1);
 }
 
@@ -300,8 +334,10 @@ fn cold_start_saturation_fails_activations() {
     let mut h = Harness::new(cfg);
     let fns: Vec<FunctionId> = (0..50)
         .map(|i| {
-            h.sys
-                .register_function(FunctionSpec::sleep(&format!("f{i}"), SimDuration::from_millis(10)))
+            h.sys.register_function(FunctionSpec::sleep(
+                &format!("f{i}"),
+                SimDuration::from_millis(10),
+            ))
         })
         .collect();
     h.start_invoker_at(secs(0), 1);
@@ -312,9 +348,18 @@ fn cold_start_saturation_fails_activations() {
     h.run_until(secs(180));
     let outs = h.outcomes();
     assert_eq!(outs.len(), 200, "every request eventually answered");
-    let failed = outs.iter().filter(|(o, _, _)| *o == Outcome::Failed).count();
-    let succ = outs.iter().filter(|(o, _, _)| *o == Outcome::Success).count();
-    let timeout = outs.iter().filter(|(o, _, _)| *o == Outcome::Timeout).count();
+    let failed = outs
+        .iter()
+        .filter(|(o, _, _)| *o == Outcome::Failed)
+        .count();
+    let succ = outs
+        .iter()
+        .filter(|(o, _, _)| *o == Outcome::Success)
+        .count();
+    let timeout = outs
+        .iter()
+        .filter(|(o, _, _)| *o == Outcome::Timeout)
+        .count();
     assert!(failed > 0, "saturated cold starts must fail some requests");
     assert!(succ > 0, "the node keeps serving through the churn");
     assert!(failed < 200, "not everything fails");
@@ -324,7 +369,9 @@ fn cold_start_saturation_fails_activations() {
 #[test]
 fn routing_sticks_to_home_invoker_for_warm_affinity() {
     let mut h = Harness::new(WhiskConfig::default());
-    let f = h.sys.register_function(FunctionSpec::sleep("f", SimDuration::from_millis(10)));
+    let f = h
+        .sys
+        .register_function(FunctionSpec::sleep("f", SimDuration::from_millis(10)));
     for k in 1..=4 {
         h.start_invoker_at(secs(0), k);
     }

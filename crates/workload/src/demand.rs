@@ -82,7 +82,7 @@ impl DemandModel {
     /// trace start get `submit_at == start == ZERO` (the day begins on a
     /// full cluster).
     pub fn claims_for(&self, trace: &AvailabilityTrace, seed: u64) -> Vec<DemandClaim> {
-        let mut rng = SimRng::seed_from_u64(seed ^ 0xdeaa_aa);
+        let mut rng = SimRng::seed_from_u64(seed ^ 0x00de_aaaa);
         let mut claims = Vec::new();
         for (n, gaps) in trace.per_node.iter().enumerate() {
             let node = NodeId(n as u32);
@@ -198,10 +198,7 @@ mod tests {
             AvailabilityTrace::from_intervals(SimTime::ZERO, SimTime::from_mins(60), per_node);
         let model = DemandModel::default();
         let claims = model.claims_for(&trace, 3);
-        let later: Vec<_> = claims
-            .iter()
-            .filter(|c| c.start > SimTime::ZERO)
-            .collect();
+        let later: Vec<_> = claims.iter().filter(|c| c.start > SimTime::ZERO).collect();
         let exact = later.iter().filter(|c| c.announced == c.start).count();
         let share = exact as f64 / later.len() as f64;
         assert!(

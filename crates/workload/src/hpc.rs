@@ -177,20 +177,24 @@ mod tests {
             slack_mins.push((j.time_limit - rt).as_mins_f64());
         }
         let to_frac = timeouts as f64 / 20_000.0;
-        assert!((0.05..=0.12).contains(&to_frac), "timeout share = {to_frac}");
+        assert!(
+            (0.05..=0.12).contains(&to_frac),
+            "timeout share = {to_frac}"
+        );
         slack_mins.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let med_slack = slack_mins[slack_mins.len() / 2];
         // Fig 2: substantial slack; median tens of minutes.
-        assert!((15.0..=60.0).contains(&med_slack), "median slack = {med_slack}");
+        assert!(
+            (15.0..=60.0).contains(&med_slack),
+            "median slack = {med_slack}"
+        );
     }
 
     #[test]
     fn sizes_dominated_by_small_jobs() {
         let m = HpcWorkloadModel::prometheus();
         let mut rng = SimRng::seed_from_u64(3);
-        let sizes: Vec<u32> = (0..20_000)
-            .map(|_| m.sample_job(&mut rng).nodes)
-            .collect();
+        let sizes: Vec<u32> = (0..20_000).map(|_| m.sample_job(&mut rng).nodes).collect();
         let single = sizes.iter().filter(|s| **s == 1).count() as f64 / 20_000.0;
         assert!((0.3..=0.5).contains(&single), "1-node share = {single}");
         assert!(sizes.iter().any(|s| *s >= 128), "large jobs exist");

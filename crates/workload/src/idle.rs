@@ -169,7 +169,10 @@ impl IdleModel {
         let sat_mean_mins = {
             let mut r = rng.fork(1);
             let n = 5_000;
-            (0..n).map(|_| self.sat_duration.sample(&mut r)).sum::<f64>() / n as f64
+            (0..n)
+                .map(|_| self.sat_duration.sample(&mut r))
+                .sum::<f64>()
+                / n as f64
         };
         let frag_mean_mins = if self.saturated_frac > 0.0 {
             sat_mean_mins * (1.0 - self.saturated_frac) / self.saturated_frac
@@ -357,7 +360,10 @@ mod tests {
         let f_zero = fs.fraction_where(SimTime::ZERO, fib.end, |v| v == 0.0);
         let v_zero = vs.fraction_where(SimTime::ZERO, var.end, |v| v == 0.0);
         assert!(f_zero < 0.03, "fib day zero-avail = {f_zero}");
-        assert!((0.05..=0.16).contains(&v_zero), "var day zero-avail = {v_zero}");
+        assert!(
+            (0.05..=0.16).contains(&v_zero),
+            "var day zero-avail = {v_zero}"
+        );
     }
 
     #[test]

@@ -34,7 +34,12 @@ fn main() {
     let fib_ow = fib.ow_level();
     println!(
         "{}",
-        report::render_day_table("fib (set A1, quick placement)", &fib_sim, &fib_slurm, &fib_ow)
+        report::render_day_table(
+            "fib (set A1, quick placement)",
+            &fib_sim,
+            &fib_slurm,
+            &fib_ow
+        )
     );
 
     let var_sim = var.simulation(lengths::c2());

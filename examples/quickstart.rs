@@ -7,8 +7,8 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use hpc_whisk::core::{lengths, run_day, DayConfig};
 use hpc_whisk::cluster::AvailabilityTrace;
+use hpc_whisk::core::{lengths, run_day, DayConfig};
 use hpc_whisk::simcore::SimTime;
 use hpc_whisk::workload::ConstantRateLoadGen;
 

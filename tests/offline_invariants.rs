@@ -1,8 +1,8 @@
 //! Integration: structural invariants of Table I that must hold on any
 //! generated trace — the properties the paper's §IV-B argument rests on.
 
-use hpc_whisk::core::offline::{simulate, OfflineConfig};
 use hpc_whisk::core::lengths;
+use hpc_whisk::core::offline::{simulate, OfflineConfig};
 use hpc_whisk::simcore::SimDuration;
 use hpc_whisk::workload::IdleModel;
 

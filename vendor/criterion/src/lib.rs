@@ -1,0 +1,317 @@
+//! Offline subset of `criterion` (see `vendor/README.md`).
+//!
+//! Implements the macro + builder surface the workspace benches use and
+//! genuinely measures: per sample, the routine runs enough iterations to
+//! cover a minimum window, and the reported figure is the **median**
+//! per-iteration time over `sample_size` samples (median is robust to
+//! scheduler noise, like upstream's typical value). Results print as
+//!
+//! ```text
+//! group/name              time: [12.345 µs]  (N samples)
+//! ```
+//!
+//! and also append machine-readable lines to the file named by
+//! `CRITERION_SHIM_JSONL` (used by the bench-trajectory tooling).
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` (criterion 0.5 compatibility).
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost. The shim always runs
+/// setup-per-batch with moderate batch sizes, so the variants only
+/// document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small input: large batches are fine.
+    SmallInput,
+    /// Large input: keep batches small so memory stays bounded.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Top-level harness configuration/driver.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up: Duration,
+    measure_time: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 30,
+            warm_up: Duration::from_millis(150),
+            measure_time: Duration::from_millis(900),
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(5);
+        self
+    }
+
+    /// Set the per-benchmark measurement budget.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measure_time = t;
+        self
+    }
+
+    /// Pick up a name filter from the command line (anything that is not
+    /// a flag is treated as a substring filter, like upstream).
+    pub fn configure_from_args(mut self) -> Self {
+        let filter: Vec<String> = std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .collect();
+        if let Some(f) = filter.into_iter().next() {
+            self.filter = Some(f);
+        }
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+
+    /// Run a stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let sample_size = self.sample_size;
+        self.run_one(name.to_string(), sample_size, f);
+        self
+    }
+
+    /// No-op (upstream prints a summary here).
+    pub fn final_summary(&self) {}
+
+    fn run_one<F: FnMut(&mut Bencher)>(&self, id: String, sample_size: usize, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            sample_size,
+            warm_up: self.warm_up,
+            measure_time: self.measure_time,
+            samples_ns: Vec::new(),
+        };
+        f(&mut b);
+        b.report(&id);
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(5));
+        self
+    }
+
+    /// Override the measurement budget (accepted for compatibility).
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let id = format!("{}/{}", self.name, name);
+        let n = self.sample_size.unwrap_or(self.criterion.sample_size);
+        self.criterion.run_one(id, n, f);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; collects timing samples.
+pub struct Bencher {
+    sample_size: usize,
+    warm_up: Duration,
+    measure_time: Duration,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measure a routine.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up while estimating the per-iteration cost.
+        let wu_start = Instant::now();
+        let mut wu_iters: u64 = 0;
+        while wu_start.elapsed() < self.warm_up || wu_iters == 0 {
+            std_black_box(routine());
+            wu_iters += 1;
+        }
+        let est_ns = (wu_start.elapsed().as_nanos() as f64 / wu_iters as f64).max(1.0);
+        let budget_ns = self.measure_time.as_nanos() as f64 / self.sample_size as f64;
+        let iters_per_sample = ((budget_ns / est_ns) as u64).clamp(1, 1_000_000);
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                std_black_box(routine());
+            }
+            self.samples_ns
+                .push(t.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+    }
+
+    /// Measure a routine with per-batch setup whose cost is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Warm-up / estimate with a couple of runs.
+        let mut est_ns = f64::MAX;
+        for _ in 0..3 {
+            let input = setup();
+            let t = Instant::now();
+            std_black_box(routine(input));
+            est_ns = est_ns.min((t.elapsed().as_nanos() as f64).max(1.0));
+        }
+        let budget_ns = self.measure_time.as_nanos() as f64 / self.sample_size as f64;
+        let iters_per_sample = ((budget_ns / est_ns) as u64).clamp(1, 10_000) as usize;
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let inputs: Vec<I> = (0..iters_per_sample).map(|_| setup()).collect();
+            let t = Instant::now();
+            for input in inputs {
+                std_black_box(routine(input));
+            }
+            self.samples_ns
+                .push(t.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.samples_ns.is_empty() {
+            println!("{id:<40} no samples collected");
+            return;
+        }
+        let mut s = self.samples_ns.clone();
+        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = s[s.len() / 2];
+        let min = s[0];
+        let max = s[s.len() - 1];
+        println!(
+            "{id:<44} time: [{}]  (min {}, max {}, {} samples)",
+            fmt_ns(median),
+            fmt_ns(min),
+            fmt_ns(max),
+            s.len()
+        );
+        if let Ok(path) = std::env::var("CRITERION_SHIM_JSONL") {
+            use std::io::Write;
+            if let Ok(mut f) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+            {
+                let _ = writeln!(
+                    f,
+                    "{{\"id\":\"{id}\",\"median_ns\":{median:.1},\"min_ns\":{min:.1},\"max_ns\":{max:.1}}}"
+                );
+            }
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Define a bench group function. Both upstream forms are supported.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define the bench binary's `main`, running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn work(n: u64) -> u64 {
+        let mut acc = 0u64;
+        for i in 0..n {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+        }
+        acc
+    }
+
+    #[test]
+    fn iter_produces_samples() {
+        let mut c = Criterion::default().sample_size(5);
+        c = c.measurement_time(Duration::from_millis(20));
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            b.iter(|| work(100));
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_input() {
+        let mut c = Criterion::default().sample_size(5);
+        c = c.measurement_time(Duration::from_millis(20));
+        c.benchmark_group("g").bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 64],
+                |v| work(v.len() as u64),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+}

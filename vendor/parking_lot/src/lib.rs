@@ -1,0 +1,90 @@
+//! Offline subset of `parking_lot` (see `vendor/README.md`): `RwLock`
+//! and `Mutex` with the non-poisoning guard-returning API, implemented
+//! over the std primitives (a poisoned lock is simply recovered, which
+//! matches parking_lot's no-poisoning semantics).
+
+use std::sync::{self, MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+
+/// A reader-writer lock whose guards are returned directly (no
+/// `Result`), matching `parking_lot::RwLock`.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    /// Wrap a value.
+    pub fn new(t: T) -> Self {
+        RwLock(sync::RwLock::new(t))
+    }
+
+    /// Unwrap the value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquire a shared read guard.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.0.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Acquire an exclusive write guard.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Mutable access without locking.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// A mutex whose guard is returned directly, matching
+/// `parking_lot::Mutex`.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Wrap a value.
+    pub fn new(t: T) -> Self {
+        Mutex(sync::Mutex::new(t))
+    }
+
+    /// Unwrap the value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the lock.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Mutable access without locking.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rwlock_roundtrip() {
+        let l = RwLock::new(7);
+        assert_eq!(*l.read(), 7);
+        *l.write() += 1;
+        assert_eq!(*l.read(), 8);
+        assert_eq!(l.into_inner(), 8);
+    }
+
+    #[test]
+    fn mutex_roundtrip() {
+        let m = Mutex::new(vec![1]);
+        m.lock().push(2);
+        assert_eq!(*m.lock(), vec![1, 2]);
+    }
+}

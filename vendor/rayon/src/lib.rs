@@ -1,0 +1,315 @@
+//! Offline subset of `rayon` (see `vendor/README.md`).
+//!
+//! Covers the surface this workspace uses — `into_par_iter()` on vectors
+//! and integer ranges with `.map(..).collect()` / `.for_each(..)`, and
+//! `par_iter_mut().enumerate().for_each(..)` on slices — with genuine
+//! parallelism: work is split into contiguous chunks executed on scoped
+//! OS threads (one per available core), and results preserve input
+//! order. There is no work stealing; the intended workloads are a
+//! handful of coarse, similar-cost items (replications, seeds, days).
+
+use std::ops::Range;
+
+/// Everything a `use rayon::prelude::*` consumer expects.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator};
+}
+
+fn n_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Order-preserving parallel map over owned items.
+fn par_map_vec<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if n <= 1 || n_threads() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(n_threads().min(n));
+    let mut chunks: Vec<Vec<T>> = Vec::new();
+    let mut it = items.into_iter();
+    loop {
+        let c: Vec<T> = it.by_ref().take(chunk).collect();
+        if c.is_empty() {
+            break;
+        }
+        chunks.push(c);
+    }
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("rayon-shim worker panicked"))
+            .collect()
+    })
+}
+
+/// Parallel indexed for-each over a mutable slice.
+fn par_for_each_mut<T, F>(slice: &mut [T], f: &F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let n = slice.len();
+    if n == 0 {
+        return;
+    }
+    if n == 1 || n_threads() <= 1 {
+        for (i, item) in slice.iter_mut().enumerate() {
+            f(i, item);
+        }
+        return;
+    }
+    let chunk = n.div_ceil(n_threads().min(n));
+    std::thread::scope(|s| {
+        for (ci, ch) in slice.chunks_mut(chunk).enumerate() {
+            let base = ci * chunk;
+            s.spawn(move || {
+                for (i, item) in ch.iter_mut().enumerate() {
+                    f(base + i, item);
+                }
+            });
+        }
+    });
+}
+
+/// Conversion into a parallel iterator over owned items.
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+    /// Begin a parallel pipeline.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+macro_rules! impl_range_par {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+
+impl_range_par!(u32, u64, usize, i32, i64);
+
+/// `par_iter()` over a shared slice (clones are avoided: items are
+/// references).
+pub trait IntoParallelRefIterator<'a> {
+    /// Reference item type.
+    type Item: Send;
+    /// Begin a parallel pipeline over `&self`.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// `par_iter_mut()` over a mutable slice.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// Mutable item type.
+    type Item;
+    /// Begin a mutable parallel pipeline over `&mut self`.
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, Self::Item>;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut { slice: self }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut { slice: self }
+    }
+}
+
+/// A materialized parallel iterator over owned items.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Parallel map; chain with `.collect()`.
+    pub fn map<R, F>(self, f: F) -> ParMap<T, R, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+            _r: std::marker::PhantomData,
+        }
+    }
+
+    /// Parallel for-each.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        par_map_vec(self.items, &|t| f(t));
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True iff no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// A pending parallel map.
+pub struct ParMap<T, R, F> {
+    items: Vec<T>,
+    f: F,
+    _r: std::marker::PhantomData<fn() -> R>,
+}
+
+impl<T, R, F> ParMap<T, R, F>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    /// Execute the map in parallel and collect in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        par_map_vec(self.items, &self.f).into_iter().collect()
+    }
+
+    /// Parallel reduction (identity + associative combine).
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> R
+    where
+        ID: Fn() -> R,
+        OP: Fn(R, R) -> R,
+    {
+        par_map_vec(self.items, &self.f)
+            .into_iter()
+            .fold(identity(), op)
+    }
+}
+
+/// A parallel iterator over a mutable slice.
+pub struct ParIterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParIterMut<'a, T> {
+    /// Pair each element with its index.
+    pub fn enumerate(self) -> ParIterMutEnumerate<'a, T> {
+        ParIterMutEnumerate { slice: self.slice }
+    }
+
+    /// Parallel for-each over `&mut` items.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut T) + Sync,
+    {
+        par_for_each_mut(self.slice, &|_, item| f(item));
+    }
+}
+
+/// An enumerated parallel iterator over a mutable slice.
+pub struct ParIterMutEnumerate<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParIterMutEnumerate<'a, T> {
+    /// Parallel for-each over `(index, &mut item)` pairs.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut T)) + Sync,
+    {
+        par_for_each_mut(self.slice, &|i, item| f((i, item)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..1_000u64).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v, (0..1_000u64).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn vec_into_par_iter() {
+        let items: Vec<String> = (0..50).map(|i| format!("x{i}")).collect();
+        let lens: Vec<usize> = items.into_par_iter().map(|s| s.len()).collect();
+        assert_eq!(
+            lens.iter().sum::<usize>(),
+            (0..50).map(|i| format!("x{i}").len()).sum()
+        );
+    }
+
+    #[test]
+    fn par_iter_mut_enumerate() {
+        let mut v = vec![0usize; 257];
+        v.par_iter_mut()
+            .enumerate()
+            .for_each(|(i, slot)| *slot = i * i);
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, i * i);
+        }
+    }
+
+    #[test]
+    fn actually_uses_threads() {
+        // Not a strict guarantee on 1-core machines, but on the CI boxes
+        // this must see >1 distinct thread id for 64 chunky items.
+        if std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            < 2
+        {
+            return;
+        }
+        let ids: Vec<std::thread::ThreadId> = (0..64usize)
+            .into_par_iter()
+            .map(|_| std::thread::current().id())
+            .collect();
+        let distinct: std::collections::HashSet<_> = ids.into_iter().collect();
+        assert!(distinct.len() > 1, "expected parallel execution");
+    }
+}

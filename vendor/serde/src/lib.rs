@@ -1,0 +1,17 @@
+//! Offline marker-trait subset of `serde` (see `vendor/README.md`).
+//!
+//! The workspace uses `#[derive(Serialize, Deserialize)]` purely as a
+//! forward-looking annotation; no code path serializes yet. The traits
+//! are empty markers (blanket-implemented so generic bounds hold) and
+//! the derives are no-ops.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker counterpart of `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker counterpart of `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+impl<T> Serialize for T {}
+impl<'de, T> Deserialize<'de> for T {}

@@ -1,0 +1,20 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline `serde` shim.
+//!
+//! The workspace only uses serde derives as forward-looking annotations
+//! on ID/time newtypes — nothing serializes yet (reports are rendered by
+//! hand). The derives therefore expand to nothing; the marker traits in
+//! the `serde` shim are blanket-implemented.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing (marker-trait shim).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing (marker-trait shim).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
