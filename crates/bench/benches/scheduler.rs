@@ -41,9 +41,9 @@ fn bench_passes(c: &mut Criterion) {
     let mut g = c.benchmark_group("scheduler");
     g.sample_size(20);
     g.bench_function("backfill_pass_2239_nodes", |b| {
-        b.iter_batched(
+        b.iter_batched_ref(
             loaded_cluster,
-            |mut sim| {
+            |sim| {
                 let mut out = Outbox::new(SimTime::ZERO);
                 let mut notes = Vec::new();
                 sim.handle(
@@ -58,9 +58,9 @@ fn bench_passes(c: &mut Criterion) {
         )
     });
     g.bench_function("quick_pass_2239_nodes", |b| {
-        b.iter_batched(
+        b.iter_batched_ref(
             loaded_cluster,
-            |mut sim| {
+            |sim| {
                 let mut out = Outbox::new(SimTime::ZERO);
                 let mut notes = Vec::new();
                 sim.handle(SimTime::ZERO, ClusterEvent::QuickPass, &mut out, &mut notes);
@@ -70,9 +70,9 @@ fn bench_passes(c: &mut Criterion) {
         )
     });
     g.bench_function("poll_sample_2239_nodes", |b| {
-        b.iter_batched(
+        b.iter_batched_ref(
             loaded_cluster,
-            |mut sim| {
+            |sim| {
                 let mut out = Outbox::new(SimTime::ZERO);
                 let mut notes = Vec::new();
                 sim.handle(SimTime::ZERO, ClusterEvent::Poll, &mut out, &mut notes);

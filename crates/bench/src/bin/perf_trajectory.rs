@@ -12,13 +12,14 @@
 //! trajectory record, not a cross-machine comparison.
 
 use cluster::{ClusterEvent, ClusterSim, JobSpec, SlurmConfig};
+use gateway::{run_load, ActionSpec, Gateway, GatewayConfig, HarnessConfig};
 use hpcwhisk_core::offline::{simulate, OfflineConfig};
 use hpcwhisk_core::{lengths, FibManager, PilotManager};
 use mq::Broker;
 use simcore::{Engine, EventQueue, Outbox, SimDuration, SimTime};
 use std::hint::black_box;
 use std::time::Instant;
-use workload::IdleModel;
+use workload::{IdleModel, PoissonLoadGen};
 
 struct Probe {
     name: &'static str,
@@ -30,28 +31,86 @@ fn median(mut xs: Vec<f64>) -> f64 {
     xs[xs.len() / 2]
 }
 
-/// Time `routine` on fresh `setup` output, `iters` ops per sample.
+/// Time `routine` on fresh `setup` output, `iters` ops per sample. The
+/// routine takes the input by `&mut`, so fixture teardown happens
+/// outside the timed region (mirrors the criterion shim's
+/// `iter_batched_ref`).
 fn probe<I, O>(
     name: &'static str,
     samples: usize,
     iters: usize,
     mut setup: impl FnMut() -> I,
-    mut routine: impl FnMut(I) -> O,
+    mut routine: impl FnMut(&mut I) -> O,
 ) -> Probe {
     let mut per_sample = Vec::with_capacity(samples);
     for _ in 0..samples {
-        let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+        let mut inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
         let t = Instant::now();
-        for input in inputs {
+        for input in inputs.iter_mut() {
             black_box(routine(input));
         }
         per_sample.push(t.elapsed().as_nanos() as f64 / iters as f64);
+        drop(inputs);
     }
     let ns = median(per_sample);
     eprintln!("{name:<36} {:>12.0} ns/op  ({:>10.1} ops/s)", ns, 1e9 / ns);
     Probe {
         name,
         ns_per_op: ns,
+    }
+}
+
+/// Invoker-thread count of the gateway probes; the probe names below
+/// are spelled to match, so keep them in sync if this ever changes.
+const GATEWAY_PROBE_INVOKERS: usize = 8;
+
+/// The serving-plane probe: drive a live gateway flat out with SeBS
+/// no-op actions through the closed-loop harness, and report sustained
+/// throughput plus latency quantiles. The best run of `samples` is kept
+/// (throughput probes want the least-disturbed run).
+fn gateway_probes(samples: usize, probes: &mut Vec<Probe>) {
+    let mut best_ns = f64::MAX;
+    let mut best_p50 = f64::MAX;
+    let mut best_p99 = f64::MAX;
+    for _ in 0..samples {
+        let gw = Gateway::new(
+            GatewayConfig::default(),
+            (0..16)
+                .map(|i| ActionSpec::noop(&format!("fn-{i}")))
+                .collect(),
+        );
+        for _ in 0..GATEWAY_PROBE_INVOKERS {
+            gw.start_invoker();
+        }
+        let arrivals = PoissonLoadGen::new(1_000.0, 16).arrivals(SimDuration::from_secs(200), 42);
+        let mut report = run_load(
+            &gw,
+            &arrivals,
+            &HarnessConfig {
+                speedup: 0.0, // flat out: measure the plane, not the schedule
+                max_inflight: 1_024,
+                ..Default::default()
+            },
+        );
+        assert_eq!(report.lost(), 0, "throughput probe must be lossless");
+        let ns = 1e9 / report.throughput;
+        if ns < best_ns {
+            best_ns = ns;
+            best_p50 = report.latency_quantile(0.5) * 1e9;
+            best_p99 = report.latency_quantile(0.99) * 1e9;
+        }
+        gw.shutdown();
+    }
+    for (name, ns) in [
+        ("gateway/throughput_8inv_noop", best_ns),
+        ("gateway/latency_p50_8inv_noop", best_p50),
+        ("gateway/latency_p99_8inv_noop", best_p99),
+    ] {
+        eprintln!("{name:<36} {:>12.0} ns/op  ({:>10.1} ops/s)", ns, 1e9 / ns);
+        probes.push(Probe {
+            name,
+            ns_per_op: ns,
+        });
     }
 }
 
@@ -83,8 +142,8 @@ fn loaded_cluster() -> ClusterSim {
     sim
 }
 
-fn cluster_pass(ev: ClusterEvent) -> impl FnMut(ClusterSim) -> usize {
-    move |mut sim: ClusterSim| {
+fn cluster_pass(ev: ClusterEvent) -> impl FnMut(&mut ClusterSim) -> usize {
+    move |sim: &mut ClusterSim| {
         let mut out = Outbox::new(SimTime::ZERO);
         let mut notes = Vec::new();
         sim.handle(SimTime::ZERO, ev.clone(), &mut out, &mut notes);
@@ -130,7 +189,7 @@ fn main() {
         7,
         1,
         || (),
-        |()| {
+        |_: &mut ()| {
             let mut engine: Engine<u32> = Engine::new();
             engine.schedule(SimTime::ZERO, 0u32);
             let mut count = 0u64;
@@ -151,7 +210,7 @@ fn main() {
         9,
         5,
         EventQueue::<u64>::new,
-        |mut q| {
+        |q: &mut EventQueue<u64>| {
             for i in 0..10_000u64 {
                 q.push(SimTime::from_millis((i * 7919) % 100_000), i);
             }
@@ -171,12 +230,13 @@ fn main() {
             let t = br.create_topic("t");
             (br, t)
         },
-        |(mut br, t)| {
+        |input| {
+            let (br, t) = input;
             for i in 0..10_000u64 {
-                br.produce(t, SimTime::ZERO, i);
+                br.produce(*t, SimTime::ZERO, i);
             }
             let mut acc = 0u64;
-            while !br.fetch(t, 64).is_empty() {
+            while !br.fetch(*t, 64).is_empty() {
                 acc += 1;
             }
             acc
@@ -189,9 +249,10 @@ fn main() {
             7,
             1,
             || (),
-            |()| simulate(&trace, &OfflineConfig::table1(lengths::A1.to_vec())).n_jobs,
+            |_: &mut ()| simulate(&trace, &OfflineConfig::table1(lengths::A1.to_vec())).n_jobs,
         ));
     }
+    gateway_probes(5, &mut probes);
 
     let mut json = String::from("{\n  \"probes\": [\n");
     for (i, p) in probes.iter().enumerate() {

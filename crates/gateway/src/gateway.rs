@@ -1,0 +1,543 @@
+//! The gateway: admission control, sharded routing, invoker threads,
+//! and the §III-C drain protocol under real concurrency.
+//!
+//! Data path (one request):
+//!
+//! 1. **Admission** — a per-action in-flight CAS plus a per-queue bound
+//!    checked at produce time; overload sheds with a typed reason
+//!    instead of building unbounded queues.
+//! 2. **Routing** — one shard-local read lock, no global lock
+//!    ([`crate::route::Router`]).
+//! 3. **Queueing** — the home invoker's MPSC queue assigns the offset
+//!    ([`crate::queue::WorkQueue`], `mq` semantics).
+//! 4. **Execution** — the invoker thread drains the shared fast lane
+//!    first, then its own queue; placement goes through its private
+//!    [`crate::pool::WarmPool`] (cold-start penalty, keep-alive,
+//!    LRU eviction) and the body runs for real.
+//! 5. **Completion** — one message per executed request on the results
+//!    channel, carrying queue-wait/service/total latencies.
+//!
+//! Drain (`sigterm` → `join`): the controller atomically unroutes the
+//! invoker and flips its state; the invoker finishes its in-flight
+//! request, atomically closes its queue and moves the unstarted backlog
+//! to the fast lane with `produced_at` preserved. A producer that raced
+//! the closure gets its request back and reroutes to the fast lane
+//! itself — accepted requests are never lost and never duplicated.
+
+use crate::action::{ActionId, ActionRegistry, ActionSpec};
+use crate::pool::{Placement, PoolStats, WarmPool};
+use crate::queue::{Envelope, Produce, Request, WorkQueue};
+use crate::route::{mix64, Router};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Why a request was refused at admission (the 4xx/5xx path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Shed {
+    /// No healthy invoker is routable (503).
+    NoInvoker,
+    /// The home invoker's queue is at the admission bound (429).
+    QueueFull,
+    /// The action is at its gateway-wide in-flight cap (429).
+    ActionSaturated,
+}
+
+/// One executed invocation.
+#[derive(Debug, Clone, Copy)]
+pub struct Completion {
+    /// Controller-assigned request id.
+    pub id: u64,
+    /// The action executed.
+    pub action: ActionId,
+    /// The invoker that executed it.
+    pub invoker: u64,
+    /// The body's return value.
+    pub value: u64,
+    /// Whether a container had to be cold-started.
+    pub cold: bool,
+    /// Admission → execution start.
+    pub queue_wait: Duration,
+    /// Execution start → done (includes any cold-start penalty).
+    pub service: Duration,
+    /// Admission → done.
+    pub total: Duration,
+}
+
+/// Gateway-wide counters (all monotonic).
+#[derive(Debug, Default)]
+pub struct Counters {
+    /// Requests admitted (each completes exactly once as long as an
+    /// invoker survives to serve it).
+    pub accepted: AtomicU64,
+    /// Sheds: no routable invoker.
+    pub shed_no_invoker: AtomicU64,
+    /// Sheds: home queue at capacity.
+    pub shed_queue_full: AtomicU64,
+    /// Sheds: action at its in-flight cap.
+    pub shed_action_saturated: AtomicU64,
+    /// Requests executed.
+    pub completed: AtomicU64,
+    /// Envelopes that took the fast-lane hop during a drain (flushed by
+    /// the invoker or rerouted by a racing producer).
+    pub fastlane_moves: AtomicU64,
+}
+
+impl Counters {
+    /// Total sheds across all reasons.
+    pub fn shed_total(&self) -> u64 {
+        self.shed_no_invoker.load(Ordering::Relaxed)
+            + self.shed_queue_full.load(Ordering::Relaxed)
+            + self.shed_action_saturated.load(Ordering::Relaxed)
+    }
+
+    /// Accepted minus completed — in-flight while running, lost only if
+    /// the plane shut down with requests stranded. Saturating: a reader
+    /// can catch `completed` momentarily ahead of `accepted` (the
+    /// producer bumps `accepted` after the enqueue, and a fast invoker
+    /// can execute and count the request in between).
+    pub fn outstanding(&self) -> u64 {
+        self.accepted
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.completed.load(Ordering::Relaxed))
+    }
+}
+
+/// Tuning knobs of the serving plane.
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// Routing-table stripes (rounded up to a power of two).
+    pub shards: usize,
+    /// Per-invoker queue admission bound.
+    pub queue_capacity: usize,
+    /// Container slots per invoker pool.
+    pub pool_slots: usize,
+    /// How long an idle invoker parks before re-polling the fast lane
+    /// and its drain flag.
+    pub park: Duration,
+    /// Run the keep-alive sweep at least this often even under load.
+    pub sweep_every_ops: u64,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        GatewayConfig {
+            shards: 8,
+            queue_capacity: 4_096,
+            pool_slots: 64,
+            park: Duration::from_micros(500),
+            sweep_every_ops: 1_024,
+        }
+    }
+}
+
+const STATE_HEALTHY: u8 = 0;
+const STATE_DRAINING: u8 = 1;
+const STATE_GONE: u8 = 2;
+
+/// The shared handle of one invoker: its state flag and its work queue.
+pub struct InvokerHandle {
+    /// Stable invoker id (unique per gateway, never reused).
+    pub id: u64,
+    state: AtomicU8,
+    queue: WorkQueue,
+}
+
+impl InvokerHandle {
+    fn is_healthy(&self) -> bool {
+        self.state.load(Ordering::Acquire) == STATE_HEALTHY
+    }
+}
+
+/// Capability to sigterm/join one started invoker. Generation-checked:
+/// a token for a slot that has since been reaped and reused is rejected
+/// instead of acting on the wrong invoker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvokerToken {
+    index: u32,
+    generation: u32,
+    /// The invoker's stable id (for logs/assertions).
+    pub id: u64,
+}
+
+struct Slot {
+    generation: u32,
+    handle: Option<Arc<InvokerHandle>>,
+    join: Option<JoinHandle<PoolStats>>,
+}
+
+/// The live HPC-Whisk serving plane.
+pub struct Gateway {
+    cfg: GatewayConfig,
+    actions: Arc<ActionRegistry>,
+    router: Router<Arc<InvokerHandle>>,
+    slots: Mutex<Vec<Slot>>,
+    fast: Arc<WorkQueue>,
+    results_tx: Sender<Completion>,
+    /// Completion stream: one message per executed request.
+    pub results: Receiver<Completion>,
+    counters: Arc<Counters>,
+    next_request: AtomicU64,
+    next_invoker: AtomicU64,
+    /// Pool stats of reaped invokers, folded in at join time.
+    retired_pools: Mutex<PoolStats>,
+}
+
+impl Gateway {
+    /// A gateway serving `actions`, with no invokers yet.
+    pub fn new(cfg: GatewayConfig, actions: Vec<ActionSpec>) -> Self {
+        let (results_tx, results) = unbounded();
+        let shards = cfg.shards;
+        Gateway {
+            cfg,
+            actions: ActionRegistry::new(actions),
+            router: Router::new(shards),
+            slots: Mutex::new(Vec::new()),
+            fast: Arc::new(WorkQueue::new()),
+            results_tx,
+            results,
+            counters: Arc::new(Counters::default()),
+            next_request: AtomicU64::new(0),
+            next_invoker: AtomicU64::new(0),
+            retired_pools: Mutex::new(PoolStats::default()),
+        }
+    }
+
+    /// The action catalogue.
+    pub fn actions(&self) -> &ActionRegistry {
+        &self.actions
+    }
+
+    /// Gateway-wide counters.
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// Routing-table epoch (bumps on membership change).
+    pub fn route_epoch(&self) -> u64 {
+        self.router.epoch()
+    }
+
+    /// Pending depth of the shared fast lane.
+    pub fn fast_lane_depth(&self) -> usize {
+        self.fast.depth()
+    }
+
+    /// Aggregate container-pool stats: live invokers are not readable
+    /// (their pools are thread-private), so this returns the folded
+    /// stats of every invoker reaped so far.
+    pub fn retired_pool_stats(&self) -> PoolStats {
+        *self.retired_pools.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Number of healthy (routable) invokers.
+    pub fn n_healthy(&self) -> usize {
+        self.slots
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .filter(|s| s.handle.as_ref().is_some_and(|h| h.is_healthy()))
+            .count()
+    }
+
+    /// Start a new invoker thread and make it routable.
+    pub fn start_invoker(&self) -> InvokerToken {
+        let id = self.next_invoker.fetch_add(1, Ordering::Relaxed);
+        let handle = Arc::new(InvokerHandle {
+            id,
+            state: AtomicU8::new(STATE_HEALTHY),
+            queue: WorkQueue::new(),
+        });
+        let worker = InvokerCtx {
+            handle: handle.clone(),
+            fast: self.fast.clone(),
+            results: self.results_tx.clone(),
+            actions: self.actions.clone(),
+            counters: self.counters.clone(),
+            pool_slots: self.cfg.pool_slots,
+            park: self.cfg.park,
+            sweep_every_ops: self.cfg.sweep_every_ops,
+        };
+        let join = std::thread::spawn(move || worker.run());
+        let mut slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
+        let index = slots.iter().position(|s| s.handle.is_none());
+        let token = match index {
+            Some(i) => {
+                slots[i].handle = Some(handle);
+                slots[i].join = Some(join);
+                InvokerToken {
+                    index: i as u32,
+                    generation: slots[i].generation,
+                    id,
+                }
+            }
+            None => {
+                slots.push(Slot {
+                    generation: 0,
+                    handle: Some(handle),
+                    join: Some(join),
+                });
+                InvokerToken {
+                    index: (slots.len() - 1) as u32,
+                    generation: 0,
+                    id,
+                }
+            }
+        };
+        self.rebuild_router(&slots);
+        token
+    }
+
+    /// Submit an invocation of `action` with routing key `key`. Returns
+    /// the request id, or the shed reason.
+    pub fn invoke(&self, action: ActionId, key: u64) -> Result<u64, Shed> {
+        if !self.actions.try_admit(action) {
+            self.counters
+                .shed_action_saturated
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(Shed::ActionSaturated);
+        }
+        let Some(target) = self.router.pick(key) else {
+            self.actions.release(action);
+            self.counters
+                .shed_no_invoker
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(Shed::NoInvoker);
+        };
+        let req = Request {
+            id: self.next_request.fetch_add(1, Ordering::Relaxed),
+            action,
+            key,
+        };
+        let produced_at = Instant::now();
+        match target
+            .queue
+            .produce(req, produced_at, self.cfg.queue_capacity)
+        {
+            Produce::Ok(_) => {}
+            Produce::Full(_) => {
+                self.actions.release(action);
+                self.counters
+                    .shed_queue_full
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err(Shed::QueueFull);
+            }
+            Produce::Closed(req) => {
+                // Stale route: the target started draining after the
+                // pick. The fast lane is the lossless fallback; it is
+                // only ever closed once every invoker is gone, in which
+                // case we shed instead.
+                let env = Envelope {
+                    offset: 0,
+                    produced_at,
+                    req,
+                };
+                if self.fast.produce_moved(env).is_err() {
+                    self.actions.release(action);
+                    self.counters
+                        .shed_no_invoker
+                        .fetch_add(1, Ordering::Relaxed);
+                    return Err(Shed::NoInvoker);
+                }
+                self.counters.fastlane_moves.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.counters.accepted.fetch_add(1, Ordering::Relaxed);
+        Ok(req.id)
+    }
+
+    /// Convenience: route by an action's name hash (paper §II routing).
+    pub fn invoke_named(&self, action: ActionId) -> Result<u64, Shed> {
+        self.invoke(action, mix64(action.0 as u64))
+    }
+
+    /// SIGTERM an invoker: atomically unroute it and flip it to
+    /// draining. Its thread finishes the in-flight request, flushes the
+    /// unstarted backlog to the fast lane and exits. `false` for a
+    /// stale token or an invoker not healthy.
+    pub fn sigterm(&self, token: InvokerToken) -> bool {
+        let slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
+        let Some(slot) = slots.get(token.index as usize) else {
+            return false;
+        };
+        if slot.generation != token.generation {
+            return false;
+        }
+        let Some(handle) = &slot.handle else {
+            return false;
+        };
+        let flipped = handle
+            .state
+            .compare_exchange(
+                STATE_HEALTHY,
+                STATE_DRAINING,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_ok();
+        if flipped {
+            self.rebuild_router(&slots);
+        }
+        flipped
+    }
+
+    /// Wait for a sigtermed invoker to finish draining and reap its
+    /// slot. Stale tokens are ignored.
+    pub fn join_invoker(&self, token: InvokerToken) {
+        let join = {
+            let mut slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
+            let Some(slot) = slots.get_mut(token.index as usize) else {
+                return;
+            };
+            if slot.generation != token.generation {
+                return;
+            }
+            slot.join.take()
+        };
+        if let Some(join) = join {
+            let pool_stats = join.join().expect("invoker thread panicked");
+            let mut retired = self.retired_pools.lock().unwrap_or_else(|e| e.into_inner());
+            retired.warm_hits += pool_stats.warm_hits;
+            retired.cold_starts += pool_stats.cold_starts;
+            retired.lru_evictions += pool_stats.lru_evictions;
+            retired.keepalive_evictions += pool_stats.keepalive_evictions;
+            drop(retired);
+            let mut slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
+            let slot = &mut slots[token.index as usize];
+            slot.handle = None;
+            slot.generation += 1;
+            self.rebuild_router(&slots);
+        }
+    }
+
+    /// Drain every invoker gracefully. Returns the number of requests
+    /// left stranded in the fast lane (nonzero only if the last invoker
+    /// exited with accepted work still queued).
+    pub fn shutdown(&self) -> usize {
+        let tokens: Vec<InvokerToken> = {
+            let slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
+            slots
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.handle.is_some())
+                .map(|(i, s)| InvokerToken {
+                    index: i as u32,
+                    generation: s.generation,
+                    id: s.handle.as_ref().unwrap().id,
+                })
+                .collect()
+        };
+        for t in &tokens {
+            self.sigterm(*t);
+        }
+        for t in tokens {
+            self.join_invoker(t);
+        }
+        let stranded = self.fast.close_and_drain();
+        for env in &stranded {
+            self.actions.release(env.req.action);
+        }
+        stranded.len()
+    }
+
+    fn rebuild_router(&self, slots: &[Slot]) {
+        let healthy: Vec<Arc<InvokerHandle>> = slots
+            .iter()
+            .filter_map(|s| s.handle.clone())
+            .filter(|h| h.is_healthy())
+            .collect();
+        self.router.rebuild(&healthy);
+    }
+}
+
+/// Everything an invoker thread needs, captured at spawn.
+struct InvokerCtx {
+    handle: Arc<InvokerHandle>,
+    fast: Arc<WorkQueue>,
+    results: Sender<Completion>,
+    actions: Arc<ActionRegistry>,
+    counters: Arc<Counters>,
+    pool_slots: usize,
+    park: Duration,
+    sweep_every_ops: u64,
+}
+
+impl InvokerCtx {
+    fn run(self) -> PoolStats {
+        let mut pool = WarmPool::new(self.pool_slots, self.actions.len());
+        let mut ops_since_sweep = 0u64;
+        loop {
+            if self.handle.state.load(Ordering::Acquire) == STATE_DRAINING {
+                // Atomic close: nothing can enqueue behind this drain.
+                let backlog = self.handle.queue.close_and_drain();
+                let n = backlog.len() as u64;
+                for env in backlog {
+                    // The fast lane outlives every invoker; a failed
+                    // move is only possible after full shutdown.
+                    let _ = self.fast.produce_moved(env);
+                }
+                self.counters.fastlane_moves.fetch_add(n, Ordering::Relaxed);
+                self.handle.state.store(STATE_GONE, Ordering::Release);
+                return pool.stats();
+            }
+            // §III-C ordering: drain the shared fast lane before the
+            // private queue, so handed-off work is not starved.
+            let env = match self.fast.try_pop() {
+                Some(e) => Some(e),
+                None => match self.handle.queue.try_pop() {
+                    Some(e) => Some(e),
+                    None => {
+                        // Idle: run the keep-alive sweep, then park
+                        // briefly on the private queue.
+                        pool.sweep(Instant::now(), &self.actions);
+                        ops_since_sweep = 0;
+                        self.handle.queue.pop_timeout(self.park)
+                    }
+                },
+            };
+            if let Some(env) = env {
+                self.execute(env, &mut pool);
+                ops_since_sweep += 1;
+                if ops_since_sweep >= self.sweep_every_ops {
+                    pool.sweep(Instant::now(), &self.actions);
+                    ops_since_sweep = 0;
+                }
+            }
+        }
+    }
+
+    fn execute(&self, env: Envelope, pool: &mut WarmPool) {
+        let start = Instant::now();
+        let spec = self.actions.spec(env.req.action);
+        let placement = pool.acquire(env.req.action, start);
+        if placement == Placement::Cold && !spec.cold_start.is_zero() {
+            // The cold start occupies the invoker for real.
+            while start.elapsed() < spec.cold_start {
+                std::hint::spin_loop();
+            }
+        }
+        let value = spec.body.run();
+        let end = Instant::now();
+        pool.release(env.req.action, end);
+        self.actions.release(env.req.action);
+        self.counters.completed.fetch_add(1, Ordering::Relaxed);
+        let _ = self.results.send(Completion {
+            id: env.req.id,
+            action: env.req.action,
+            invoker: self.handle.id,
+            value,
+            cold: placement == Placement::Cold,
+            queue_wait: start.saturating_duration_since(env.produced_at),
+            service: end.saturating_duration_since(start),
+            total: end.saturating_duration_since(env.produced_at),
+        });
+    }
+}
+
+impl Drop for Gateway {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

@@ -1,0 +1,288 @@
+//! The closed-loop load harness: replays a `workload` arrival stream
+//! (Poisson, diurnal, or the paper's constant-rate process) against a
+//! live [`Gateway`](crate::Gateway) and folds per-request latencies
+//! into `metrics` CDFs.
+//!
+//! The loop is *closed* through an in-flight window: arrivals are
+//! released on their (scaled) schedule, but never more than
+//! `max_inflight` may be outstanding — completions open the window
+//! again, so an overloaded plane back-pressures the client instead of
+//! queueing unboundedly inside the harness. With `speedup == 0` the
+//! schedule collapses and the harness drives the plane flat out (the
+//! throughput-probe mode).
+
+use crate::action::ActionId;
+use crate::gateway::Gateway;
+use metrics::Cdf;
+use std::time::{Duration, Instant};
+use workload::Arrival;
+
+/// How to replay an arrival stream.
+#[derive(Debug, Clone)]
+pub struct HarnessConfig {
+    /// Schedule compression: 1.0 replays in real time, 10.0 ten times
+    /// faster, 0.0 ignores the schedule entirely (flat-out mode).
+    pub speedup: f64,
+    /// Closed-loop window: max requests outstanding at once.
+    pub max_inflight: usize,
+    /// Safety valve: stop waiting for completions after this much wall
+    /// time with no progress (only trips if the plane lost requests or
+    /// has no invokers left — a healthy run never hits it).
+    pub stall_timeout: Duration,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        HarnessConfig {
+            speedup: 1.0,
+            max_inflight: 512,
+            stall_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Everything the run observed.
+pub struct LoadReport {
+    /// Wall-clock span of the run.
+    pub wall: Duration,
+    /// Arrivals attempted (accepted + shed).
+    pub submitted: u64,
+    /// Requests admitted by the gateway.
+    pub accepted: u64,
+    /// Requests refused at admission.
+    pub shed: u64,
+    /// Requests that completed.
+    pub completed: u64,
+    /// Completions that cold-started a container.
+    pub cold_starts: u64,
+    /// Completed requests per second of wall time.
+    pub throughput: f64,
+    /// End-to-end latency (admission → completion), seconds.
+    pub latency: Cdf,
+    /// Queue-wait share of the latency, seconds.
+    pub queue_wait: Cdf,
+}
+
+impl LoadReport {
+    /// Accepted requests that never completed. Zero on every healthy
+    /// run — the drain protocol's whole point.
+    pub fn lost(&self) -> u64 {
+        self.accepted - self.completed
+    }
+
+    /// Latency quantile in seconds (p in [0, 1]).
+    pub fn latency_quantile(&mut self, p: f64) -> f64 {
+        self.latency.quantile(p)
+    }
+
+    /// One-line human summary.
+    pub fn summary(&mut self) -> String {
+        let (p50, p99) = if self.latency.is_empty() {
+            (f64::NAN, f64::NAN)
+        } else {
+            (self.latency.quantile(0.5), self.latency.quantile(0.99))
+        };
+        format!(
+            "{} completed / {} accepted / {} shed in {:.2?}  |  {:.0} ops/s  |  p50 {:.1} µs  p99 {:.1} µs  |  {} cold  |  lost {}",
+            self.completed,
+            self.accepted,
+            self.shed,
+            self.wall,
+            self.throughput,
+            p50 * 1e6,
+            p99 * 1e6,
+            self.cold_starts,
+            self.lost()
+        )
+    }
+}
+
+/// Replay `arrivals` against `gw`, mapping each arrival's function
+/// index onto the gateway's action catalogue modulo its size.
+pub fn run_load(gw: &Gateway, arrivals: &[Arrival], cfg: &HarnessConfig) -> LoadReport {
+    let n_actions = gw.actions().len() as u32;
+    let t0 = Instant::now();
+    let mut report = LoadReport {
+        wall: Duration::ZERO,
+        submitted: 0,
+        accepted: 0,
+        shed: 0,
+        completed: 0,
+        cold_starts: 0,
+        throughput: 0.0,
+        latency: Cdf::new(),
+        queue_wait: Cdf::new(),
+    };
+    let mut inflight = 0usize;
+    let mut next = 0usize;
+    let mut last_progress = Instant::now();
+
+    loop {
+        // Fold in everything already completed (non-blocking). A
+        // completion with no submission of ours outstanding is a stray
+        // from traffic that predates this run (the caller invoked the
+        // gateway directly and did not drain `gw.results`); it is
+        // discarded rather than corrupting this run's accounting.
+        while let Ok(c) = gw.results.try_recv() {
+            if inflight > 0 {
+                record(&mut report, &c);
+                inflight -= 1;
+            }
+            last_progress = Instant::now();
+        }
+        if next < arrivals.len() {
+            let due = cfg.speedup <= 0.0
+                || t0.elapsed().as_secs_f64() * cfg.speedup >= arrivals[next].at.as_secs_f64();
+            if due && inflight < cfg.max_inflight {
+                let a = arrivals[next];
+                next += 1;
+                report.submitted += 1;
+                let action = ActionId(a.function as u32 % n_actions);
+                match gw.invoke(action, a.function as u64) {
+                    Ok(_) => {
+                        report.accepted += 1;
+                        inflight += 1;
+                    }
+                    Err(_) => report.shed += 1,
+                }
+                continue;
+            }
+        } else if inflight == 0 {
+            break;
+        }
+        // Nothing submittable right now: wait for a completion (bounded,
+        // so schedule gaps and stalls both make progress).
+        if inflight > 0 {
+            if let Ok(c) = gw.results.recv_timeout(Duration::from_millis(1)) {
+                record(&mut report, &c);
+                inflight -= 1;
+                last_progress = Instant::now();
+            } else if last_progress.elapsed() > cfg.stall_timeout {
+                break; // lost requests; report.lost() will be nonzero
+            }
+        } else {
+            // Ahead of the schedule (speedup > 0 here, or we'd have
+            // submitted): sleep until the next arrival is due, capped
+            // so a late completion cannot stall the loop. Sleeping
+            // instead of spinning keeps the driver off the invokers'
+            // cores on small machines.
+            let due_in = arrivals[next].at.as_secs_f64() / cfg.speedup - t0.elapsed().as_secs_f64();
+            if due_in > 0.0 {
+                std::thread::sleep(Duration::from_secs_f64(due_in.min(0.001)));
+            }
+        }
+    }
+    report.wall = t0.elapsed();
+    report.throughput = report.completed as f64 / report.wall.as_secs_f64().max(1e-9);
+    report
+}
+
+fn record(report: &mut LoadReport, c: &crate::gateway::Completion) {
+    report.completed += 1;
+    if c.cold {
+        report.cold_starts += 1;
+    }
+    report.latency.add(c.total.as_secs_f64());
+    report.queue_wait.add(c.queue_wait.as_secs_f64());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::ActionSpec;
+    use crate::gateway::GatewayConfig;
+    use simcore::SimDuration;
+    use workload::{DiurnalLoadGen, PoissonLoadGen};
+
+    fn plane(n_invokers: usize, n_actions: usize) -> Gateway {
+        let gw = Gateway::new(
+            GatewayConfig::default(),
+            (0..n_actions)
+                .map(|i| ActionSpec::noop(&format!("fn-{i}")))
+                .collect(),
+        );
+        for _ in 0..n_invokers {
+            gw.start_invoker();
+        }
+        gw
+    }
+
+    #[test]
+    fn poisson_replay_is_lossless() {
+        let gw = plane(2, 8);
+        let arrivals = PoissonLoadGen::new(4_000.0, 8).arrivals(SimDuration::from_millis(250), 3);
+        assert!(!arrivals.is_empty());
+        let mut r = run_load(&gw, &arrivals, &HarnessConfig::default());
+        assert_eq!(r.lost(), 0, "{}", r.summary());
+        assert_eq!(r.submitted, arrivals.len() as u64);
+        assert!(r.throughput > 0.0);
+        assert!(r.latency_quantile(0.5) >= 0.0);
+        assert_eq!(gw.shutdown(), 0);
+    }
+
+    #[test]
+    fn diurnal_replay_is_lossless() {
+        let gw = plane(2, 4);
+        let arrivals = DiurnalLoadGen::new(500.0, 8_000.0, SimDuration::from_millis(200), 4)
+            .arrivals(SimDuration::from_millis(200), 5);
+        let mut r = run_load(
+            &gw,
+            &arrivals,
+            &HarnessConfig {
+                speedup: 2.0,
+                ..Default::default()
+            },
+        );
+        assert_eq!(r.lost(), 0, "{}", r.summary());
+        assert!(r.completed > 0);
+    }
+
+    #[test]
+    fn flat_out_mode_ignores_schedule() {
+        let gw = plane(2, 2);
+        // Arrivals spread over a simulated hour: flat-out mode must not
+        // take an hour.
+        let arrivals = PoissonLoadGen::new(2.0, 2).arrivals(SimDuration::from_hours(1), 9);
+        let t = Instant::now();
+        let r = run_load(
+            &gw,
+            &arrivals,
+            &HarnessConfig {
+                speedup: 0.0,
+                ..Default::default()
+            },
+        );
+        assert!(t.elapsed() < Duration::from_secs(5));
+        assert_eq!(r.lost(), 0);
+        assert_eq!(r.completed, arrivals.len() as u64);
+    }
+
+    #[test]
+    fn closed_loop_window_bounds_queueing() {
+        // One slow invoker, tiny window: the harness may never have more
+        // than `max_inflight` outstanding, so queue depth stays bounded
+        // and nothing is shed even though the plane is saturated.
+        let gw = Gateway::new(
+            GatewayConfig {
+                queue_capacity: 4,
+                ..Default::default()
+            },
+            vec![ActionSpec::noop("slow")
+                .with_body(crate::action::ActionBody::Spin(Duration::from_micros(200)))],
+        );
+        gw.start_invoker();
+        let arrivals = PoissonLoadGen::new(50_000.0, 1).arrivals(SimDuration::from_millis(20), 1);
+        let mut r = run_load(
+            &gw,
+            &arrivals,
+            &HarnessConfig {
+                speedup: 0.0,
+                max_inflight: 4,
+                ..Default::default()
+            },
+        );
+        let summary = r.summary();
+        assert_eq!(r.shed, 0, "window ≤ queue bound ⇒ no sheds: {summary}");
+        assert_eq!(r.lost(), 0);
+    }
+}

@@ -1,0 +1,46 @@
+//! # hpcwhisk-gateway
+//!
+//! The **live serving plane** of the HPC-Whisk reproduction: where
+//! `crates/whisk` models the platform under the deterministic DES
+//! engine to answer the paper's quantitative questions, this crate runs
+//! the same architecture on real OS threads to serve real traffic —
+//! and proves the drain protocol under genuine concurrency.
+//!
+//! Layers (one module each):
+//!
+//! * [`action`] — the catalogue of deployable actions with real bodies
+//!   (SeBS kernels from `crates/sebs`, calibrated spins, no-ops),
+//!   cold-start/keep-alive parameters and per-action in-flight caps;
+//! * [`route`] — a sharded, epoch-swapped routing table: the invoke hot
+//!   path takes one shard-local read lock, never a global one;
+//! * [`queue`] — per-invoker MPSC work queues plus the shared fast
+//!   lane, with the offset/`produced_at` semantics of `crates/mq`
+//!   (differentially tested against it);
+//! * [`pool`] — thread-private warm-container pools: cold-start
+//!   penalty, keep-alive eviction, LRU under capacity pressure;
+//! * [`gateway`] — admission control (shed on overload), the invoker
+//!   threads with the paper's §III-C fast-lane-first drain protocol,
+//!   and graceful sigterm/join lifecycle;
+//! * [`harness`] — the closed-loop load harness replaying
+//!   `crates/workload` arrival processes (Poisson, diurnal) into
+//!   `crates/metrics` latency CDFs.
+//!
+//! The drain guarantee, stated once and tested in
+//! `tests/drain_stress.rs`: **every admitted request is executed
+//! exactly once as long as one invoker survives** — sigterm moves
+//! unstarted backlog to the fast lane with admission timestamps
+//! preserved; producers that race a drain reroute themselves.
+
+pub mod action;
+pub mod gateway;
+pub mod harness;
+pub mod pool;
+pub mod queue;
+pub mod route;
+
+pub use action::{ActionBody, ActionId, ActionRegistry, ActionSpec};
+pub use gateway::{Completion, Counters, Gateway, GatewayConfig, InvokerToken, Shed};
+pub use harness::{run_load, HarnessConfig, LoadReport};
+pub use pool::{Placement, PoolStats, WarmPool};
+pub use queue::{Envelope, Produce, Request, WorkQueue};
+pub use route::Router;

@@ -1,0 +1,207 @@
+//! The per-invoker warm-container pool for the live plane.
+//!
+//! The DES plane's `whisk::ContainerPool` answers the paper's
+//! quantitative questions about cold starts; this is the same lifecycle
+//! under real time: each invoker thread **owns** its pool (no locking),
+//! warm containers are kept per action with their last-use instant,
+//! capacity pressure evicts the least-recently-used idle container, and
+//! a keep-alive sweep retires containers that have idled past their
+//! action's keep-alive window.
+
+use crate::action::{ActionId, ActionRegistry};
+use std::collections::VecDeque;
+use std::time::Instant;
+
+/// How an invocation was placed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Reused an idle warm container for this action.
+    Warm,
+    /// Booted a new container (the caller pays the cold-start penalty).
+    Cold,
+}
+
+/// Counters the pool accumulates over its lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Placements on a warm container.
+    pub warm_hits: u64,
+    /// Cold-started containers.
+    pub cold_starts: u64,
+    /// Idle containers evicted under capacity pressure (LRU).
+    pub lru_evictions: u64,
+    /// Idle containers retired by the keep-alive sweep.
+    pub keepalive_evictions: u64,
+}
+
+/// One invoker's container pool. Single-threaded by design: the owning
+/// invoker thread is the only toucher.
+pub struct WarmPool {
+    slots: usize,
+    /// Idle warm containers per action, each stamped with its last-use
+    /// instant, oldest at the front.
+    warm: Vec<VecDeque<Instant>>,
+    idle_total: usize,
+    busy: usize,
+    stats: PoolStats,
+}
+
+impl WarmPool {
+    /// A pool with `slots` container slots serving `n_actions` actions.
+    pub fn new(slots: usize, n_actions: usize) -> Self {
+        assert!(slots >= 1);
+        WarmPool {
+            slots,
+            warm: vec![VecDeque::new(); n_actions],
+            idle_total: 0,
+            busy: 0,
+            stats: PoolStats::default(),
+        }
+    }
+
+    /// Place an invocation of `action`. Warm reuse picks the most
+    /// recently used container (best cache affinity); a cold start under
+    /// full capacity first evicts the least recently used idle container
+    /// of any action.
+    pub fn acquire(&mut self, action: ActionId, _now: Instant) -> Placement {
+        let a = action.0 as usize;
+        if self.warm[a].pop_back().is_some() {
+            self.idle_total -= 1;
+            self.busy += 1;
+            self.stats.warm_hits += 1;
+            return Placement::Warm;
+        }
+        if self.busy + self.idle_total >= self.slots {
+            self.evict_lru();
+        }
+        self.busy += 1;
+        self.stats.cold_starts += 1;
+        Placement::Cold
+    }
+
+    /// Return the container to the warm set after execution.
+    pub fn release(&mut self, action: ActionId, now: Instant) {
+        debug_assert!(self.busy > 0, "release without acquire");
+        self.busy -= 1;
+        self.warm[action.0 as usize].push_back(now);
+        self.idle_total += 1;
+    }
+
+    /// Retire idle containers whose last use is older than their
+    /// action's keep-alive. Returns how many were evicted.
+    pub fn sweep(&mut self, now: Instant, registry: &ActionRegistry) -> usize {
+        let mut evicted = 0;
+        for (a, q) in self.warm.iter_mut().enumerate() {
+            let keepalive = registry.spec(ActionId(a as u32)).keepalive;
+            while let Some(last) = q.front() {
+                if now.saturating_duration_since(*last) > keepalive {
+                    q.pop_front();
+                    self.idle_total -= 1;
+                    evicted += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        self.stats.keepalive_evictions += evicted as u64;
+        evicted
+    }
+
+    fn evict_lru(&mut self) {
+        let victim = self
+            .warm
+            .iter()
+            .enumerate()
+            .filter_map(|(a, q)| q.front().map(|t| (*t, a)))
+            .min_by_key(|(t, _)| *t);
+        if let Some((_, a)) = victim {
+            self.warm[a].pop_front();
+            self.idle_total -= 1;
+            self.stats.lru_evictions += 1;
+        }
+        // No idle container to evict means every slot is genuinely busy;
+        // with one request in flight per invoker thread that cannot
+        // happen for slots >= 1, so over-commit is a no-op here.
+    }
+
+    /// Containers currently executing.
+    pub fn busy(&self) -> usize {
+        self.busy
+    }
+
+    /// Idle warm containers across all actions.
+    pub fn n_warm_idle(&self) -> usize {
+        self.idle_total
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::ActionSpec;
+    use std::time::Duration;
+
+    fn reg(n: usize, keepalive: Duration) -> std::sync::Arc<ActionRegistry> {
+        ActionRegistry::new(
+            (0..n)
+                .map(|i| ActionSpec::noop(&format!("f{i}")).with_keepalive(keepalive))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn cold_then_warm_roundtrip() {
+        let mut p = WarmPool::new(4, 2);
+        let t = Instant::now();
+        assert_eq!(p.acquire(ActionId(0), t), Placement::Cold);
+        p.release(ActionId(0), t);
+        assert_eq!(p.acquire(ActionId(0), t), Placement::Warm);
+        assert_eq!(p.acquire(ActionId(1), t), Placement::Cold, "per-action");
+        assert_eq!(p.stats().warm_hits, 1);
+        assert_eq!(p.stats().cold_starts, 2);
+    }
+
+    #[test]
+    fn capacity_pressure_evicts_lru_idle() {
+        let mut p = WarmPool::new(2, 3);
+        let t0 = Instant::now();
+        let t1 = t0 + Duration::from_millis(10);
+        // Warm container for action 0 (older) and action 1 (newer).
+        p.acquire(ActionId(0), t0);
+        p.release(ActionId(0), t0);
+        p.acquire(ActionId(1), t1);
+        p.release(ActionId(1), t1);
+        assert_eq!(p.n_warm_idle(), 2);
+        // Pool full: a cold start for action 2 must evict action 0's
+        // container (the LRU).
+        assert_eq!(p.acquire(ActionId(2), t1), Placement::Cold);
+        assert_eq!(p.stats().lru_evictions, 1);
+        p.release(ActionId(2), t1);
+        // Action 1's container survived; action 0's did not.
+        assert_eq!(p.acquire(ActionId(1), t1), Placement::Warm);
+        p.release(ActionId(1), t1);
+        assert_eq!(p.acquire(ActionId(0), t1), Placement::Cold);
+    }
+
+    #[test]
+    fn keepalive_sweep_retires_idle_containers() {
+        let registry = reg(2, Duration::from_millis(5));
+        let mut p = WarmPool::new(8, 2);
+        let t0 = Instant::now();
+        p.acquire(ActionId(0), t0);
+        p.release(ActionId(0), t0);
+        p.acquire(ActionId(1), t0);
+        p.release(ActionId(1), t0);
+        assert_eq!(p.sweep(t0 + Duration::from_millis(2), &registry), 0);
+        assert_eq!(p.sweep(t0 + Duration::from_millis(50), &registry), 2);
+        assert_eq!(p.n_warm_idle(), 0);
+        assert_eq!(p.stats().keepalive_evictions, 2);
+        // Next placement is cold again.
+        assert_eq!(p.acquire(ActionId(0), t0), Placement::Cold);
+    }
+}

@@ -1,0 +1,150 @@
+//! The sharded, epoch-swapped routing table.
+//!
+//! Reads (the `invoke` hot path) take one shard-local read lock and
+//! clone an `Arc` snapshot — there is **no global lock** on the data
+//! path. Membership changes (invoker start / sigterm) are rare; they
+//! rebuild immutable snapshots and swap them shard by shard, bumping a
+//! global epoch. A reader that routed against a just-retired snapshot
+//! is harmless: the target queue rejects the produce (generation-style
+//! staleness check) and the caller falls back to the fast lane, so the
+//! race costs a hop, never a request.
+
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// SplitMix64: cheap, well-mixed hashing for shard and target choice.
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A sharded routing table over targets of type `T` (the gateway uses
+/// `Arc<InvokerHandle>`).
+pub struct Router<T> {
+    shards: Vec<RwLock<Arc<Vec<T>>>>,
+    shard_mask: u64,
+    epoch: AtomicU64,
+}
+
+impl<T: Clone> Router<T> {
+    /// A router with `shards` stripes (rounded up to a power of two).
+    pub fn new(shards: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        Router {
+            shards: (0..n).map(|_| RwLock::new(Arc::new(Vec::new()))).collect(),
+            shard_mask: (n - 1) as u64,
+            epoch: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Snapshot generation; bumps on every membership change.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Route `key` to a target: shard by the low hash bits, pick within
+    /// the shard's snapshot by the high bits. `None` when no target is
+    /// routable.
+    pub fn pick(&self, key: u64) -> Option<T> {
+        let h = mix64(key);
+        let shard = &self.shards[(h & self.shard_mask) as usize];
+        let snap = shard.read().clone();
+        if snap.is_empty() {
+            return None;
+        }
+        Some(snap[((h >> 32) as usize) % snap.len()].clone())
+    }
+
+    /// Install a new routable set. Each shard stores its own rotation of
+    /// the list so the key→target mapping decorrelates across shards and
+    /// a membership change reshuffles load evenly.
+    pub fn rebuild(&self, targets: &[T]) {
+        for (i, shard) in self.shards.iter().enumerate() {
+            let rot = if targets.is_empty() {
+                0
+            } else {
+                i % targets.len()
+            };
+            let mut v = Vec::with_capacity(targets.len());
+            v.extend_from_slice(&targets[rot..]);
+            v.extend_from_slice(&targets[..rot]);
+            *shard.write() = Arc::new(v);
+        }
+        self.epoch.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// True iff no target is routable in any shard.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.read().is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn empty_router_routes_nowhere() {
+        let r: Router<u32> = Router::new(8);
+        assert!(r.pick(1).is_none());
+        assert!(r.is_empty());
+        assert_eq!(r.n_shards(), 8);
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        assert_eq!(Router::<u32>::new(5).n_shards(), 8);
+        assert_eq!(Router::<u32>::new(1).n_shards(), 1);
+        assert_eq!(Router::<u32>::new(0).n_shards(), 1);
+    }
+
+    #[test]
+    fn routing_is_deterministic_within_an_epoch() {
+        let r: Router<u32> = Router::new(4);
+        r.rebuild(&[10, 20, 30]);
+        let e = r.epoch();
+        for key in 0..200u64 {
+            assert_eq!(r.pick(key), r.pick(key));
+        }
+        assert_eq!(r.epoch(), e, "reads do not bump the epoch");
+        r.rebuild(&[10, 20]);
+        assert_eq!(r.epoch(), e + 1);
+    }
+
+    #[test]
+    fn load_spreads_over_targets() {
+        let r: Router<u32> = Router::new(8);
+        r.rebuild(&[0, 1, 2, 3]);
+        let mut counts: HashMap<u32, usize> = HashMap::new();
+        for key in 0..4_000u64 {
+            *counts.entry(r.pick(key).unwrap()).or_default() += 1;
+        }
+        assert_eq!(counts.len(), 4, "every target sees traffic");
+        for (&t, &n) in &counts {
+            assert!(
+                (600..=1_400).contains(&n),
+                "target {t} got {n} of 4000 (imbalanced)"
+            );
+        }
+    }
+
+    #[test]
+    fn removed_target_is_never_picked_again() {
+        let r: Router<u32> = Router::new(4);
+        r.rebuild(&[1, 2]);
+        r.rebuild(&[2]);
+        for key in 0..500u64 {
+            assert_eq!(r.pick(key), Some(2));
+        }
+    }
+}

@@ -44,6 +44,11 @@ impl SimTime {
     pub const fn from_hours(h: u64) -> Self {
         SimTime(h * 3_600_000)
     }
+    /// Construct from fractional seconds since epoch, rounding to the
+    /// nearest millisecond; negative inputs clamp to the epoch.
+    pub fn from_secs_f64(s: f64) -> Self {
+        SimTime((s * 1_000.0).round().max(0.0) as u64)
+    }
 
     /// Milliseconds since the epoch.
     pub const fn as_millis(self) -> u64 {

@@ -16,6 +16,12 @@
 //! * recovery of silently-dead invokers' queues, with a
 //!   [`DynamicsMode::Baseline`] switch reproducing stock OpenWhisk's
 //!   lose-the-queue behaviour for ablation.
+//!
+//! This crate is the **DES plane** only. The live plane — the same
+//! architecture on real OS threads, serving real traffic — lives in
+//! `crates/gateway` (`hpcwhisk_gateway`), which absorbed and
+//! generalized the thread demo that used to live here as
+//! `whisk::live`.
 
 pub mod action;
 pub mod activation;
@@ -24,7 +30,6 @@ pub mod container;
 pub mod events;
 pub mod ids;
 pub mod invoker;
-pub mod live;
 pub mod system;
 
 pub use action::{ExecModel, FunctionSpec};
@@ -34,5 +39,4 @@ pub use container::{Acquire, ContainerPool};
 pub use events::{WhiskEvent, WhiskNote};
 pub use ids::{ActivationId, FunctionId, InvokerId};
 pub use invoker::{Invoker, InvokerState};
-pub use live::{LiveController, LiveRequest, LiveResult};
 pub use system::{WhiskCounters, WhiskSeries, WhiskSys};

@@ -14,7 +14,9 @@
 //!   limits, runtimes, slack, sizes) plus the closed-loop backlog driver
 //!   for >99% utilization;
 //! * [`faas::ConstantRateLoadGen`] — the 10 QPS / 100-function
-//!   responsiveness workload (§V-C) and an Azure-like duration mix.
+//!   responsiveness workload (§V-C) and an Azure-like duration mix,
+//!   plus Poisson and diurnal (non-homogeneous Poisson) request
+//!   processes for driving the live gateway.
 //!
 //! Every constant is documented at its definition; the module tests are
 //! the calibration record — they assert the generated marginals land in
@@ -26,6 +28,6 @@ pub mod hpc;
 pub mod idle;
 
 pub use demand::{DemandClaim, DemandModel};
-pub use faas::{AzureDurationModel, ConstantRateLoadGen};
+pub use faas::{Arrival, AzureDurationModel, ConstantRateLoadGen, DiurnalLoadGen, PoissonLoadGen};
 pub use hpc::{BacklogDriver, HpcWorkloadModel};
 pub use idle::IdleModel;

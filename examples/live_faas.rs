@@ -1,59 +1,86 @@
-//! The live (real-threads) data plane: run actual compute — the SeBS
-//! PageRank kernel — on a dynamic pool of invoker threads, drain one
-//! mid-burst, and verify no invocation is lost.
+//! The live serving plane: run actual compute — the SeBS PageRank
+//! kernel — through the sharded gateway on a dynamic pool of invoker
+//! threads, drain one mid-burst, and verify no invocation is lost.
 //!
 //! This is the drain/fast-lane protocol of §III-C on OS threads and
-//! channels rather than under the simulator's virtual clock.
+//! queues rather than under the simulator's virtual clock, plus the
+//! pieces the DES plane models analytically: warm-container pools with
+//! cold starts, admission control, and a closed-loop load harness.
 //!
 //! Run with: `cargo run --release --example live_faas`
 
-use hpc_whisk::sebs::{pagerank, Graph};
-use hpc_whisk::whisk::LiveController;
+use hpc_whisk::gateway::{
+    run_load, ActionBody, ActionId, ActionSpec, Gateway, GatewayConfig, HarnessConfig,
+};
+use hpc_whisk::sebs::{Graph, Kernel};
+use hpc_whisk::simcore::SimDuration;
+use hpc_whisk::workload::DiurnalLoadGen;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 fn main() {
-    let ctrl = LiveController::new();
-    for id in 1..=3 {
-        ctrl.start_invoker(id);
-    }
-    println!("started 3 invoker threads");
-
-    // Deploy "functions": PageRank on shared graphs of varying size.
-    let graphs: Vec<Arc<Graph>> = (0..4)
-        .map(|i| Arc::new(Graph::barabasi_albert(2_000 * (i + 1), 3, i as u64)))
+    // Deploy "functions": PageRank on shared graphs of varying size,
+    // each with a realistic cold-start penalty and keep-alive.
+    let actions: Vec<ActionSpec> = (0..4u64)
+        .map(|i| {
+            let g = Arc::new(Graph::barabasi_albert(2_000 * (i as usize + 1), 3, i));
+            ActionSpec::noop(&format!("pagerank-{}k", 2 * (i + 1)))
+                .with_body(ActionBody::Kernel(Kernel::Pagerank, g))
+                .with_cold_start(Duration::from_millis(5))
+                .with_keepalive(Duration::from_secs(30))
+        })
         .collect();
+    let gw = Gateway::new(GatewayConfig::default(), actions);
+    let tokens: Vec<_> = (0..3).map(|_| gw.start_invoker()).collect();
+    println!("started 3 invoker threads behind the sharded router");
 
     let t0 = Instant::now();
-    let n_requests = 120;
+    let n_requests = 120u64;
+    let mut accepted = 0u64;
     for i in 0..n_requests {
-        let g = graphs[i % graphs.len()].clone();
-        ctrl.invoke(i as u64, move || pagerank(&g, 1e-8, 60).1 as u64)
-            .expect("accepted");
+        gw.invoke(ActionId((i % 4) as u32), i).expect("accepted");
+        accepted += 1;
         if i == 40 {
-            // A prime HPC job takes invoker 2's node: SIGTERM mid-burst.
-            println!("SIGTERM invoker 2 after 40 submissions (node reclaimed)");
-            ctrl.sigterm(2);
-            ctrl.join_invoker(2);
+            // A prime HPC job takes an invoker's node: SIGTERM mid-burst.
+            println!(
+                "SIGTERM invoker {} after 40 submissions (node reclaimed)",
+                tokens[1].id
+            );
+            gw.sigterm(tokens[1]);
+            gw.join_invoker(tokens[1]);
         }
     }
 
     let mut per_invoker = std::collections::BTreeMap::new();
-    for _ in 0..n_requests {
-        let r = ctrl
+    let mut cold = 0u64;
+    for _ in 0..accepted {
+        let c = gw
             .results
             .recv_timeout(Duration::from_secs(60))
             .expect("no request may be lost");
-        *per_invoker.entry(r.invoker).or_insert(0u32) += 1;
+        *per_invoker.entry(c.invoker).or_insert(0u32) += 1;
+        cold += c.cold as u64;
     }
     println!(
-        "all {} invocations completed in {:.2?} despite the drain",
-        n_requests,
+        "all {accepted} invocations completed in {:.2?} despite the drain ({cold} cold starts)",
         t0.elapsed()
     );
     for (inv, n) in per_invoker {
         println!("  invoker {inv}: {n} executions");
     }
-    ctrl.shutdown();
-    println!("controller shut down cleanly");
+
+    // Second act: replay a compressed diurnal arrival process through
+    // the closed-loop harness and report latency quantiles.
+    let arrivals = DiurnalLoadGen::new(50.0, 400.0, SimDuration::from_secs(4), 4)
+        .arrivals(SimDuration::from_secs(4), 7);
+    println!(
+        "replaying a diurnal process: {} arrivals over 4 s (trough 50 qps, peak 400 qps)",
+        arrivals.len()
+    );
+    let mut report = run_load(&gw, &arrivals, &HarnessConfig::default());
+    println!("harness: {}", report.summary());
+    assert_eq!(report.lost(), 0, "accepted requests are never lost");
+
+    let stranded = gw.shutdown();
+    println!("gateway shut down cleanly ({stranded} stranded)");
 }

@@ -11,7 +11,10 @@
 //! * [`mq`] — Kafka-like ordered-log broker substrate;
 //! * [`cluster`] — Slurm-like workload manager (backfill, preemption);
 //! * [`whisk`] — OpenWhisk-like FaaS platform with the HPC-Whisk
-//!   dynamic-invoker extensions;
+//!   dynamic-invoker extensions (the DES plane);
+//! * [`gateway`] — the live serving plane: sharded routing, warm
+//!   container pools and the drain protocol on real OS threads, with a
+//!   closed-loop load harness;
 //! * [`workload`] — trace generators calibrated to the paper's
 //!   Prometheus statistics;
 //! * [`sebs`] — SeBS-style compute kernels (BFS, MST, PageRank);
@@ -20,6 +23,7 @@
 //!   the end-to-end experiment harness.
 
 pub use cluster;
+pub use gateway;
 pub use hpcwhisk_core as core;
 pub use metrics;
 pub use mq;

@@ -1,12 +1,12 @@
 //! Smoke tests of the `hpc_whisk` facade: every substrate is reachable
 //! and does its basic job through the re-exported paths.
 
+use hpc_whisk::gateway::{ActionId, ActionSpec, Gateway, GatewayConfig};
 use hpc_whisk::metrics::{Cdf, StepSeries};
 use hpc_whisk::mq::Broker;
 use hpc_whisk::sebs::{bfs, mst, pagerank, Graph, Kernel, PlatformModel};
 use hpc_whisk::simcore::{Engine, Outbox, SimDuration, SimRng, SimTime};
-use hpc_whisk::whisk::LiveController;
-use hpc_whisk::workload::{AzureDurationModel, HpcWorkloadModel};
+use hpc_whisk::workload::{AzureDurationModel, HpcWorkloadModel, PoissonLoadGen};
 
 #[test]
 fn simcore_engine_via_facade() {
@@ -64,14 +64,31 @@ fn workload_models_via_facade() {
 }
 
 #[test]
-fn live_controller_via_facade() {
-    let ctrl = LiveController::new();
-    ctrl.start_invoker(1);
-    ctrl.invoke(0, || 5).unwrap();
-    let r = ctrl
+fn live_gateway_via_facade() {
+    let gw = Gateway::new(GatewayConfig::default(), vec![ActionSpec::noop("f")]);
+    gw.start_invoker();
+    let id = gw.invoke(ActionId(0), 0).unwrap();
+    let c = gw
         .results
         .recv_timeout(std::time::Duration::from_secs(5))
         .unwrap();
-    assert_eq!(r.value, 5);
-    ctrl.shutdown();
+    assert_eq!(c.id, id);
+    assert_eq!(gw.shutdown(), 0);
+}
+
+#[test]
+fn load_harness_via_facade() {
+    let gw = Gateway::new(GatewayConfig::default(), vec![ActionSpec::noop("f")]);
+    gw.start_invoker();
+    let arrivals = PoissonLoadGen::new(1_000.0, 1).arrivals(SimDuration::from_millis(50), 1);
+    let r = hpc_whisk::gateway::run_load(
+        &gw,
+        &arrivals,
+        &hpc_whisk::gateway::HarnessConfig {
+            speedup: 0.0,
+            ..Default::default()
+        },
+    );
+    assert_eq!(r.lost(), 0);
+    assert!(r.completed > 0);
 }

@@ -206,6 +206,39 @@ impl Bencher {
         }
     }
 
+    /// Measure a routine that takes its per-batch input by `&mut`, so
+    /// the input's **drop cost stays outside the timed region** (the
+    /// whole point of upstream's `iter_batched_ref`): inputs are built
+    /// before the clock starts and the batch is dropped after it stops.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        // Warm-up / estimate with a couple of runs.
+        let mut est_ns = f64::MAX;
+        for _ in 0..3 {
+            let mut input = setup();
+            let t = Instant::now();
+            std_black_box(routine(&mut input));
+            est_ns = est_ns.min((t.elapsed().as_nanos() as f64).max(1.0));
+            drop(input);
+        }
+        let budget_ns = self.measure_time.as_nanos() as f64 / self.sample_size as f64;
+        let iters_per_sample = ((budget_ns / est_ns) as u64).clamp(1, 10_000) as usize;
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let mut inputs: Vec<I> = (0..iters_per_sample).map(|_| setup()).collect();
+            let t = Instant::now();
+            for input in inputs.iter_mut() {
+                std_black_box(routine(input));
+            }
+            self.samples_ns
+                .push(t.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+            drop(inputs); // fixture teardown is not measured
+        }
+    }
+
     fn report(&self, id: &str) {
         if self.samples_ns.is_empty() {
             println!("{id:<40} no samples collected");
@@ -300,6 +333,37 @@ mod tests {
             ran = true;
         });
         assert!(ran);
+    }
+
+    #[test]
+    fn iter_batched_ref_excludes_drop_and_mutates_in_place() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct Fixture(u64);
+        impl Drop for Fixture {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let mut c = Criterion::default().sample_size(5);
+        c = c.measurement_time(Duration::from_millis(20));
+        let mut setups = 0usize;
+        c.bench_function("batched_ref", |b| {
+            b.iter_batched_ref(
+                || {
+                    setups += 1;
+                    Fixture(7)
+                },
+                |f| {
+                    f.0 = f.0.wrapping_mul(3); // &mut access
+                    work(50)
+                },
+                BatchSize::LargeInput,
+            )
+        });
+        assert!(setups > 0);
+        // Every fixture built was eventually dropped (outside timing).
+        assert_eq!(DROPS.load(Ordering::SeqCst), setups);
     }
 
     #[test]
