@@ -41,6 +41,7 @@ fn main() {
         speedup: 1.0,
         max_inflight: 2_048,
         stall_timeout: Duration::from_secs(20),
+        ..Default::default()
     };
     let mut r1 = run_load(&gw, &phase1, &cfg);
     let victim = tokens.swap_remove(0);

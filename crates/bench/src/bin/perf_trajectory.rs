@@ -64,17 +64,20 @@ fn probe<I, O>(
 /// are spelled to match, so keep them in sync if this ever changes.
 const GATEWAY_PROBE_INVOKERS: usize = 8;
 
-/// The serving-plane probe: drive a live gateway flat out with SeBS
-/// no-op actions through the closed-loop harness, and report sustained
-/// throughput plus latency quantiles. The best run of `samples` is kept
-/// (throughput probes want the least-disturbed run).
-fn gateway_probes(samples: usize, probes: &mut Vec<Probe>) {
+/// One serving-plane measurement: drive a live gateway flat out with
+/// SeBS no-op actions through the closed-loop harness and report the
+/// best sustained throughput (ns/op) plus that run's latency quantiles
+/// — throughput probes want the least-disturbed run of `samples`.
+fn gateway_run(samples: usize, drain_batch: usize, submit_batch: usize) -> (f64, f64, f64) {
     let mut best_ns = f64::MAX;
     let mut best_p50 = f64::MAX;
     let mut best_p99 = f64::MAX;
     for _ in 0..samples {
         let gw = Gateway::new(
-            GatewayConfig::default(),
+            GatewayConfig {
+                drain_batch,
+                ..Default::default()
+            },
             (0..16)
                 .map(|i| ActionSpec::noop(&format!("fn-{i}")))
                 .collect(),
@@ -89,6 +92,7 @@ fn gateway_probes(samples: usize, probes: &mut Vec<Probe>) {
             &HarnessConfig {
                 speedup: 0.0, // flat out: measure the plane, not the schedule
                 max_inflight: 1_024,
+                submit_batch,
                 ..Default::default()
             },
         );
@@ -101,10 +105,25 @@ fn gateway_probes(samples: usize, probes: &mut Vec<Probe>) {
         }
         gw.shutdown();
     }
+    (best_ns, best_p50, best_p99)
+}
+
+/// The serving-plane probes: the historical unbatched shape (drain and
+/// submit batch 1 — comparable across PRs to the pre-batching
+/// baseline) and the batched hot path (default batch sizes: the
+/// configuration the plane actually ships with).
+fn gateway_probes(samples: usize, probes: &mut Vec<Probe>) {
+    let (ns, p50, p99) = gateway_run(samples, 1, 1);
+    let (batched_ns, _, _) = gateway_run(
+        samples,
+        GatewayConfig::default().drain_batch,
+        HarnessConfig::default().submit_batch,
+    );
     for (name, ns) in [
-        ("gateway/throughput_8inv_noop", best_ns),
-        ("gateway/latency_p50_8inv_noop", best_p50),
-        ("gateway/latency_p99_8inv_noop", best_p99),
+        ("gateway/throughput_8inv_noop", ns),
+        ("gateway/latency_p50_8inv_noop", p50),
+        ("gateway/latency_p99_8inv_noop", p99),
+        ("gateway/throughput_batched_8inv_noop", batched_ns),
     ] {
         eprintln!("{name:<36} {:>12.0} ns/op  ({:>10.1} ops/s)", ns, 1e9 / ns);
         probes.push(Probe {

@@ -10,26 +10,32 @@
 //!    ([`crate::route::Router`]).
 //! 3. **Queueing** — the home invoker's MPSC queue assigns the offset
 //!    ([`crate::queue::WorkQueue`], `mq` semantics).
-//! 4. **Execution** — the invoker thread drains the shared fast lane
-//!    first, then its own queue; placement goes through its private
-//!    [`crate::pool::WarmPool`] (cold-start penalty, keep-alive,
-//!    LRU eviction) and the body runs for real.
-//! 5. **Completion** — one message per executed request on the results
-//!    channel, carrying queue-wait/service/total latencies.
+//! 4. **Execution** — the invoker thread drains a **batch** of up to
+//!    `drain_batch` envelopes per lock acquisition, shared fast lane
+//!    first, topped up from its own queue; placement goes through its
+//!    private [`crate::pool::WarmPool`] (cold-start penalty,
+//!    keep-alive, LRU eviction) and the body runs for real.
+//! 5. **Completion** — one [`Completion`] per executed request,
+//!    carrying queue-wait/service/total latencies, published batch-wise
+//!    to the invoker's **private completion shard** (exactly one
+//!    producer per shard — there is no shared multi-producer point on
+//!    the completion path). Consumers sweep the shards round-robin via
+//!    [`Gateway::collect_completions`] / [`Gateway::recv_timeout`].
 //!
 //! Drain (`sigterm` → `join`): the controller atomically unroutes the
-//! invoker and flips its state; the invoker finishes its in-flight
-//! request, atomically closes its queue and moves the unstarted backlog
-//! to the fast lane with `produced_at` preserved. A producer that raced
-//! the closure gets its request back and reroutes to the fast lane
-//! itself — accepted requests are never lost and never duplicated.
+//! invoker and flips its state; the invoker finishes the batch it has
+//! already popped (in-flight work, executed normally), atomically
+//! closes its queue and moves the unstarted backlog to the fast lane
+//! with `produced_at` preserved. A producer that raced the closure gets
+//! its request back and reroutes to the fast lane itself — accepted
+//! requests are never lost and never duplicated, at any batch size.
 
 use crate::action::{ActionId, ActionRegistry, ActionSpec};
 use crate::pool::{Placement, PoolStats, WarmPool};
-use crate::queue::{Envelope, Produce, Request, WorkQueue};
+use crate::queue::{Envelope, Produce, ProduceBatch, Request, WorkQueue};
 use crate::route::{mix64, Router};
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -119,6 +125,11 @@ pub struct GatewayConfig {
     pub park: Duration,
     /// Run the keep-alive sweep at least this often even under load.
     pub sweep_every_ops: u64,
+    /// Max envelopes an invoker pops per lock acquisition (fast lane
+    /// first, topped up from the home queue). 1 reproduces the
+    /// unbatched per-pop behaviour exactly; the drain-stress matrix
+    /// proves exactly-once at 1, 4 and 32.
+    pub drain_batch: usize,
 }
 
 impl Default for GatewayConfig {
@@ -129,6 +140,7 @@ impl Default for GatewayConfig {
             pool_slots: 64,
             park: Duration::from_micros(500),
             sweep_every_ops: 1_024,
+            drain_batch: 32,
         }
     }
 }
@@ -168,6 +180,37 @@ struct Slot {
     join: Option<JoinHandle<PoolStats>>,
 }
 
+/// One invoker slot's completion buffer. Exactly **one** producer at a
+/// time (the invoker thread occupying the slot — slots are only reused
+/// after the previous thread joined), so the mutex is contended only by
+/// the collector's periodic swap-out, never producer-vs-producer. The
+/// buffer outlives its invoker: completions published just before a
+/// drain remain collectible after the thread is reaped.
+#[derive(Default)]
+struct CompletionShard {
+    buf: Mutex<Vec<Completion>>,
+}
+
+impl CompletionShard {
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<Completion>> {
+        self.buf.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Publish a batch under one lock; `done` is left empty with its
+    /// capacity intact for reuse.
+    fn publish(&self, done: &mut Vec<Completion>) {
+        self.lock().append(done);
+    }
+
+    /// Move everything pending into `out`; returns how many.
+    fn drain_into(&self, out: &mut Vec<Completion>) -> usize {
+        let mut g = self.lock();
+        let n = g.len();
+        out.append(&mut g);
+        n
+    }
+}
+
 /// The live HPC-Whisk serving plane.
 pub struct Gateway {
     cfg: GatewayConfig,
@@ -175,9 +218,19 @@ pub struct Gateway {
     router: Router<Arc<InvokerHandle>>,
     slots: Mutex<Vec<Slot>>,
     fast: Arc<WorkQueue>,
-    results_tx: Sender<Completion>,
-    /// Completion stream: one message per executed request.
-    pub results: Receiver<Completion>,
+    /// Per-slot completion buffers, index-aligned with `slots` (lock
+    /// order: `slots` before `completion_shards`; the collector only
+    /// ever takes the latter).
+    completion_shards: Mutex<Vec<Arc<CompletionShard>>>,
+    /// Rotates the shard a collection sweep starts at, so no invoker's
+    /// completions are systematically served first.
+    collect_cursor: AtomicUsize,
+    /// Overflow for the one-at-a-time [`recv_timeout`]/[`try_recv`]
+    /// convenience API (a sweep can return more than one completion).
+    ///
+    /// [`recv_timeout`]: Gateway::recv_timeout
+    /// [`try_recv`]: Gateway::try_recv
+    spill: Mutex<VecDeque<Completion>>,
     counters: Arc<Counters>,
     next_request: AtomicU64,
     next_invoker: AtomicU64,
@@ -188,7 +241,6 @@ pub struct Gateway {
 impl Gateway {
     /// A gateway serving `actions`, with no invokers yet.
     pub fn new(cfg: GatewayConfig, actions: Vec<ActionSpec>) -> Self {
-        let (results_tx, results) = unbounded();
         let shards = cfg.shards;
         Gateway {
             cfg,
@@ -196,8 +248,9 @@ impl Gateway {
             router: Router::new(shards),
             slots: Mutex::new(Vec::new()),
             fast: Arc::new(WorkQueue::new()),
-            results_tx,
-            results,
+            completion_shards: Mutex::new(Vec::new()),
+            collect_cursor: AtomicUsize::new(0),
+            spill: Mutex::new(VecDeque::new()),
             counters: Arc::new(Counters::default()),
             next_request: AtomicU64::new(0),
             next_invoker: AtomicU64::new(0),
@@ -250,72 +303,181 @@ impl Gateway {
             state: AtomicU8::new(STATE_HEALTHY),
             queue: WorkQueue::new(),
         });
+        let mut slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
+        // Reserve the slot (and its completion shard) before spawning:
+        // the thread owns the shard for the slot's whole occupancy, and
+        // slot reuse only happens after the previous occupant joined,
+        // so every shard has exactly one producer at any time.
+        let index = match slots.iter().position(|s| s.handle.is_none()) {
+            Some(i) => {
+                slots[i].handle = Some(handle.clone());
+                i
+            }
+            None => {
+                slots.push(Slot {
+                    generation: 0,
+                    handle: Some(handle.clone()),
+                    join: None,
+                });
+                slots.len() - 1
+            }
+        };
+        let shard = {
+            let mut shards = self
+                .completion_shards
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            while shards.len() <= index {
+                shards.push(Arc::new(CompletionShard::default()));
+            }
+            shards[index].clone()
+        };
         let worker = InvokerCtx {
-            handle: handle.clone(),
+            handle,
             fast: self.fast.clone(),
-            results: self.results_tx.clone(),
+            completions: shard,
             actions: self.actions.clone(),
             counters: self.counters.clone(),
             pool_slots: self.cfg.pool_slots,
             park: self.cfg.park,
             sweep_every_ops: self.cfg.sweep_every_ops,
+            drain_batch: self.cfg.drain_batch.max(1),
         };
-        let join = std::thread::spawn(move || worker.run());
-        let mut slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
-        let index = slots.iter().position(|s| s.handle.is_none());
-        let token = match index {
-            Some(i) => {
-                slots[i].handle = Some(handle);
-                slots[i].join = Some(join);
-                InvokerToken {
-                    index: i as u32,
-                    generation: slots[i].generation,
-                    id,
-                }
-            }
-            None => {
-                slots.push(Slot {
-                    generation: 0,
-                    handle: Some(handle),
-                    join: Some(join),
-                });
-                InvokerToken {
-                    index: (slots.len() - 1) as u32,
-                    generation: 0,
-                    id,
-                }
-            }
+        slots[index].join = Some(
+            std::thread::Builder::new()
+                .name(format!("invoker-{id}"))
+                .spawn(move || worker.run())
+                .expect("spawn invoker thread"),
+        );
+        let token = InvokerToken {
+            index: index as u32,
+            generation: slots[index].generation,
+            id,
         };
         self.rebuild_router(&slots);
         token
     }
 
+    /// Sweep every completion shard once, round-robin from a rotating
+    /// start, moving everything published so far into `out`. Returns
+    /// how many completions were collected. This is the consumer half
+    /// of the sharded completion path: each shard has a single
+    /// producer, so the only cross-thread synchronization per sweep is
+    /// one uncontended-in-the-common-case lock per shard.
+    pub fn collect_completions(&self, out: &mut Vec<Completion>) -> usize {
+        let mut n = 0;
+        {
+            let mut spill = self.spill.lock().unwrap_or_else(|e| e.into_inner());
+            while let Some(c) = spill.pop_front() {
+                out.push(c);
+                n += 1;
+            }
+        }
+        n + self.drain_shards(out)
+    }
+
+    /// One round-robin sweep over the shards only (no spill).
+    fn drain_shards(&self, out: &mut Vec<Completion>) -> usize {
+        let shards = self
+            .completion_shards
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let len = shards.len();
+        if len == 0 {
+            return 0;
+        }
+        let mut n = 0;
+        let start = self.collect_cursor.fetch_add(1, Ordering::Relaxed) % len;
+        for i in 0..len {
+            n += shards[(start + i) % len].drain_into(out);
+        }
+        n
+    }
+
+    /// Pop one completion, sweeping the shards and parking briefly in
+    /// between, until `timeout` elapses. Extra completions a sweep
+    /// returns are spilled for the next call, so no completion is ever
+    /// dropped by the one-at-a-time API. A timeout too large to
+    /// represent as a deadline (e.g. `Duration::MAX`) waits forever,
+    /// matching the channel API this replaced.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<Completion> {
+        let deadline = Instant::now().checked_add(timeout);
+        let mut swept = Vec::new();
+        loop {
+            if let Some(c) = self.try_recv_swept(&mut swept) {
+                return Some(c);
+            }
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                return None;
+            }
+            std::thread::park_timeout(Duration::from_micros(100));
+        }
+    }
+
+    /// Non-blocking: pop one completion if any invoker has published
+    /// one (or a previous sweep spilled one).
+    pub fn try_recv(&self) -> Option<Completion> {
+        self.try_recv_swept(&mut Vec::new())
+    }
+
+    fn try_recv_swept(&self, swept: &mut Vec<Completion>) -> Option<Completion> {
+        // Serve from the spill first — popping one element, not
+        // round-tripping the whole backlog through `swept` (sequential
+        // one-at-a-time consumption stays O(1) per pop).
+        {
+            let mut spill = self.spill.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(c) = spill.pop_front() {
+                return Some(c);
+            }
+        }
+        swept.clear();
+        if self.drain_shards(swept) == 0 {
+            return None;
+        }
+        let mut it = swept.drain(..);
+        let first = it.next();
+        let mut spill = self.spill.lock().unwrap_or_else(|e| e.into_inner());
+        spill.extend(it);
+        first
+    }
+
     /// Submit an invocation of `action` with routing key `key`. Returns
     /// the request id, or the shed reason.
     pub fn invoke(&self, action: ActionId, key: u64) -> Result<u64, Shed> {
+        self.invoke_at(action, key, Instant::now())
+    }
+
+    /// [`invoke`](Gateway::invoke) with a caller-supplied admission
+    /// timestamp, so a submitter batching arrivals into bursts pays one
+    /// clock read per burst instead of one per request. `produced_at`
+    /// seeds the queue-wait/total latency accounting; callers must pass
+    /// a recent instant (the harness reads the clock once per burst).
+    pub fn invoke_at(&self, action: ActionId, key: u64, produced_at: Instant) -> Result<u64, Shed> {
         if !self.actions.try_admit(action) {
             self.counters
                 .shed_action_saturated
                 .fetch_add(1, Ordering::Relaxed);
             return Err(Shed::ActionSaturated);
         }
-        let Some(target) = self.router.pick(key) else {
+        // Produce under the shard's read lock (no target clone): the
+        // queue's own mutex still serializes with the owner's drain, so
+        // the close-vs-produce atomicity is untouched.
+        let mut id = 0;
+        let produced = self.router.with_pick(key, |target| {
+            id = self.next_request.fetch_add(1, Ordering::Relaxed);
+            let req = Request { id, action, key };
+            target
+                .queue
+                .produce(req, produced_at, self.cfg.queue_capacity)
+        });
+        let Some(produced) = produced else {
             self.actions.release(action);
             self.counters
                 .shed_no_invoker
                 .fetch_add(1, Ordering::Relaxed);
             return Err(Shed::NoInvoker);
         };
-        let req = Request {
-            id: self.next_request.fetch_add(1, Ordering::Relaxed),
-            action,
-            key,
-        };
-        let produced_at = Instant::now();
-        match target
-            .queue
-            .produce(req, produced_at, self.cfg.queue_capacity)
-        {
+        match produced {
             Produce::Ok(_) => {}
             Produce::Full(_) => {
                 self.actions.release(action);
@@ -345,12 +507,109 @@ impl Gateway {
             }
         }
         self.counters.accepted.fetch_add(1, Ordering::Relaxed);
-        Ok(req.id)
+        Ok(id)
     }
 
     /// Convenience: route by an action's name hash (paper §II routing).
     pub fn invoke_named(&self, action: ActionId) -> Result<u64, Shed> {
         self.invoke(action, mix64(action.0 as u64))
+    }
+
+    /// Submit a burst of invocations sharing one admission timestamp.
+    /// Each request is admission-checked and routed individually (same
+    /// shed semantics as [`invoke_at`](Gateway::invoke_at)), but the
+    /// requests bound for one invoker are produced to its queue as a
+    /// **single group** — one lock acquisition and at most one consumer
+    /// wake per target queue per burst, instead of one per request. On
+    /// an oversubscribed machine that is the difference between a
+    /// parked invoker preempting the submitter once per request and
+    /// once per burst. Outcomes are appended to `out` in input order.
+    ///
+    /// The close-vs-produce atomicity is unchanged: a group refused by
+    /// a draining target is rerouted to the fast lane exactly like a
+    /// raced single produce, so exactly-once holds at any burst size
+    /// (the drain-stress matrix submits through both paths).
+    pub fn invoke_burst(
+        &self,
+        reqs: &[(ActionId, u64)],
+        produced_at: Instant,
+        out: &mut Vec<Result<u64, Shed>>,
+    ) {
+        let base = out.len();
+        // Pass 1: admit + route, bucketing requests per target invoker.
+        // Buckets hold input indices so pass 2 can fix up outcomes.
+        let mut buckets: Vec<(Arc<InvokerHandle>, Vec<Request>, Vec<usize>)> = Vec::new();
+        for (i, &(action, key)) in reqs.iter().enumerate() {
+            if !self.actions.try_admit(action) {
+                self.counters
+                    .shed_action_saturated
+                    .fetch_add(1, Ordering::Relaxed);
+                out.push(Err(Shed::ActionSaturated));
+                continue;
+            }
+            let Some(target) = self.router.pick(key) else {
+                self.actions.release(action);
+                self.counters
+                    .shed_no_invoker
+                    .fetch_add(1, Ordering::Relaxed);
+                out.push(Err(Shed::NoInvoker));
+                continue;
+            };
+            let id = self.next_request.fetch_add(1, Ordering::Relaxed);
+            let req = Request { id, action, key };
+            match buckets.iter_mut().find(|(h, ..)| Arc::ptr_eq(h, &target)) {
+                Some((_, b_reqs, b_idx)) => {
+                    b_reqs.push(req);
+                    b_idx.push(i);
+                }
+                None => buckets.push((target, vec![req], vec![i])),
+            }
+            out.push(Ok(id));
+        }
+        // Pass 2: one grouped produce per target; fix up the outcomes
+        // of whatever the group could not land.
+        let mut accepted = 0u64;
+        for (target, b_reqs, b_idx) in &buckets {
+            match target
+                .queue
+                .produce_batch(b_reqs, produced_at, self.cfg.queue_capacity)
+            {
+                ProduceBatch::Admitted(n) => {
+                    accepted += n as u64;
+                    for &i in &b_idx[n..] {
+                        self.actions.release(reqs[i].0);
+                        self.counters
+                            .shed_queue_full
+                            .fetch_add(1, Ordering::Relaxed);
+                        out[base + i] = Err(Shed::QueueFull);
+                    }
+                }
+                ProduceBatch::Closed => {
+                    // The target started draining after the pick: the
+                    // whole group takes the fast-lane fallback.
+                    for (req, &i) in b_reqs.iter().zip(b_idx) {
+                        let env = Envelope {
+                            offset: 0,
+                            produced_at,
+                            req: *req,
+                        };
+                        if self.fast.produce_moved(env).is_ok() {
+                            accepted += 1;
+                            self.counters.fastlane_moves.fetch_add(1, Ordering::Relaxed);
+                        } else {
+                            self.actions.release(req.action);
+                            self.counters
+                                .shed_no_invoker
+                                .fetch_add(1, Ordering::Relaxed);
+                            out[base + i] = Err(Shed::NoInvoker);
+                        }
+                    }
+                }
+            }
+        }
+        self.counters
+            .accepted
+            .fetch_add(accepted, Ordering::Relaxed);
     }
 
     /// SIGTERM an invoker: atomically unroute it and flip it to
@@ -456,21 +715,27 @@ impl Gateway {
 struct InvokerCtx {
     handle: Arc<InvokerHandle>,
     fast: Arc<WorkQueue>,
-    results: Sender<Completion>,
+    completions: Arc<CompletionShard>,
     actions: Arc<ActionRegistry>,
     counters: Arc<Counters>,
     pool_slots: usize,
     park: Duration,
     sweep_every_ops: u64,
+    drain_batch: usize,
 }
 
 impl InvokerCtx {
     fn run(self) -> PoolStats {
         let mut pool = WarmPool::new(self.pool_slots, self.actions.len());
         let mut ops_since_sweep = 0u64;
+        let mut batch: Vec<Envelope> = Vec::with_capacity(self.drain_batch);
+        let mut done: Vec<Completion> = Vec::with_capacity(self.drain_batch);
         loop {
             if self.handle.state.load(Ordering::Acquire) == STATE_DRAINING {
                 // Atomic close: nothing can enqueue behind this drain.
+                // Any batch popped before the flag flipped has already
+                // been executed and flushed (in-flight work finishes;
+                // only *unstarted* backlog moves).
                 let backlog = self.handle.queue.close_and_drain();
                 let n = backlog.len() as u64;
                 for env in backlog {
@@ -483,33 +748,50 @@ impl InvokerCtx {
                 return pool.stats();
             }
             // §III-C ordering: drain the shared fast lane before the
-            // private queue, so handed-off work is not starved.
-            let env = match self.fast.try_pop() {
-                Some(e) => Some(e),
-                None => match self.handle.queue.try_pop() {
-                    Some(e) => Some(e),
-                    None => {
-                        // Idle: run the keep-alive sweep, then park
-                        // briefly on the private queue.
-                        pool.sweep(Instant::now(), &self.actions);
-                        ops_since_sweep = 0;
-                        self.handle.queue.pop_timeout(self.park)
-                    }
-                },
-            };
-            if let Some(env) = env {
-                self.execute(env, &mut pool);
-                ops_since_sweep += 1;
+            // private queue, so handed-off work is not starved — then
+            // top the batch up from the home queue, one lock each.
+            self.fast.try_pop_batch(&mut batch, self.drain_batch);
+            if batch.len() < self.drain_batch {
+                let room = self.drain_batch - batch.len();
+                self.handle.queue.try_pop_batch(&mut batch, room);
+            }
+            if batch.is_empty() {
+                // Idle: run the keep-alive sweep, then park briefly on
+                // the private queue.
+                pool.sweep(Instant::now(), &self.actions);
+                ops_since_sweep = 0;
+                if let Some(env) = self.handle.queue.pop_timeout(self.park) {
+                    batch.push(env);
+                }
+            }
+            if !batch.is_empty() {
+                ops_since_sweep += batch.len() as u64;
+                // One clock read per op: each execution's end instant
+                // is the next one's start (the batch loop has no gap
+                // between them), halving the clock traffic of the old
+                // read-start-read-end shape.
+                let mut t = Instant::now();
+                for env in batch.drain(..) {
+                    t = self.execute(env, t, &mut pool, &mut done);
+                }
+                self.flush(&mut done);
                 if ops_since_sweep >= self.sweep_every_ops {
-                    pool.sweep(Instant::now(), &self.actions);
+                    pool.sweep(t, &self.actions);
                     ops_since_sweep = 0;
                 }
             }
         }
     }
 
-    fn execute(&self, env: Envelope, pool: &mut WarmPool) {
-        let start = Instant::now();
+    /// Execute one envelope starting at `start`; returns the end
+    /// instant (which the batch loop feeds forward as the next start).
+    fn execute(
+        &self,
+        env: Envelope,
+        start: Instant,
+        pool: &mut WarmPool,
+        done: &mut Vec<Completion>,
+    ) -> Instant {
         let spec = self.actions.spec(env.req.action);
         let placement = pool.acquire(env.req.action, start);
         if placement == Placement::Cold && !spec.cold_start.is_zero() {
@@ -521,9 +803,12 @@ impl InvokerCtx {
         let value = spec.body.run();
         let end = Instant::now();
         pool.release(env.req.action, end);
+        // Release the admission slot per execution, not per batch:
+        // deferring it to the flush would hold tight per-action
+        // in-flight caps for the rest of the batch and shed traffic
+        // the unbatched plane would have admitted.
         self.actions.release(env.req.action);
-        self.counters.completed.fetch_add(1, Ordering::Relaxed);
-        let _ = self.results.send(Completion {
+        done.push(Completion {
             id: env.req.id,
             action: env.req.action,
             invoker: self.handle.id,
@@ -533,6 +818,21 @@ impl InvokerCtx {
             service: end.saturating_duration_since(start),
             total: end.saturating_duration_since(env.produced_at),
         });
+        end
+    }
+
+    /// Retire a finished batch: bump `completed` once for the whole
+    /// batch and publish every completion to this invoker's shard
+    /// under a single lock. (Admission slots were already released
+    /// per execution — caps must open the moment a request finishes.)
+    fn flush(&self, done: &mut Vec<Completion>) {
+        if done.is_empty() {
+            return;
+        }
+        self.counters
+            .completed
+            .fetch_add(done.len() as u64, Ordering::Relaxed);
+        self.completions.publish(done);
     }
 }
 

@@ -19,8 +19,11 @@
 //! * [`pool`] — thread-private warm-container pools: cold-start
 //!   penalty, keep-alive eviction, LRU under capacity pressure;
 //! * [`gateway`] — admission control (shed on overload), the invoker
-//!   threads with the paper's §III-C fast-lane-first drain protocol,
-//!   and graceful sigterm/join lifecycle;
+//!   threads with the paper's §III-C fast-lane-first drain protocol
+//!   (draining up to `drain_batch` envelopes per lock), per-invoker
+//!   **completion shards** (single-producer buffers swept round-robin
+//!   — no shared multi-producer point on the completion path), and
+//!   graceful sigterm/join lifecycle;
 //! * [`harness`] — the closed-loop load harness replaying
 //!   `crates/workload` arrival processes (Poisson, diurnal) into
 //!   `crates/metrics` latency CDFs.
@@ -42,5 +45,5 @@ pub use action::{ActionBody, ActionId, ActionRegistry, ActionSpec};
 pub use gateway::{Completion, Counters, Gateway, GatewayConfig, InvokerToken, Shed};
 pub use harness::{run_load, HarnessConfig, LoadReport};
 pub use pool::{Placement, PoolStats, WarmPool};
-pub use queue::{Envelope, Produce, Request, WorkQueue};
+pub use queue::{Envelope, Produce, ProduceBatch, Request, WorkQueue};
 pub use route::Router;

@@ -189,6 +189,74 @@ mod tests {
     }
 
     #[test]
+    fn keepalive_zero_evicts_on_the_next_sweep() {
+        // A keep-alive of zero means "no idle retention": the container
+        // survives only a sweep at the very instant of its check-in
+        // (elapsed 0 is not > 0) and is retired by any later one.
+        let registry = reg(1, Duration::ZERO);
+        let mut p = WarmPool::new(4, 1);
+        let t0 = Instant::now();
+        p.acquire(ActionId(0), t0);
+        p.release(ActionId(0), t0);
+        assert_eq!(p.sweep(t0, &registry), 0, "same-instant sweep is a no-op");
+        assert_eq!(
+            p.sweep(t0 + Duration::from_nanos(1), &registry),
+            1,
+            "any later sweep evicts a zero-keepalive container"
+        );
+        assert_eq!(p.n_warm_idle(), 0);
+        assert_eq!(p.acquire(ActionId(0), t0), Placement::Cold);
+    }
+
+    #[test]
+    fn capacity_one_lru_thrash_alternating_actions() {
+        // One slot, two actions: every switch evicts the other action's
+        // idle container; every repeat is a warm hit. The bookkeeping
+        // (busy + idle <= slots) must survive the thrash.
+        let mut p = WarmPool::new(1, 2);
+        let t = Instant::now();
+        for round in 0..8u32 {
+            let a = ActionId(round % 2);
+            let placement = p.acquire(a, t);
+            assert_eq!(placement, Placement::Cold, "round {round}: switch is cold");
+            assert!(p.busy() + p.n_warm_idle() <= 1, "capacity respected");
+            p.release(a, t);
+        }
+        // 8 cold starts; the first found an empty pool, the other 7
+        // each evicted the previous action's container.
+        assert_eq!(p.stats().cold_starts, 8);
+        assert_eq!(p.stats().lru_evictions, 7);
+        assert_eq!(p.stats().warm_hits, 0);
+        // Repeating the same action is warm even at capacity 1.
+        assert_eq!(p.acquire(ActionId(1), t), Placement::Warm);
+    }
+
+    #[test]
+    fn sweep_between_checkout_and_checkin_spares_busy_container() {
+        // A sweep firing while the container is checked out (busy) must
+        // not evict it or corrupt the counts, no matter how stale its
+        // *previous* use is; the keep-alive clock restarts at check-in.
+        let registry = reg(1, Duration::from_millis(5));
+        let mut p = WarmPool::new(4, 1);
+        let t0 = Instant::now();
+        assert_eq!(p.acquire(ActionId(0), t0), Placement::Cold);
+        // Mid-execution sweep, nominally hours past any keep-alive.
+        let mid = t0 + Duration::from_secs(3_600);
+        assert_eq!(p.sweep(mid, &registry), 0, "busy containers are not idle");
+        assert_eq!(p.busy(), 1);
+        assert_eq!(p.n_warm_idle(), 0);
+        p.release(ActionId(0), mid);
+        // Freshly checked in: survives a sweep within the keep-alive
+        // window measured from check-in, then serves warm.
+        assert_eq!(p.sweep(mid + Duration::from_millis(2), &registry), 0);
+        assert_eq!(p.acquire(ActionId(0), mid), Placement::Warm);
+        p.release(ActionId(0), mid);
+        // And the keep-alive still applies from the new check-in stamp.
+        assert_eq!(p.sweep(mid + Duration::from_millis(50), &registry), 1);
+        assert_eq!(p.stats().keepalive_evictions, 1);
+    }
+
+    #[test]
     fn keepalive_sweep_retires_idle_containers() {
         let registry = reg(2, Duration::from_millis(5));
         let mut p = WarmPool::new(8, 2);

@@ -55,13 +55,23 @@ impl<T: Clone> Router<T> {
     /// the shard's snapshot by the high bits. `None` when no target is
     /// routable.
     pub fn pick(&self, key: u64) -> Option<T> {
+        self.with_pick(key, |t| t.clone())
+    }
+
+    /// Route `key` exactly like [`pick`](Router::pick), but run `f` on
+    /// the chosen target **by reference under the shard's read lock**
+    /// instead of cloning it out — the invoke hot path saves two
+    /// refcount round-trips per request. `f` must be short (a queue
+    /// produce); membership writers only ever contend with it, and
+    /// they are rare.
+    pub fn with_pick<R>(&self, key: u64, f: impl FnOnce(&T) -> R) -> Option<R> {
         let h = mix64(key);
         let shard = &self.shards[(h & self.shard_mask) as usize];
-        let snap = shard.read().clone();
+        let snap = shard.read();
         if snap.is_empty() {
             return None;
         }
-        Some(snap[((h >> 32) as usize) % snap.len()].clone())
+        Some(f(&snap[((h >> 32) as usize) % snap.len()]))
     }
 
     /// Install a new routable set. Each shard stores its own rotation of

@@ -1,0 +1,129 @@
+//! Differential proptest for batched drains: for random interleavings
+//! of produces and drains, `WorkQueue::try_pop_batch` at batch sizes
+//! {1, 4, 32} yields the **identical envelope sequence** — ids,
+//! offsets, `produced_at` stamps — as a sequential `try_pop` loop, and
+//! both match `mq::Broker::fetch` over the mirrored operation stream
+//! (the same cross-plane protocol check as the unit differential in
+//! `src/queue.rs`, generalized to arbitrary interleavings and batch
+//! sizes). The tail of every case exercises the drain-and-move hop:
+//! `close_and_drain` + `produce_moved` against `Broker::move_all`.
+
+use gateway::{ActionId, Envelope, Request, WorkQueue};
+use proptest::prelude::*;
+use simcore::SimTime;
+use std::time::{Duration, Instant};
+
+fn req(id: u64) -> Request {
+    Request {
+        id,
+        action: ActionId(0),
+        key: id,
+    }
+}
+
+/// Pop up to `max` envelopes one at a time — the unbatched reference.
+fn sequential_pops(q: &WorkQueue, max: usize) -> Vec<Envelope> {
+    let mut out = Vec::new();
+    for _ in 0..max {
+        match q.try_pop() {
+            Some(e) => out.push(e),
+            None => break,
+        }
+    }
+    out
+}
+
+/// Drive a batched queue, an unbatched queue and a broker topic through
+/// one op stream; every drain step must agree across all three.
+fn run_case(ops: &[(bool, u8)], k: usize) {
+    let batched = WorkQueue::new();
+    let sequential = WorkQueue::new();
+    let mut broker: mq::Broker<u64> = mq::Broker::new();
+    let topic = broker.create_topic("invoker");
+    let t0 = Instant::now();
+    let mut next_id = 0u64;
+    let mut batch: Vec<Envelope> = Vec::new();
+
+    for &(is_produce, count) in ops {
+        let count = count as usize;
+        if is_produce {
+            for _ in 0..count {
+                // Distinct produced_at per message so preservation is
+                // actually observable.
+                let at = t0 + Duration::from_millis(next_id);
+                batched.produce(req(next_id), at, usize::MAX);
+                sequential.produce(req(next_id), at, usize::MAX);
+                broker.produce(topic, SimTime::from_millis(next_id), next_id);
+                next_id += 1;
+            }
+        } else {
+            for _ in 0..count {
+                batch.clear();
+                let n = batched.try_pop_batch(&mut batch, k);
+                let seq = sequential_pops(&sequential, k);
+                let fetched = broker.fetch(topic, k);
+                prop_assert_eq!(n, seq.len());
+                prop_assert_eq!(n, fetched.len());
+                for i in 0..n {
+                    prop_assert_eq!(batch[i].offset, seq[i].offset);
+                    prop_assert_eq!(batch[i].req.id, seq[i].req.id);
+                    prop_assert_eq!(batch[i].produced_at, seq[i].produced_at);
+                    prop_assert_eq!(batch[i].offset, fetched[i].offset);
+                    prop_assert_eq!(batch[i].req.id, fetched[i].payload);
+                }
+            }
+        }
+    }
+
+    // Tail: the sigterm hop. Close both queues, move the leftovers to a
+    // fast lane, mirror with Broker::move_all, and drain everything.
+    let fast_batched = WorkQueue::new();
+    let fast_sequential = WorkQueue::new();
+    let fast_topic = broker.create_topic("fast-lane");
+    let leftover_b = batched.close_and_drain();
+    let leftover_s = sequential.close_and_drain();
+    let moved = broker.move_all(topic, fast_topic, SimTime::from_secs(1_000_000));
+    prop_assert_eq!(leftover_b.len(), leftover_s.len());
+    prop_assert_eq!(leftover_b.len(), moved);
+    for env in leftover_b {
+        fast_batched.produce_moved(env).unwrap();
+    }
+    for env in leftover_s {
+        fast_sequential.produce_moved(env).unwrap();
+    }
+    loop {
+        batch.clear();
+        let n = fast_batched.try_pop_batch(&mut batch, k);
+        let seq = sequential_pops(&fast_sequential, k);
+        let fetched = broker.fetch(fast_topic, k);
+        prop_assert_eq!(n, seq.len());
+        prop_assert_eq!(n, fetched.len());
+        if n == 0 {
+            break;
+        }
+        for i in 0..n {
+            prop_assert_eq!(batch[i].offset, seq[i].offset);
+            prop_assert_eq!(batch[i].req.id, seq[i].req.id);
+            prop_assert_eq!(
+                batch[i].produced_at,
+                seq[i].produced_at,
+                "produced_at survives the fast-lane hop"
+            );
+            prop_assert_eq!(batch[i].offset, fetched[i].offset);
+            prop_assert_eq!(batch[i].req.id, fetched[i].payload);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+    /// ops: (produce?, how many); drains pop `count` batches of size k.
+    #[test]
+    fn batched_drain_equals_sequential_and_broker(
+        ops in collection::vec((any::<bool>(), 1u8..6), 1..48),
+    ) {
+        for k in [1usize, 4, 32] {
+            run_case(&ops, k);
+        }
+    }
+}

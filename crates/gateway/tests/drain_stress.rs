@@ -1,13 +1,18 @@
-//! Drain-without-loss stress test (ISSUE 2 acceptance criterion): 100
-//! seeded iterations of randomized churn — invokers sigtermed and
-//! restarted at arbitrary points while a request stream flows — and
+//! Drain-without-loss stress matrix (ISSUE 2 acceptance criterion,
+//! extended by ISSUE 3): 100 seeded iterations of randomized churn —
+//! invokers sigtermed and restarted at arbitrary points while a request
+//! stream flows — executed at **drain batch sizes 1, 4 and 32**, and
 //! after every iteration, **every accepted request completed exactly
-//! once**: no losses, no duplicates.
+//! once**: no losses, no duplicates, in every cell of the matrix.
 //!
 //! This exercises the whole drain stack at once: the atomic queue
-//! closure, the fast-lane move with preserved `produced_at` (the `mq`
-//! ordering semantics), producer-vs-drain races rerouting to the fast
-//! lane, and the router's epoch swaps under membership churn.
+//! closure, batched fast-lane/home-queue pops (including a sigterm
+//! landing while a popped batch is mid-execution — in-flight work
+//! finishes, only unstarted backlog moves), the fast-lane move with
+//! preserved `produced_at` (the `mq` ordering semantics), producer-vs-
+//! drain races rerouting to the fast lane, the router's epoch swaps
+//! under membership churn, and the sharded completion path under
+//! invoker death and slot reuse.
 
 use gateway::{ActionBody, ActionId, ActionSpec, Gateway, GatewayConfig, InvokerToken};
 use simcore::SimRng;
@@ -15,28 +20,44 @@ use std::collections::HashSet;
 use std::time::Duration;
 
 #[test]
-fn hundred_randomized_drains_exactly_once() {
+fn hundred_randomized_drains_exactly_once_batch_1() {
     for iter in 0..100u64 {
-        run_iteration(iter);
+        run_iteration(iter, 1);
     }
 }
 
-fn run_iteration(seed: u64) {
-    let mut rng = SimRng::seed_from_u64(seed ^ 0xd8a1_57e5);
+#[test]
+fn hundred_randomized_drains_exactly_once_batch_4() {
+    for iter in 0..100u64 {
+        run_iteration(iter, 4);
+    }
+}
+
+#[test]
+fn hundred_randomized_drains_exactly_once_batch_32() {
+    for iter in 0..100u64 {
+        run_iteration(iter, 32);
+    }
+}
+
+fn run_iteration(seed: u64, drain_batch: usize) {
+    let mut rng = SimRng::seed_from_u64(seed ^ 0xd8a1_57e5 ^ (drain_batch as u64) << 32);
     let n_invokers = 2 + rng.index(4); // 2..=5
     let n_requests = 120 + rng.index(180); // 120..=299
     let gw = Gateway::new(
         GatewayConfig {
             // Small queues make producer-vs-drain races and fast-lane
-            // fallbacks far more likely.
+            // fallbacks far more likely — and with drain_batch above
+            // the queue bound, whole backlogs pop as one batch.
             queue_capacity: 16,
             park: Duration::from_micros(200),
+            drain_batch,
             ..Default::default()
         },
         vec![
             ActionSpec::noop("noop"),
             // A touch of real work so backlogs build and sigterms land
-            // mid-burst.
+            // mid-burst (and, at batch sizes > 1, mid-batch).
             ActionSpec::noop("spin").with_body(ActionBody::Spin(Duration::from_micros(
                 20 + rng.range_u64(0, 60),
             ))),
@@ -63,12 +84,33 @@ fn run_iteration(seed: u64) {
             alive.push(gw.start_invoker());
             started += 1;
         }
-        let action = ActionId(rng.index(2) as u32);
-        match gw.invoke(action, rng.next_u64()) {
-            Ok(id) => {
-                assert!(accepted.insert(id), "request ids must be unique");
+        // Mix the two submit paths: mostly single invokes, ~25% grouped
+        // bursts (the batched-producer path that can race a drain with
+        // a whole group and take the fast-lane fallback wholesale).
+        if rng.chance(0.25) {
+            let n = 2 + rng.index(10);
+            let reqs: Vec<_> = (0..n)
+                .map(|_| (ActionId(rng.index(2) as u32), rng.next_u64()))
+                .collect();
+            let mut outcomes = Vec::new();
+            gw.invoke_burst(&reqs, std::time::Instant::now(), &mut outcomes);
+            assert_eq!(outcomes.len(), reqs.len());
+            for outcome in outcomes {
+                match outcome {
+                    Ok(id) => {
+                        assert!(accepted.insert(id), "request ids must be unique");
+                    }
+                    Err(_) => shed += 1,
+                }
             }
-            Err(_) => shed += 1,
+        } else {
+            let action = ActionId(rng.index(2) as u32);
+            match gw.invoke(action, rng.next_u64()) {
+                Ok(id) => {
+                    assert!(accepted.insert(id), "request ids must be unique");
+                }
+                Err(_) => shed += 1,
+            }
         }
     }
 
@@ -77,11 +119,10 @@ fn run_iteration(seed: u64) {
     let mut completed = HashSet::new();
     while completed.len() < accepted.len() {
         let c = gw
-            .results
             .recv_timeout(Duration::from_secs(10))
-            .unwrap_or_else(|_| {
+            .unwrap_or_else(|| {
                 panic!(
-                    "seed {seed}: lost {} of {} accepted requests ({} shed, {} invokers started)",
+                    "seed {seed} batch {drain_batch}: lost {} of {} accepted requests ({} shed, {} invokers started)",
                     accepted.len() - completed.len(),
                     accepted.len(),
                     shed,
@@ -90,22 +131,26 @@ fn run_iteration(seed: u64) {
             });
         assert!(
             completed.insert(c.id),
-            "seed {seed}: request {} executed twice",
+            "seed {seed} batch {drain_batch}: request {} executed twice",
             c.id
         );
         assert!(
             accepted.contains(&c.id),
-            "seed {seed}: completion for unknown request {}",
+            "seed {seed} batch {drain_batch}: completion for unknown request {}",
             c.id
         );
     }
-    assert_eq!(completed, accepted, "seed {seed}");
+    assert_eq!(completed, accepted, "seed {seed} batch {drain_batch}");
     // Graceful shutdown afterwards strands nothing: everything accepted
     // already completed.
-    assert_eq!(gw.shutdown(), 0, "seed {seed}");
-    assert_eq!(gw.counters().outstanding(), 0, "seed {seed}");
+    assert_eq!(gw.shutdown(), 0, "seed {seed} batch {drain_batch}");
+    assert_eq!(
+        gw.counters().outstanding(),
+        0,
+        "seed {seed} batch {drain_batch}"
+    );
     assert!(
-        gw.results.try_recv().is_err(),
-        "seed {seed}: stray completion"
+        gw.try_recv().is_none(),
+        "seed {seed} batch {drain_batch}: stray completion"
     );
 }

@@ -19,8 +19,7 @@ fn noop_plane(n_actions: usize) -> Gateway {
 }
 
 fn recv(gw: &Gateway) -> gateway::Completion {
-    gw.results
-        .recv_timeout(Duration::from_secs(10))
+    gw.recv_timeout(Duration::from_secs(10))
         .expect("completion within 10s")
 }
 

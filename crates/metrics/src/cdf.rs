@@ -52,11 +52,17 @@ impl Cdf {
         }
     }
 
-    /// Nearest-rank quantile; `p` in `[0, 1]`. Panics on an empty
-    /// distribution.
+    /// Nearest-rank quantile; `p` in `[0, 1]`. `NaN` on an empty
+    /// distribution: an empty sample has no quantiles, and `NaN`
+    /// propagates visibly through downstream summaries instead of
+    /// aborting a report half-written (observations themselves can
+    /// never be `NaN` — [`Cdf::add`] rejects them — so a `NaN` result
+    /// unambiguously means "no data").
     pub fn quantile(&mut self, p: f64) -> f64 {
-        assert!(!self.sorted.is_empty(), "quantile of empty Cdf");
         assert!((0.0..=1.0).contains(&p), "p out of range: {p}");
+        if self.sorted.is_empty() {
+            return f64::NAN;
+        }
         self.ensure_sorted();
         let n = self.sorted.len();
         let rank = ((p * n as f64).ceil() as usize).clamp(1, n);
@@ -181,9 +187,19 @@ mod tests {
     }
 
     #[test]
+    fn empty_quantile_is_nan() {
+        assert!(Cdf::new().quantile(0.5).is_nan());
+        assert!(Cdf::new().median().is_nan());
+        // One observation flips it back to a real number.
+        let mut c = Cdf::new();
+        c.add(3.0);
+        assert_eq!(c.quantile(0.99), 3.0);
+    }
+
+    #[test]
     #[should_panic]
-    fn empty_quantile_panics() {
-        Cdf::new().quantile(0.5);
+    fn out_of_range_p_still_panics_on_empty() {
+        Cdf::new().quantile(1.5);
     }
 
     proptest! {

@@ -55,7 +55,6 @@ fn main() {
     let mut cold = 0u64;
     for _ in 0..accepted {
         let c = gw
-            .results
             .recv_timeout(Duration::from_secs(60))
             .expect("no request may be lost");
         *per_invoker.entry(c.invoker).or_insert(0u32) += 1;

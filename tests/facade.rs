@@ -68,10 +68,7 @@ fn live_gateway_via_facade() {
     let gw = Gateway::new(GatewayConfig::default(), vec![ActionSpec::noop("f")]);
     gw.start_invoker();
     let id = gw.invoke(ActionId(0), 0).unwrap();
-    let c = gw
-        .results
-        .recv_timeout(std::time::Duration::from_secs(5))
-        .unwrap();
+    let c = gw.recv_timeout(std::time::Duration::from_secs(5)).unwrap();
     assert_eq!(c.id, id);
     assert_eq!(gw.shutdown(), 0);
 }
