@@ -1,13 +1,19 @@
 //! CI smoke test of the live serving plane: ~2 s of mixed Poisson +
-//! diurnal traffic against 4 invokers, one sigterm/restart cycle in the
-//! middle, then hard assertions — zero lost requests, nonzero
-//! throughput. Exits nonzero on any violation.
+//! diurnal traffic against a lease-driven invoker pool — four leases
+//! granted up front, one of which hits its deadline mid-run (so the
+//! controller drains it *ahead* of the revoke) and is replaced by a
+//! fresh grant — then hard assertions: zero lost requests, nonzero
+//! throughput, a deadline-led drain actually observed, container books
+//! balanced. Exits nonzero on any violation.
 //!
 //! Run with: `cargo run --release -p hpcwhisk_bench --bin gateway_smoke`
 
-use gateway::{run_load, ActionBody, ActionSpec, Gateway, GatewayConfig, HarnessConfig};
+use gateway::{
+    run_load_with_controller, ActionBody, ActionSpec, CapacityController, ControllerConfig,
+    Gateway, GatewayConfig, HarnessConfig, LeaseEvent, LeaseEventKind, LeasePlan,
+};
 use simcore::SimDuration;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use workload::{Arrival, DiurnalLoadGen, PoissonLoadGen};
 
 fn main() {
@@ -29,13 +35,36 @@ fn main() {
             })
             .collect(),
     );
-    let mut tokens: Vec<_> = (0..4).map(|_| gw.start_invoker()).collect();
 
-    // Churn while loaded: drain one invoker partway through the replay
-    // from a helper thread, then bring a replacement up.
-    let split = arrivals.partition_point(|a| a.at < simcore::SimTime::from_millis(500));
-    let phase1: Vec<Arrival> = arrivals[..split].to_vec();
-    let phase2: Vec<Arrival> = arrivals[split..].to_vec();
+    // The lease plan: nodes 0-3 granted at the epoch. Node 0's lease
+    // deadline lands mid-replay — the controller must drain it before
+    // the revoke arrives 80 ms later (a window wide enough that a
+    // descheduled controller thread on a loaded CI runner still gets a
+    // poll in) — and node 4 replaces it.
+    let grant = |at_ms: u64, node: u32, deadline_ms: u64| LeaseEvent {
+        at: Duration::from_millis(at_ms),
+        node,
+        kind: LeaseEventKind::Grant {
+            deadline: Duration::from_millis(deadline_ms),
+        },
+    };
+    let plan = LeasePlan {
+        events: vec![
+            grant(0, 0, 500),
+            grant(0, 1, 60_000),
+            grant(0, 2, 60_000),
+            grant(0, 3, 60_000),
+            LeaseEvent {
+                at: Duration::from_millis(580),
+                node: 0,
+                kind: LeaseEventKind::Revoke,
+            },
+            grant(580, 4, 60_000),
+        ],
+        horizon: Duration::from_secs(2),
+        capped_grants: 0,
+        floor: 0,
+    };
 
     let cfg = HarnessConfig {
         speedup: 1.0,
@@ -43,25 +72,40 @@ fn main() {
         stall_timeout: Duration::from_secs(20),
         ..Default::default()
     };
-    let mut r1 = run_load(&gw, &phase1, &cfg);
-    let victim = tokens.swap_remove(0);
-    assert!(gw.sigterm(victim), "sigterm of a healthy invoker");
-    gw.join_invoker(victim);
-    tokens.push(gw.start_invoker());
-    let mut r2 = run_load(&gw, &phase2, &cfg);
-
-    println!("phase 1 (4 invokers): {}", r1.summary());
-    println!("phase 2 (drain + replacement): {}", r2.summary());
-
-    let lost = r1.lost() + r2.lost();
-    let completed = r1.completed + r2.completed;
-    assert_eq!(lost, 0, "smoke: accepted requests were lost");
-    assert!(completed > 0, "smoke: nothing completed");
-    assert!(
-        r1.throughput > 0.0 && r2.throughput > 0.0,
-        "smoke: zero throughput"
+    let ctl = CapacityController::new(
+        &gw,
+        plan,
+        ControllerConfig {
+            drain_headroom: Duration::from_millis(5),
+            ..Default::default()
+        },
+        Instant::now(),
     );
+    // run_load_with_controller applies the epoch grants before traffic
+    // starts, so the replay never races the initial bring-up.
+    let (mut report, stats) = run_load_with_controller(&gw, ctl, &arrivals, &cfg);
+
+    println!("harness: {}", report.summary());
+    println!("controller: {stats:?}");
+
+    assert_eq!(report.lost(), 0, "smoke: accepted requests were lost");
+    assert!(report.completed > 0, "smoke: nothing completed");
+    assert!(report.throughput > 0.0, "smoke: zero throughput");
+    assert_eq!(stats.grants, 5, "smoke: plan grants not executed");
+    assert!(
+        stats.deadline_drains >= 1,
+        "smoke: the deadline-led drain did not run: {stats:?}"
+    );
+    assert_eq!(stats.revokes, 1, "smoke: the revoke did not land");
     let stranded = gw.shutdown();
     assert_eq!(stranded, 0, "smoke: requests stranded at shutdown");
-    println!("gateway smoke OK: {completed} completed, 0 lost, 0 stranded");
+    let pools = gw.retired_pool_stats();
+    assert!(
+        pools.containers_conserved(),
+        "smoke: container leak: {pools:?}"
+    );
+    println!(
+        "gateway smoke OK: {} completed, 0 lost, 0 stranded, {} deadline drains",
+        report.completed, stats.deadline_drains
+    );
 }

@@ -12,7 +12,10 @@
 //! trajectory record, not a cross-machine comparison.
 
 use cluster::{ClusterEvent, ClusterSim, JobSpec, SlurmConfig};
-use gateway::{run_load, ActionSpec, Gateway, GatewayConfig, HarnessConfig};
+use gateway::{
+    run_load, run_load_with_controller, ActionSpec, CapacityController, ControllerConfig, Gateway,
+    GatewayConfig, HarnessConfig, LeaseEvent, LeaseEventKind, LeasePlan,
+};
 use hpcwhisk_core::offline::{simulate, OfflineConfig};
 use hpcwhisk_core::{lengths, FibManager, PilotManager};
 use mq::Broker;
@@ -108,10 +111,85 @@ fn gateway_run(samples: usize, drain_batch: usize, submit_batch: usize) -> (f64,
     (best_ns, best_p50, best_p99)
 }
 
+/// One churn measurement: the same flat-out drive as
+/// [`gateway_run`], but while a [`CapacityController`] replays a
+/// grant+revoke wave — 8 base leases, 4 more granted mid-run, the 4
+/// original leases revoked shortly after — so the probe pays for real
+/// router epoch swaps, fast-lane handoffs and completion-shard churn.
+/// Returns (ns/op, p99 ns) of the best run; every run must be lossless.
+fn gateway_churn_run(samples: usize) -> (f64, f64) {
+    let mut best_ns = f64::MAX;
+    let mut best_p99 = f64::MAX;
+    // Generated once, and before any controller epoch is taken: arrival
+    // generation must never eat into the wave's 30/60 ms schedule.
+    let arrivals = PoissonLoadGen::new(1_000.0, 16).arrivals(SimDuration::from_secs(400), 42);
+    for _ in 0..samples {
+        let gw = Gateway::new(
+            GatewayConfig::default(),
+            (0..16)
+                .map(|i| ActionSpec::noop(&format!("fn-{i}")))
+                .collect(),
+        );
+        let far = std::time::Duration::from_secs(100);
+        let at = |ms: u64| std::time::Duration::from_millis(ms);
+        let mut events: Vec<LeaseEvent> = (0..GATEWAY_PROBE_INVOKERS as u32)
+            .map(|node| LeaseEvent {
+                at: at(0),
+                node,
+                kind: LeaseEventKind::Grant { deadline: far },
+            })
+            .collect();
+        // The wave: four extra grants at 30 ms, the original four of
+        // the base eight revoked at 60 ms (ending at 8 invokers). Early
+        // enough that the wave lands inside the run even on a machine
+        // several times faster than this one.
+        for i in 0..4u32 {
+            events.push(LeaseEvent {
+                at: at(30),
+                node: GATEWAY_PROBE_INVOKERS as u32 + i,
+                kind: LeaseEventKind::Grant { deadline: far },
+            });
+            events.push(LeaseEvent {
+                at: at(60),
+                node: i,
+                kind: LeaseEventKind::Revoke,
+            });
+        }
+        events.sort_by_key(|e| e.at);
+        let plan = LeasePlan {
+            events,
+            horizon: far,
+            capped_grants: 0,
+            floor: 0,
+        };
+        let ctl = CapacityController::new(&gw, plan, ControllerConfig::default(), Instant::now());
+        let (mut report, stats) = run_load_with_controller(
+            &gw,
+            ctl,
+            &arrivals,
+            &HarnessConfig {
+                speedup: 0.0,
+                max_inflight: 1_024,
+                ..Default::default()
+            },
+        );
+        assert!(stats.revokes >= 1, "the wave must land inside the run");
+        assert_eq!(report.lost(), 0, "churn probe must be lossless");
+        let ns = 1e9 / report.throughput;
+        if ns < best_ns {
+            best_ns = ns;
+            best_p99 = report.latency_quantile(0.99) * 1e9;
+        }
+        gw.shutdown();
+    }
+    (best_ns, best_p99)
+}
+
 /// The serving-plane probes: the historical unbatched shape (drain and
 /// submit batch 1 — comparable across PRs to the pre-batching
-/// baseline) and the batched hot path (default batch sizes: the
-/// configuration the plane actually ships with).
+/// baseline), the batched hot path (default batch sizes: the
+/// configuration the plane actually ships with), and the batched hot
+/// path under a lease grant+revoke wave (the elasticity baseline).
 fn gateway_probes(samples: usize, probes: &mut Vec<Probe>) {
     let (ns, p50, p99) = gateway_run(samples, 1, 1);
     let (batched_ns, _, _) = gateway_run(
@@ -119,11 +197,14 @@ fn gateway_probes(samples: usize, probes: &mut Vec<Probe>) {
         GatewayConfig::default().drain_batch,
         HarnessConfig::default().submit_batch,
     );
+    let (churn_ns, churn_p99) = gateway_churn_run(samples);
     for (name, ns) in [
         ("gateway/throughput_8inv_noop", ns),
         ("gateway/latency_p50_8inv_noop", p50),
         ("gateway/latency_p99_8inv_noop", p99),
         ("gateway/throughput_batched_8inv_noop", batched_ns),
+        ("gateway/throughput_churn_8inv_noop", churn_ns),
+        ("gateway/latency_p99_churn_8inv_noop", churn_p99),
     ] {
         eprintln!("{name:<36} {:>12.0} ns/op  ({:>10.1} ops/s)", ns, 1e9 / ns);
         probes.push(Probe {

@@ -24,6 +24,7 @@
 //!   *announced* (believed) vs *actual* start times, reproducing the
 //!   declared-limit slack that makes idle periods unpredictable.
 
+pub mod capacity;
 pub mod config;
 pub mod events;
 pub mod ids;
@@ -33,6 +34,7 @@ pub mod sim;
 pub mod timeline;
 pub mod trace;
 
+pub use capacity::{CapacityEvent, CapacityEventKind, CapacityTrace};
 pub use config::SlurmConfig;
 pub use events::{ClusterEvent, ClusterNote, PollSample, SigtermReason};
 pub use ids::{JobId, NodeId, NodeList};

@@ -1,0 +1,311 @@
+//! Admission shaping: the token-bucket / delay-based controller that
+//! turns overload and capacity dips into a bounded **latency slope**
+//! instead of a shed **cliff**.
+//!
+//! The plane's original admission was purely hard: a per-invoker queue
+//! bound and per-action in-flight caps, both of which refuse instantly
+//! the moment a threshold is crossed. Under a 2× overload or a revoke
+//! wave that is a p99 cliff — everything inside the bound is fast,
+//! everything beyond it is a 429.
+//!
+//! [`AdmissionPolicy::TokenBucket`] replaces the cliff with a GCRA
+//! (virtual-scheduling) rate shaper sized to the plane's *live*
+//! capacity: every healthy invoker contributes `rate_per_invoker`
+//! tokens per second, a burst allowance absorbs transients, and beyond
+//! the burst each admitted request is charged a **virtual delay** — the
+//! time by which the plane is behind its capacity. The delay
+//! materializes as real queue wait (the invokers are the bottleneck),
+//! so admission outcomes are typed and bounded:
+//!
+//! * **admitted** — inside rate + burst; no charge;
+//! * **delayed** — beyond the burst but within `max_delay`; admitted,
+//!   with the charged delay surfaced to the caller and counted;
+//! * **shed** — the delay budget itself is exhausted
+//!   ([`Shed::DelayBudget`](crate::Shed::DelayBudget)); latency stays
+//!   bounded by `max_delay` instead of growing without limit.
+//!
+//! Capacity changes feed straight in: the gateway recomputes the rate
+//! on every router rebuild, so a lease revoked (or drained ahead of its
+//! deadline) immediately steepens the charge while grants relax it.
+//! The hard queue bound remains as a backstop; with the default
+//! [`AdmissionPolicy::HardShed`] the shaper is inert and the plane
+//! behaves exactly as before.
+//!
+//! The shaper state is one atomic (the GCRA theoretical-arrival-time),
+//! so the hot path stays lock-free: one load + one CAS per admission.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// How the gateway admits traffic beyond the structural bounds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AdmissionPolicy {
+    /// Queue bound + per-action caps only: refusals are instant and
+    /// binary (the pre-lease-plane behaviour).
+    HardShed,
+    /// Rate-shape admissions against live capacity; degrade through a
+    /// bounded delay before shedding.
+    TokenBucket(TokenBucketCfg),
+}
+
+/// Tuning of the [`AdmissionPolicy::TokenBucket`] shaper.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TokenBucketCfg {
+    /// Sustained admissions per second contributed by each healthy
+    /// (routable) invoker.
+    pub rate_per_invoker: f64,
+    /// Burst allowance in requests: how far arrivals may run ahead of
+    /// the sustained rate with zero delay charge.
+    pub burst: f64,
+    /// Maximum virtual delay a request may be charged before the
+    /// shaper sheds instead ([`Shed::DelayBudget`](crate::Shed)); this
+    /// bounds the latency slope.
+    pub max_delay: Duration,
+}
+
+impl Default for TokenBucketCfg {
+    fn default() -> Self {
+        TokenBucketCfg {
+            rate_per_invoker: 50_000.0,
+            burst: 512.0,
+            max_delay: Duration::from_millis(50),
+        }
+    }
+}
+
+/// Outcome of one shaper admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Shape {
+    /// Admit, charging this much virtual delay (zero inside the burst).
+    Admit(Duration),
+    /// Delay budget exhausted: shed.
+    Shed,
+}
+
+/// The GCRA shaper shared by every submitter. `tat` is the theoretical
+/// arrival time in nanoseconds since `t0`: the virtual instant at which
+/// the plane will have worked off everything admitted so far.
+pub(crate) struct AdmissionShaper {
+    cfg: Option<TokenBucketCfg>,
+    t0: Instant,
+    tat: AtomicU64,
+    /// Nanoseconds of capacity one admission consumes at the current
+    /// healthy-invoker count (`1e9 / (rate_per_invoker * n)`).
+    cost_ns: AtomicU64,
+    max_delay_ns: u64,
+}
+
+impl AdmissionShaper {
+    pub(crate) fn new(policy: &AdmissionPolicy, t0: Instant) -> Self {
+        let cfg = match policy {
+            AdmissionPolicy::HardShed => None,
+            AdmissionPolicy::TokenBucket(cfg) => {
+                assert!(cfg.rate_per_invoker > 0.0, "rate must be positive");
+                assert!(cfg.burst >= 0.0, "burst must be non-negative");
+                Some(*cfg)
+            }
+        };
+        let shaper = AdmissionShaper {
+            cfg,
+            t0,
+            tat: AtomicU64::new(0),
+            cost_ns: AtomicU64::new(0),
+            max_delay_ns: cfg.map_or(0, |c| {
+                c.max_delay.as_nanos().min(u128::from(u64::MAX)) as u64
+            }),
+        };
+        shaper.set_capacity(1);
+        shaper
+    }
+
+    /// Recompute the rate for `n_healthy` routable invokers. Zero
+    /// capacity is clamped to one invoker's worth: with no invoker at
+    /// all the router sheds `NoInvoker` first, and keeping the cost
+    /// finite lets the bucket drain normally once capacity returns.
+    pub(crate) fn set_capacity(&self, n_healthy: usize) {
+        let Some(cfg) = &self.cfg else { return };
+        let rate = cfg.rate_per_invoker * n_healthy.max(1) as f64;
+        self.cost_ns
+            .store((1e9 / rate).max(1.0) as u64, Ordering::Relaxed);
+    }
+
+    /// Shape one admission at `now` (the caller's admission timestamp;
+    /// burst submitters share one clock read). Lock-free: one CAS loop
+    /// over the theoretical arrival time.
+    pub(crate) fn admit(&self, now: Instant) -> Shape {
+        let Some(cfg) = &self.cfg else {
+            return Shape::Admit(Duration::ZERO);
+        };
+        let now_ns = duration_ns(now.saturating_duration_since(self.t0));
+        let cost = self.cost_ns.load(Ordering::Relaxed);
+        let burst_ns = (cfg.burst * cost as f64) as u64;
+        let mut tat = self.tat.load(Ordering::Relaxed);
+        loop {
+            // The virtual delay: how far the bucket has run past its
+            // burst allowance. A shed leaves the state untouched.
+            let over = tat.saturating_sub(now_ns + burst_ns);
+            if over > self.max_delay_ns {
+                return Shape::Shed;
+            }
+            let new_tat = tat.max(now_ns) + cost;
+            match self
+                .tat
+                .compare_exchange_weak(tat, new_tat, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return Shape::Admit(Duration::from_nanos(over)),
+                Err(seen) => tat = seen,
+            }
+        }
+    }
+
+    /// Return one admission's charge: called when a request that passed
+    /// the shaper is then refused structurally (no routable invoker,
+    /// queue bound, closed fast lane) and never entered a queue. The
+    /// refund keeps phantom debt from accumulating while the plane
+    /// sheds. It subtracts the *current* cost, which can differ from
+    /// the cost charged if a capacity change landed in between (e.g. a
+    /// revoke wave between a burst's admit pass and its produce pass) —
+    /// so the subtraction saturates at zero rather than trusting the
+    /// match to be exact: an over-refund then only forgets debt (a
+    /// bounded burst of free admissions), it can never wrap `tat` into
+    /// a permanently-shedding state.
+    pub(crate) fn refund(&self) {
+        if self.cfg.is_none() {
+            return;
+        }
+        let cost = self.cost_ns.load(Ordering::Relaxed);
+        let mut tat = self.tat.load(Ordering::Relaxed);
+        loop {
+            let new_tat = tat.saturating_sub(cost);
+            match self
+                .tat
+                .compare_exchange_weak(tat, new_tat, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => tat = seen,
+            }
+        }
+    }
+
+    /// True when a token-bucket policy is active.
+    pub(crate) fn shaping(&self) -> bool {
+        self.cfg.is_some()
+    }
+}
+
+fn duration_ns(d: Duration) -> u64 {
+    d.as_nanos().min(u128::from(u64::MAX)) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shaper(rate: f64, burst: f64, max_delay: Duration) -> (AdmissionShaper, Instant) {
+        let t0 = Instant::now();
+        let s = AdmissionShaper::new(
+            &AdmissionPolicy::TokenBucket(TokenBucketCfg {
+                rate_per_invoker: rate,
+                burst,
+                max_delay,
+            }),
+            t0,
+        );
+        (s, t0)
+    }
+
+    #[test]
+    fn hard_shed_policy_is_inert() {
+        let s = AdmissionShaper::new(&AdmissionPolicy::HardShed, Instant::now());
+        assert!(!s.shaping());
+        for _ in 0..10_000 {
+            assert_eq!(s.admit(Instant::now()), Shape::Admit(Duration::ZERO));
+        }
+    }
+
+    #[test]
+    fn burst_admits_free_then_delay_grows_then_sheds() {
+        // 1000 req/s, burst 10, delay budget 50 ms = 50 more requests.
+        let (s, t0) = shaper(1_000.0, 10.0, Duration::from_millis(50));
+        let mut free = 0;
+        let mut delayed = 0;
+        let mut last_delay = Duration::ZERO;
+        let mut shed_at = None;
+        for i in 0..200 {
+            match s.admit(t0) {
+                Shape::Admit(d) if d.is_zero() => free += 1,
+                Shape::Admit(d) => {
+                    assert!(d >= last_delay, "delay is monotone under a frozen clock");
+                    assert!(d <= Duration::from_millis(50), "delay bounded by budget");
+                    last_delay = d;
+                    delayed += 1;
+                }
+                Shape::Shed => {
+                    shed_at = Some(i);
+                    break;
+                }
+            }
+        }
+        // Burst-free region ≈ burst + 1 (the charge lands on the next
+        // arrival), slope region ≈ max_delay * rate.
+        assert!((9..=12).contains(&free), "free admits = {free}");
+        assert!((48..=52).contains(&delayed), "delayed admits = {delayed}");
+        assert!(shed_at.is_some(), "budget exhaustion must shed");
+        // Shedding leaves state untouched: still shedding…
+        assert_eq!(s.admit(t0), Shape::Shed);
+        // …until real time passes and the bucket drains.
+        assert!(matches!(s.admit(t0 + Duration::from_secs(1)), Shape::Admit(d) if d.is_zero()));
+    }
+
+    #[test]
+    fn rate_scales_with_capacity() {
+        let (s, t0) = shaper(1_000.0, 0.0, Duration::from_millis(100));
+        s.set_capacity(4); // 4000 req/s → 0.25 ms per admission
+        for _ in 0..8 {
+            assert!(matches!(s.admit(t0), Shape::Admit(_)));
+        }
+        // 8 admissions at 0.25 ms = 2 ms of debt.
+        match s.admit(t0) {
+            Shape::Admit(d) => assert!(
+                (Duration::from_micros(1_900)..=Duration::from_micros(2_100)).contains(&d),
+                "debt after 8 admits at 4x capacity: {d:?}"
+            ),
+            Shape::Shed => panic!("within budget"),
+        }
+        // A capacity dip steepens the charge for the *next* admission.
+        s.set_capacity(1);
+        match s.admit(t0) {
+            Shape::Admit(d) => assert!(d >= Duration::from_micros(2_150), "dip steepens: {d:?}"),
+            Shape::Shed => panic!("within budget"),
+        }
+    }
+
+    #[test]
+    fn refund_saturates_across_capacity_changes() {
+        // Regression: a refund at a higher per-admission cost than was
+        // charged (capacity dropped in between) must saturate at zero,
+        // not wrap `tat` to u64::MAX and shed forever.
+        let (s, t0) = shaper(1_000.0, 0.0, Duration::from_millis(100));
+        s.set_capacity(8); // cheap admissions
+        for _ in 0..4 {
+            assert!(matches!(s.admit(t0), Shape::Admit(_)));
+        }
+        s.set_capacity(1); // each refund now "worth" 8x the charge
+        for _ in 0..4 {
+            s.refund();
+        }
+        // The bucket at worst forgot its debt; it must still admit.
+        assert_eq!(s.admit(t0), Shape::Admit(Duration::ZERO));
+    }
+
+    #[test]
+    fn under_rate_arrivals_are_never_charged() {
+        let (s, t0) = shaper(1_000.0, 1.0, Duration::from_millis(10));
+        // One request per 2 ms against a 1 ms cost: the bucket never
+        // accumulates.
+        for i in 0..100u64 {
+            let at = t0 + Duration::from_millis(2 * i);
+            assert_eq!(s.admit(at), Shape::Admit(Duration::ZERO), "arrival {i}");
+        }
+    }
+}

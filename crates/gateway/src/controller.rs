@@ -1,0 +1,510 @@
+//! The capacity controller: executes a [`LeasePlan`] against a live
+//! [`Gateway`], owning the whole invoker lifecycle — the one place in
+//! the codebase that calls `start_invoker` / `sigterm` / `join_invoker`
+//! in anger.
+//!
+//! The controller is a poll-driven state machine: [`poll`] applies
+//! every due plan event and deadline check at a caller-supplied `now`,
+//! so it can run on a background thread against the real clock
+//! ([`run`]) *or* be stepped deterministically with a virtual clock
+//! (the drain-stress matrix advances `now` per submitted request).
+//!
+//! The paper's §III-C timing is the point: a lease carries its
+//! **deadline**, so the controller does not wait for the kill. At
+//! `deadline - drain_headroom` it sigterms the invoker — atomically
+//! unrouting it (and steepening the admission shaper) while the revoke
+//! is still in the future — which gives the backlog the grace window to
+//! drain through the fast lane *before* the node is reclaimed. An early
+//! revoke (preemption) still works: it is simply a drain with no
+//! headroom. A routable floor is respected: the controller never
+//! headroom-drains the plane below `min_routable`; only an explicit
+//! revoke (the batch scheduler reclaiming the node) can do that.
+//!
+//! [`poll`]: CapacityController::poll
+//! [`run`]: CapacityController::run
+
+use crate::gateway::{Gateway, InvokerToken};
+use crate::lease::{LeaseEvent, LeaseEventKind, LeasePlan};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// Controller tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct ControllerConfig {
+    /// How long before a lease's deadline the drain starts (the §III-C
+    /// grace window the controller grants itself).
+    pub drain_headroom: Duration,
+    /// Never headroom-drain below this many routable invokers; explicit
+    /// revokes still execute (the scheduler owns the node).
+    pub min_routable: usize,
+    /// Upper bound on the background loop's sleep between polls.
+    pub poll_interval: Duration,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        ControllerConfig {
+            drain_headroom: Duration::from_millis(2),
+            min_routable: 1,
+            poll_interval: Duration::from_millis(1),
+        }
+    }
+}
+
+/// What the controller did over a run (all monotonic).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct LeaseStats {
+    /// Leases granted (invokers started), including any pinned floor.
+    pub grants: u64,
+    /// Deadlines extended on a live (non-draining) lease.
+    pub extends: u64,
+    /// Revokes executed (invokers reaped on plan events).
+    pub revokes: u64,
+    /// Drains started *ahead* of the revoke by the deadline-headroom
+    /// logic — the §III-C early-warning path.
+    pub deadline_drains: u64,
+    /// Revokes that arrived with no drain in progress (preemption
+    /// without warning, or headroom larger than the remaining lease).
+    pub surprise_revokes: u64,
+    /// Renewals that arrived after the drain had already begun: the old
+    /// invoker is reaped and a fresh one started on the node.
+    pub regrants_after_drain: u64,
+    /// Headroom drains skipped to keep the routable floor.
+    pub floor_deferrals: u64,
+    /// Leases still active when [`finish`](CapacityController::finish)
+    /// reaped them.
+    pub reaped_at_finish: u64,
+}
+
+struct ActiveLease {
+    node: u32,
+    token: InvokerToken,
+    deadline: Instant,
+    draining: bool,
+    /// The headroom drain came due but was blocked by the routable
+    /// floor. Marks the deferral episode so the stat counts it once,
+    /// and keeps the (already past) headroom point out of the next-wake
+    /// computation. Cleared by an extend; a later poll with spare
+    /// routable capacity still drains the lease.
+    deferred: bool,
+}
+
+/// Replays a [`LeasePlan`] against a gateway. See the module docs.
+pub struct CapacityController<'g> {
+    gw: &'g Gateway,
+    events: Vec<LeaseEvent>,
+    next_event: usize,
+    /// The plan epoch: event offsets and deadlines are relative to it.
+    t0: Instant,
+    cfg: ControllerConfig,
+    active: Vec<ActiveLease>,
+    stats: LeaseStats,
+}
+
+impl<'g> CapacityController<'g> {
+    /// A controller that will replay `plan` with offsets measured from
+    /// `epoch` (pass `Instant::now()` to start immediately).
+    pub fn new(gw: &'g Gateway, plan: LeasePlan, cfg: ControllerConfig, epoch: Instant) -> Self {
+        CapacityController {
+            gw,
+            events: plan.events,
+            next_event: 0,
+            t0: epoch,
+            cfg,
+            active: Vec::new(),
+            stats: LeaseStats::default(),
+        }
+    }
+
+    /// Leases currently held (draining ones included).
+    pub fn n_active(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Leases still routable (not draining).
+    pub fn n_routable(&self) -> usize {
+        self.active.iter().filter(|l| !l.draining).count()
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> LeaseStats {
+        self.stats
+    }
+
+    /// True once every plan event has been applied.
+    pub fn plan_done(&self) -> bool {
+        self.next_event >= self.events.len()
+    }
+
+    /// Apply every event due at `now` and run the deadline-headroom
+    /// scan. Returns the next instant at which something is scheduled
+    /// to happen (`None` when the plan is exhausted and no live lease
+    /// has a pending deadline drain).
+    pub fn poll(&mut self, now: Instant) -> Option<Instant> {
+        while self.next_event < self.events.len() {
+            let ev = self.events[self.next_event];
+            if self.t0 + ev.at > now {
+                break;
+            }
+            self.next_event += 1;
+            self.apply(ev);
+        }
+        // Deadline-aware drains: unroute ahead of the revoke, but never
+        // below the routable floor. Scanning in deadline order makes
+        // the floor deterministic when several deadlines are due.
+        let mut routable = self.n_routable();
+        loop {
+            let due = self
+                .active
+                .iter_mut()
+                .filter(|l| !l.draining && l.deadline <= now + self.cfg.drain_headroom)
+                .min_by_key(|l| l.deadline);
+            let Some(lease) = due else { break };
+            if routable <= self.cfg.min_routable {
+                // Count the episode once, not once per poll.
+                if !lease.deferred {
+                    lease.deferred = true;
+                    self.stats.floor_deferrals += 1;
+                }
+                break;
+            }
+            lease.draining = true;
+            lease.deferred = false;
+            routable -= 1;
+            self.stats.deadline_drains += 1;
+            let drained = self.gw.sigterm(lease.token);
+            debug_assert!(drained, "controller-held token must be live");
+        }
+        // Next wake: the earlier of the next plan event and the next
+        // *future* headroom point of a live lease. Floor-deferred
+        // leases' headroom points are already in the past — returning
+        // them would make `run` busy-poll; they get another chance at
+        // whatever poll follows the next transition.
+        let next_ev = self.events.get(self.next_event).map(|e| self.t0 + e.at);
+        let next_deadline = self
+            .active
+            .iter()
+            .filter(|l| !l.draining)
+            .map(|l| l.deadline - self.cfg.drain_headroom)
+            .filter(|&t| t > now)
+            .min();
+        match (next_ev, next_deadline) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    fn apply(&mut self, ev: LeaseEvent) {
+        match ev.kind {
+            LeaseEventKind::Grant { deadline } => {
+                debug_assert!(
+                    !self.active.iter().any(|l| l.node == ev.node),
+                    "grant over a live lease on node {}",
+                    ev.node
+                );
+                let token = self.gw.start_invoker();
+                self.active.push(ActiveLease {
+                    node: ev.node,
+                    token,
+                    deadline: self.t0 + deadline,
+                    draining: false,
+                    deferred: false,
+                });
+                self.stats.grants += 1;
+            }
+            LeaseEventKind::Extend { deadline } => {
+                let Some(lease) = self.active.iter_mut().find(|l| l.node == ev.node) else {
+                    debug_assert!(false, "extend without a lease on node {}", ev.node);
+                    return;
+                };
+                if !lease.draining {
+                    lease.deadline = self.t0 + deadline;
+                    lease.deferred = false;
+                    self.stats.extends += 1;
+                } else {
+                    // The renewal lost the race against the headroom
+                    // drain: the old invoker is already unroutable, so
+                    // reap it and start a fresh one on the node — a new
+                    // pilot job on the same hardware.
+                    self.gw.join_invoker(lease.token);
+                    lease.token = self.gw.start_invoker();
+                    lease.deadline = self.t0 + deadline;
+                    lease.draining = false;
+                    lease.deferred = false;
+                    self.stats.regrants_after_drain += 1;
+                }
+            }
+            LeaseEventKind::Revoke => {
+                let Some(i) = self.active.iter().position(|l| l.node == ev.node) else {
+                    debug_assert!(false, "revoke without a lease on node {}", ev.node);
+                    return;
+                };
+                let lease = self.active.remove(i);
+                if !lease.draining {
+                    self.stats.surprise_revokes += 1;
+                    self.gw.sigterm(lease.token);
+                }
+                self.gw.join_invoker(lease.token);
+                self.stats.revokes += 1;
+            }
+        }
+    }
+
+    /// Drive the plan against the real clock until `stop` is set.
+    /// Sleeps until the next scheduled transition, capped by
+    /// `poll_interval` so a raised `stop` is noticed promptly.
+    pub fn run(&mut self, stop: &AtomicBool) {
+        while !stop.load(Ordering::Acquire) {
+            let now = Instant::now();
+            let next = self.poll(now);
+            let until_next = next
+                .map(|t| t.saturating_duration_since(now))
+                .unwrap_or(self.cfg.poll_interval);
+            // Sleep floor keeps a due transition from degenerating into
+            // a pure spin; it yields to a sub-50 µs `poll_interval`
+            // rather than violating the caller's cap (Ord::clamp
+            // panics when min > max).
+            let floor = Duration::from_micros(50).min(self.cfg.poll_interval);
+            std::thread::sleep(until_next.clamp(floor, self.cfg.poll_interval.max(floor)));
+        }
+    }
+
+    /// Reap every lease still held (finishing any in-progress drains)
+    /// and return the final stats. The gateway survives — a caller can
+    /// hand it to a new controller with a new plan.
+    pub fn finish(mut self) -> LeaseStats {
+        for lease in &self.active {
+            if !lease.draining {
+                self.gw.sigterm(lease.token);
+            }
+            self.stats.reaped_at_finish += 1;
+        }
+        for lease in &self.active {
+            self.gw.join_invoker(lease.token);
+        }
+        self.active.clear();
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::{ActionId, ActionSpec};
+    use crate::gateway::GatewayConfig;
+    use crate::lease::{ChurnCfg, LeasePlan};
+
+    fn ms(n: u64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    fn plan(events: Vec<LeaseEvent>) -> LeasePlan {
+        LeasePlan {
+            events,
+            horizon: ms(100),
+            capped_grants: 0,
+            floor: 0,
+        }
+    }
+
+    fn grant(at: u64, node: u32, deadline: u64) -> LeaseEvent {
+        LeaseEvent {
+            at: ms(at),
+            node,
+            kind: LeaseEventKind::Grant {
+                deadline: ms(deadline),
+            },
+        }
+    }
+
+    fn revoke(at: u64, node: u32) -> LeaseEvent {
+        LeaseEvent {
+            at: ms(at),
+            node,
+            kind: LeaseEventKind::Revoke,
+        }
+    }
+
+    fn gw() -> Gateway {
+        Gateway::new(GatewayConfig::default(), vec![ActionSpec::noop("f")])
+    }
+
+    #[test]
+    fn grant_extend_revoke_lifecycle_with_virtual_clock() {
+        let gw = gw();
+        let t0 = Instant::now();
+        let p = plan(vec![
+            grant(0, 0, 50),
+            LeaseEvent {
+                at: ms(30),
+                node: 0,
+                kind: LeaseEventKind::Extend { deadline: ms(90) },
+            },
+            revoke(90, 0),
+        ]);
+        let mut ctl = CapacityController::new(
+            &gw,
+            p,
+            ControllerConfig {
+                drain_headroom: ms(5),
+                min_routable: 0,
+                ..Default::default()
+            },
+            t0,
+        );
+        ctl.poll(t0);
+        assert_eq!(ctl.n_routable(), 1);
+        assert_eq!(gw.n_healthy(), 1);
+        // Without the extend, t0+46ms would be inside the headroom
+        // window; the extend at 30 ms pushes the deadline to 90 ms.
+        ctl.poll(t0 + ms(46));
+        assert_eq!(ctl.n_routable(), 1, "extend deferred the drain");
+        // Headroom before the new deadline: drain starts, invoker
+        // unrouted, lease still held.
+        ctl.poll(t0 + ms(86));
+        assert_eq!(ctl.n_routable(), 0);
+        assert_eq!(ctl.n_active(), 1);
+        assert_eq!(gw.n_healthy(), 0, "unrouted ahead of the revoke");
+        // The revoke reaps it.
+        ctl.poll(t0 + ms(90));
+        assert_eq!(ctl.n_active(), 0);
+        let s = ctl.finish();
+        assert_eq!(s.grants, 1);
+        assert_eq!(s.extends, 1);
+        assert_eq!(s.deadline_drains, 1);
+        assert_eq!(s.revokes, 1);
+        assert_eq!(s.surprise_revokes, 0);
+        assert_eq!(s.reaped_at_finish, 0);
+    }
+
+    #[test]
+    fn early_revoke_is_a_surprise_drain() {
+        let gw = gw();
+        let t0 = Instant::now();
+        let p = plan(vec![grant(0, 0, 80), revoke(10, 0)]);
+        let mut ctl = CapacityController::new(&gw, p, ControllerConfig::default(), t0);
+        ctl.poll(t0);
+        assert_eq!(gw.n_healthy(), 1);
+        ctl.poll(t0 + ms(10));
+        assert_eq!(gw.n_healthy(), 0);
+        let s = ctl.finish();
+        assert_eq!(s.surprise_revokes, 1);
+        assert_eq!(s.deadline_drains, 0);
+        assert_eq!(s.revokes, 1);
+    }
+
+    #[test]
+    fn floor_blocks_headroom_drain_but_not_revoke() {
+        let gw = gw();
+        let t0 = Instant::now();
+        let p = plan(vec![grant(0, 0, 20), revoke(40, 0)]);
+        let mut ctl = CapacityController::new(
+            &gw,
+            p,
+            ControllerConfig {
+                drain_headroom: ms(5),
+                min_routable: 1,
+                ..Default::default()
+            },
+            t0,
+        );
+        ctl.poll(t0);
+        // Deadline passed, but draining would empty the plane: deferred.
+        ctl.poll(t0 + ms(25));
+        assert_eq!(ctl.n_routable(), 1);
+        assert_eq!(ctl.stats().floor_deferrals, 1);
+        // Re-polling neither re-counts the episode nor returns a wake
+        // instant in the past (which would busy-spin `run`).
+        let wake = ctl.poll(t0 + ms(26));
+        ctl.poll(t0 + ms(27));
+        assert_eq!(
+            ctl.stats().floor_deferrals,
+            1,
+            "one episode, not one per poll"
+        );
+        if let Some(t) = wake {
+            assert!(
+                t > t0 + ms(26),
+                "deferred headroom point must not be offered as a wake time"
+            );
+        }
+        // The revoke executes regardless (the scheduler owns the node).
+        ctl.poll(t0 + ms(40));
+        assert_eq!(ctl.n_active(), 0);
+        assert_eq!(gw.n_healthy(), 0);
+        let s = ctl.finish();
+        assert_eq!(s.revokes, 1);
+        assert_eq!(s.surprise_revokes, 1, "the drain had been deferred");
+    }
+
+    #[test]
+    fn regrant_after_drain_replaces_the_invoker() {
+        let gw = gw();
+        let t0 = Instant::now();
+        let p = plan(vec![
+            grant(0, 0, 10),
+            // The renewal arrives after the deadline drain began.
+            LeaseEvent {
+                at: ms(20),
+                node: 0,
+                kind: LeaseEventKind::Extend { deadline: ms(80) },
+            },
+            revoke(80, 0),
+        ]);
+        let mut ctl = CapacityController::new(
+            &gw,
+            p,
+            ControllerConfig {
+                drain_headroom: ms(2),
+                min_routable: 0,
+                ..Default::default()
+            },
+            t0,
+        );
+        ctl.poll(t0);
+        ctl.poll(t0 + ms(12));
+        assert_eq!(ctl.n_routable(), 0, "drained at the deadline");
+        ctl.poll(t0 + ms(20));
+        assert_eq!(ctl.n_routable(), 1, "regranted on the same node");
+        assert_eq!(gw.n_healthy(), 1);
+        let s = ctl.finish();
+        assert_eq!(s.regrants_after_drain, 1);
+        assert_eq!(s.grants, 1, "a regrant is not a plan grant");
+    }
+
+    #[test]
+    fn finish_reaps_everything_and_requests_complete() {
+        let gw = gw();
+        let t0 = Instant::now();
+        let p = LeasePlan::synthetic_churn(
+            &ChurnCfg {
+                min_active: 1,
+                ..Default::default()
+            },
+            11,
+        );
+        let mut ctl = CapacityController::new(&gw, p, ControllerConfig::default(), t0);
+        ctl.poll(t0);
+        assert!(gw.n_healthy() >= 1);
+        let mut accepted = 0;
+        for i in 0..200u64 {
+            ctl.poll(t0 + Duration::from_micros(300 * i));
+            if gw.invoke(ActionId(0), i).is_ok() {
+                accepted += 1;
+            }
+        }
+        let mut done = 0;
+        while done < accepted {
+            assert!(
+                gw.recv_timeout(Duration::from_secs(10)).is_some(),
+                "lost {} of {accepted}",
+                accepted - done
+            );
+            done += 1;
+        }
+        let s = ctl.finish();
+        assert!(s.grants >= 1);
+        assert_eq!(gw.shutdown(), 0);
+        assert_eq!(gw.counters().outstanding(), 0);
+    }
+}

@@ -31,6 +31,7 @@
 //! requests are never lost and never duplicated, at any batch size.
 
 use crate::action::{ActionId, ActionRegistry, ActionSpec};
+use crate::admission::{AdmissionPolicy, AdmissionShaper, Shape};
 use crate::pool::{Placement, PoolStats, WarmPool};
 use crate::queue::{Envelope, Produce, ProduceBatch, Request, WorkQueue};
 use crate::route::{mix64, Router};
@@ -49,6 +50,32 @@ pub enum Shed {
     QueueFull,
     /// The action is at its gateway-wide in-flight cap (429).
     ActionSaturated,
+    /// The token-bucket shaper's delay budget is exhausted: admitting
+    /// would charge more virtual delay than
+    /// [`TokenBucketCfg::max_delay`](crate::admission::TokenBucketCfg)
+    /// allows (429). Only occurs under an active token-bucket policy.
+    DelayBudget,
+}
+
+/// A successful admission: the request id plus the virtual delay the
+/// admission shaper charged. Under [`AdmissionPolicy::HardShed`] (and
+/// inside the token bucket's burst allowance) the delay is zero; a
+/// nonzero delay marks a *delayed* admission — the typed middle ground
+/// between a free admit and a shed, surfaced per request so callers can
+/// account shed vs delayed vs lost separately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Admit {
+    /// Controller-assigned request id.
+    pub id: u64,
+    /// Virtual delay charged by the admission shaper.
+    pub delay: Duration,
+}
+
+impl Admit {
+    /// True when the shaper charged this admission a nonzero delay.
+    pub fn delayed(&self) -> bool {
+        !self.delay.is_zero()
+    }
 }
 
 /// One executed invocation.
@@ -84,6 +111,11 @@ pub struct Counters {
     pub shed_queue_full: AtomicU64,
     /// Sheds: action at its in-flight cap.
     pub shed_action_saturated: AtomicU64,
+    /// Sheds: token-bucket delay budget exhausted.
+    pub shed_delay_budget: AtomicU64,
+    /// Admissions the shaper charged a nonzero virtual delay (a subset
+    /// of `accepted` — the typed middle ground between admit and shed).
+    pub delayed: AtomicU64,
     /// Requests executed.
     pub completed: AtomicU64,
     /// Envelopes that took the fast-lane hop during a drain (flushed by
@@ -97,6 +129,7 @@ impl Counters {
         self.shed_no_invoker.load(Ordering::Relaxed)
             + self.shed_queue_full.load(Ordering::Relaxed)
             + self.shed_action_saturated.load(Ordering::Relaxed)
+            + self.shed_delay_budget.load(Ordering::Relaxed)
     }
 
     /// Accepted minus completed — in-flight while running, lost only if
@@ -130,6 +163,11 @@ pub struct GatewayConfig {
     /// unbatched per-pop behaviour exactly; the drain-stress matrix
     /// proves exactly-once at 1, 4 and 32.
     pub drain_batch: usize,
+    /// How admissions are shaped beyond the structural bounds:
+    /// [`AdmissionPolicy::HardShed`] (default, the historical
+    /// behaviour) or a capacity-tracking token bucket that degrades
+    /// through a bounded delay before shedding.
+    pub admission: AdmissionPolicy,
 }
 
 impl Default for GatewayConfig {
@@ -141,6 +179,7 @@ impl Default for GatewayConfig {
             park: Duration::from_micros(500),
             sweep_every_ops: 1_024,
             drain_batch: 32,
+            admission: AdmissionPolicy::HardShed,
         }
     }
 }
@@ -211,6 +250,58 @@ impl CompletionShard {
     }
 }
 
+/// Caller-held scratch for [`Gateway::invoke_burst`]: the per-target
+/// buckets of a burst, kept across calls so their backing allocations
+/// are reused instead of rebuilt per burst. One per submitter thread
+/// (`Default::default()` to create); the gateway clears it before
+/// returning, dropping its invoker-handle references so a retired
+/// invoker is never pinned between bursts.
+#[derive(Default)]
+pub struct BurstScratch {
+    buckets: Vec<Bucket>,
+    used: usize,
+}
+
+#[derive(Default)]
+struct Bucket {
+    target: Option<Arc<InvokerHandle>>,
+    reqs: Vec<Request>,
+    idx: Vec<usize>,
+}
+
+impl BurstScratch {
+    /// The bucket for `target`, reusing a spare slot's allocations when
+    /// one exists.
+    fn bucket_for(&mut self, target: &Arc<InvokerHandle>) -> &mut Bucket {
+        if let Some(i) = (0..self.used).find(|&i| {
+            self.buckets[i]
+                .target
+                .as_ref()
+                .is_some_and(|t| Arc::ptr_eq(t, target))
+        }) {
+            return &mut self.buckets[i];
+        }
+        if self.used == self.buckets.len() {
+            self.buckets.push(Bucket::default());
+        }
+        let bucket = &mut self.buckets[self.used];
+        self.used += 1;
+        bucket.target = Some(target.clone());
+        bucket
+    }
+
+    /// Clear the used buckets (dropping target handles, keeping the
+    /// request/index capacity) and mark the scratch reusable.
+    fn finish(&mut self) {
+        for bucket in &mut self.buckets[..self.used] {
+            bucket.target = None;
+            bucket.reqs.clear();
+            bucket.idx.clear();
+        }
+        self.used = 0;
+    }
+}
+
 /// The live HPC-Whisk serving plane.
 pub struct Gateway {
     cfg: GatewayConfig,
@@ -232,6 +323,9 @@ pub struct Gateway {
     /// [`try_recv`]: Gateway::try_recv
     spill: Mutex<VecDeque<Completion>>,
     counters: Arc<Counters>,
+    /// The token-bucket admission shaper (inert under `HardShed`);
+    /// capacity is re-fed on every router rebuild.
+    shaper: AdmissionShaper,
     next_request: AtomicU64,
     next_invoker: AtomicU64,
     /// Pool stats of reaped invokers, folded in at join time.
@@ -242,6 +336,7 @@ impl Gateway {
     /// A gateway serving `actions`, with no invokers yet.
     pub fn new(cfg: GatewayConfig, actions: Vec<ActionSpec>) -> Self {
         let shards = cfg.shards;
+        let shaper = AdmissionShaper::new(&cfg.admission, Instant::now());
         Gateway {
             cfg,
             actions: ActionRegistry::new(actions),
@@ -252,6 +347,7 @@ impl Gateway {
             collect_cursor: AtomicUsize::new(0),
             spill: Mutex::new(VecDeque::new()),
             counters: Arc::new(Counters::default()),
+            shaper,
             next_request: AtomicU64::new(0),
             next_invoker: AtomicU64::new(0),
             retired_pools: Mutex::new(PoolStats::default()),
@@ -271,6 +367,12 @@ impl Gateway {
     /// Routing-table epoch (bumps on membership change).
     pub fn route_epoch(&self) -> u64 {
         self.router.epoch()
+    }
+
+    /// True when a token-bucket admission policy is shaping traffic
+    /// (false under the default hard-shed policy).
+    pub fn admission_shaping(&self) -> bool {
+        self.shaper.shaping()
     }
 
     /// Pending depth of the shared fast lane.
@@ -442,23 +544,39 @@ impl Gateway {
     }
 
     /// Submit an invocation of `action` with routing key `key`. Returns
-    /// the request id, or the shed reason.
-    pub fn invoke(&self, action: ActionId, key: u64) -> Result<u64, Shed> {
+    /// the admission (id + any shaper delay), or the shed reason.
+    pub fn invoke(&self, action: ActionId, key: u64) -> Result<Admit, Shed> {
         self.invoke_at(action, key, Instant::now())
     }
 
     /// [`invoke`](Gateway::invoke) with a caller-supplied admission
     /// timestamp, so a submitter batching arrivals into bursts pays one
     /// clock read per burst instead of one per request. `produced_at`
-    /// seeds the queue-wait/total latency accounting; callers must pass
-    /// a recent instant (the harness reads the clock once per burst).
-    pub fn invoke_at(&self, action: ActionId, key: u64, produced_at: Instant) -> Result<u64, Shed> {
+    /// seeds the queue-wait/total latency accounting *and* the token
+    /// bucket's clock; callers must pass a recent instant (the harness
+    /// reads the clock once per burst).
+    pub fn invoke_at(
+        &self,
+        action: ActionId,
+        key: u64,
+        produced_at: Instant,
+    ) -> Result<Admit, Shed> {
         if !self.actions.try_admit(action) {
             self.counters
                 .shed_action_saturated
                 .fetch_add(1, Ordering::Relaxed);
             return Err(Shed::ActionSaturated);
         }
+        let delay = match self.shaper.admit(produced_at) {
+            Shape::Admit(delay) => delay,
+            Shape::Shed => {
+                self.actions.release(action);
+                self.counters
+                    .shed_delay_budget
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err(Shed::DelayBudget);
+            }
+        };
         // Produce under the shard's read lock (no target clone): the
         // queue's own mutex still serializes with the owner's drain, so
         // the close-vs-produce atomicity is untouched.
@@ -471,6 +589,11 @@ impl Gateway {
                 .produce(req, produced_at, self.cfg.queue_capacity)
         });
         let Some(produced) = produced else {
+            // Structural shed after the shaper said yes: return the
+            // charge, or a plane shedding NoInvoker/QueueFull would
+            // accumulate phantom bucket debt for work that never
+            // entered a queue.
+            self.shaper.refund();
             self.actions.release(action);
             self.counters
                 .shed_no_invoker
@@ -480,6 +603,7 @@ impl Gateway {
         match produced {
             Produce::Ok(_) => {}
             Produce::Full(_) => {
+                self.shaper.refund();
                 self.actions.release(action);
                 self.counters
                     .shed_queue_full
@@ -497,6 +621,7 @@ impl Gateway {
                     req,
                 };
                 if self.fast.produce_moved(env).is_err() {
+                    self.shaper.refund();
                     self.actions.release(action);
                     self.counters
                         .shed_no_invoker
@@ -507,23 +632,32 @@ impl Gateway {
             }
         }
         self.counters.accepted.fetch_add(1, Ordering::Relaxed);
-        Ok(id)
+        if !delay.is_zero() {
+            self.counters.delayed.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(Admit { id, delay })
     }
 
     /// Convenience: route by an action's name hash (paper §II routing).
-    pub fn invoke_named(&self, action: ActionId) -> Result<u64, Shed> {
+    pub fn invoke_named(&self, action: ActionId) -> Result<Admit, Shed> {
         self.invoke(action, mix64(action.0 as u64))
     }
 
     /// Submit a burst of invocations sharing one admission timestamp.
-    /// Each request is admission-checked and routed individually (same
-    /// shed semantics as [`invoke_at`](Gateway::invoke_at)), but the
-    /// requests bound for one invoker are produced to its queue as a
-    /// **single group** — one lock acquisition and at most one consumer
-    /// wake per target queue per burst, instead of one per request. On
-    /// an oversubscribed machine that is the difference between a
-    /// parked invoker preempting the submitter once per request and
-    /// once per burst. Outcomes are appended to `out` in input order.
+    /// Each request is admission-checked, shaped and routed
+    /// individually (same shed semantics as
+    /// [`invoke_at`](Gateway::invoke_at)), but the requests bound for
+    /// one invoker are produced to its queue as a **single group** —
+    /// one lock acquisition and at most one consumer wake per target
+    /// queue per burst, instead of one per request. On an
+    /// oversubscribed machine that is the difference between a parked
+    /// invoker preempting the submitter once per request and once per
+    /// burst. Outcomes are appended to `out` in input order.
+    ///
+    /// `scratch` holds the per-target buckets; the caller keeps it
+    /// across bursts so their allocations are paid once per submitter,
+    /// not once per call (the old per-call allocation was a measured
+    /// residual at small burst sizes).
     ///
     /// The close-vs-produce atomicity is unchanged: a group refused by
     /// a draining target is rerouted to the fast lane exactly like a
@@ -533,12 +667,14 @@ impl Gateway {
         &self,
         reqs: &[(ActionId, u64)],
         produced_at: Instant,
-        out: &mut Vec<Result<u64, Shed>>,
+        out: &mut Vec<Result<Admit, Shed>>,
+        scratch: &mut BurstScratch,
     ) {
         let base = out.len();
-        // Pass 1: admit + route, bucketing requests per target invoker.
-        // Buckets hold input indices so pass 2 can fix up outcomes.
-        let mut buckets: Vec<(Arc<InvokerHandle>, Vec<Request>, Vec<usize>)> = Vec::new();
+        // Pass 1: admit + shape + route, bucketing requests per target
+        // invoker. Buckets hold input indices so pass 2 can fix up
+        // outcomes.
+        debug_assert_eq!(scratch.used, 0, "scratch reused before finish");
         for (i, &(action, key)) in reqs.iter().enumerate() {
             if !self.actions.try_admit(action) {
                 self.counters
@@ -547,7 +683,19 @@ impl Gateway {
                 out.push(Err(Shed::ActionSaturated));
                 continue;
             }
+            let delay = match self.shaper.admit(produced_at) {
+                Shape::Admit(delay) => delay,
+                Shape::Shed => {
+                    self.actions.release(action);
+                    self.counters
+                        .shed_delay_budget
+                        .fetch_add(1, Ordering::Relaxed);
+                    out.push(Err(Shed::DelayBudget));
+                    continue;
+                }
+            };
             let Some(target) = self.router.pick(key) else {
+                self.shaper.refund();
                 self.actions.release(action);
                 self.counters
                     .shed_no_invoker
@@ -556,27 +704,24 @@ impl Gateway {
                 continue;
             };
             let id = self.next_request.fetch_add(1, Ordering::Relaxed);
-            let req = Request { id, action, key };
-            match buckets.iter_mut().find(|(h, ..)| Arc::ptr_eq(h, &target)) {
-                Some((_, b_reqs, b_idx)) => {
-                    b_reqs.push(req);
-                    b_idx.push(i);
-                }
-                None => buckets.push((target, vec![req], vec![i])),
-            }
-            out.push(Ok(id));
+            let bucket = scratch.bucket_for(&target);
+            bucket.reqs.push(Request { id, action, key });
+            bucket.idx.push(i);
+            out.push(Ok(Admit { id, delay }));
         }
         // Pass 2: one grouped produce per target; fix up the outcomes
         // of whatever the group could not land.
         let mut accepted = 0u64;
-        for (target, b_reqs, b_idx) in &buckets {
+        for bucket in &scratch.buckets[..scratch.used] {
+            let target = bucket.target.as_ref().expect("used bucket has a target");
             match target
                 .queue
-                .produce_batch(b_reqs, produced_at, self.cfg.queue_capacity)
+                .produce_batch(&bucket.reqs, produced_at, self.cfg.queue_capacity)
             {
                 ProduceBatch::Admitted(n) => {
                     accepted += n as u64;
-                    for &i in &b_idx[n..] {
+                    for &i in &bucket.idx[n..] {
+                        self.shaper.refund();
                         self.actions.release(reqs[i].0);
                         self.counters
                             .shed_queue_full
@@ -587,7 +732,7 @@ impl Gateway {
                 ProduceBatch::Closed => {
                     // The target started draining after the pick: the
                     // whole group takes the fast-lane fallback.
-                    for (req, &i) in b_reqs.iter().zip(b_idx) {
+                    for (req, &i) in bucket.reqs.iter().zip(&bucket.idx) {
                         let env = Envelope {
                             offset: 0,
                             produced_at,
@@ -597,6 +742,7 @@ impl Gateway {
                             accepted += 1;
                             self.counters.fastlane_moves.fetch_add(1, Ordering::Relaxed);
                         } else {
+                            self.shaper.refund();
                             self.actions.release(req.action);
                             self.counters
                                 .shed_no_invoker
@@ -607,9 +753,21 @@ impl Gateway {
                 }
             }
         }
+        scratch.finish();
         self.counters
             .accepted
             .fetch_add(accepted, Ordering::Relaxed);
+        // Only a shaping policy can have charged delays; the default
+        // hard-shed hot path skips the outcome rescan entirely.
+        if self.shaper.shaping() {
+            let delayed = out[base..]
+                .iter()
+                .filter(|o| o.as_ref().is_ok_and(Admit::delayed))
+                .count() as u64;
+            if delayed > 0 {
+                self.counters.delayed.fetch_add(delayed, Ordering::Relaxed);
+            }
+        }
     }
 
     /// SIGTERM an invoker: atomically unroute it and flip it to
@@ -658,10 +816,7 @@ impl Gateway {
         if let Some(join) = join {
             let pool_stats = join.join().expect("invoker thread panicked");
             let mut retired = self.retired_pools.lock().unwrap_or_else(|e| e.into_inner());
-            retired.warm_hits += pool_stats.warm_hits;
-            retired.cold_starts += pool_stats.cold_starts;
-            retired.lru_evictions += pool_stats.lru_evictions;
-            retired.keepalive_evictions += pool_stats.keepalive_evictions;
+            *retired += pool_stats;
             drop(retired);
             let mut slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
             let slot = &mut slots[token.index as usize];
@@ -707,6 +862,10 @@ impl Gateway {
             .filter_map(|s| s.handle.clone())
             .filter(|h| h.is_healthy())
             .collect();
+        // Admission tracks live capacity: a lease granted relaxes the
+        // shaper, a revoke (or a deadline-led early drain) steepens it
+        // *before* the invoker thread is even gone.
+        self.shaper.set_capacity(healthy.len());
         self.router.rebuild(&healthy);
     }
 }
@@ -745,6 +904,10 @@ impl InvokerCtx {
                 }
                 self.counters.fastlane_moves.fetch_add(n, Ordering::Relaxed);
                 self.handle.state.store(STATE_GONE, Ordering::Release);
+                // Retire the container population (all idle by now: the
+                // in-flight batch finished and checked back in above) —
+                // a revoked node's containers are reclaimed, not leaked.
+                pool.retire_all();
                 return pool.stats();
             }
             // §III-C ordering: drain the shared fast lane before the

@@ -12,8 +12,10 @@
 //! throughput-probe mode).
 
 use crate::action::ActionId;
-use crate::gateway::Gateway;
+use crate::controller::{CapacityController, LeaseStats};
+use crate::gateway::{BurstScratch, Gateway, Shed};
 use metrics::Cdf;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 use workload::Arrival;
 
@@ -46,6 +48,59 @@ impl Default for HarnessConfig {
     }
 }
 
+/// Per-action tallies of one run: the admitted / delayed / shed / lost
+/// split, per shed reason, so a scenario's outcome is diagnosable at a
+/// glance (which action saturated its cap, which one ate the delay
+/// budget, which one lost work).
+#[derive(Debug, Clone, Default)]
+pub struct ActionLoad {
+    /// Action name (from the gateway's registry).
+    pub name: String,
+    /// Arrivals submitted for this action.
+    pub submitted: u64,
+    /// Requests admitted.
+    pub accepted: u64,
+    /// Admissions the shaper charged a nonzero delay (subset of
+    /// `accepted`).
+    pub delayed: u64,
+    /// Requests completed.
+    pub completed: u64,
+    /// Completions that cold-started a container.
+    pub cold_starts: u64,
+    /// Sheds: home queue at its bound.
+    pub shed_queue_full: u64,
+    /// Sheds: per-action in-flight cap.
+    pub shed_action_saturated: u64,
+    /// Sheds: no routable invoker.
+    pub shed_no_invoker: u64,
+    /// Sheds: token-bucket delay budget exhausted.
+    pub shed_delay_budget: u64,
+}
+
+impl ActionLoad {
+    /// Total sheds across all reasons.
+    pub fn shed(&self) -> u64 {
+        self.shed_queue_full
+            + self.shed_action_saturated
+            + self.shed_no_invoker
+            + self.shed_delay_budget
+    }
+
+    /// Accepted requests that never completed.
+    pub fn lost(&self) -> u64 {
+        self.accepted - self.completed
+    }
+
+    fn note_shed(&mut self, reason: Shed) {
+        match reason {
+            Shed::QueueFull => self.shed_queue_full += 1,
+            Shed::ActionSaturated => self.shed_action_saturated += 1,
+            Shed::NoInvoker => self.shed_no_invoker += 1,
+            Shed::DelayBudget => self.shed_delay_budget += 1,
+        }
+    }
+}
+
 /// Everything the run observed.
 pub struct LoadReport {
     /// Wall-clock span of the run.
@@ -54,6 +109,8 @@ pub struct LoadReport {
     pub submitted: u64,
     /// Requests admitted by the gateway.
     pub accepted: u64,
+    /// Admissions charged a nonzero shaper delay (subset of accepted).
+    pub delayed: u64,
     /// Requests refused at admission.
     pub shed: u64,
     /// Requests that completed.
@@ -66,6 +123,9 @@ pub struct LoadReport {
     pub latency: Cdf,
     /// Queue-wait share of the latency, seconds.
     pub queue_wait: Cdf,
+    /// The same tallies broken out per action, index-aligned with the
+    /// gateway's action registry.
+    pub per_action: Vec<ActionLoad>,
 }
 
 impl LoadReport {
@@ -82,13 +142,16 @@ impl LoadReport {
         self.latency.quantile(p)
     }
 
-    /// One-line human summary.
+    /// Human summary: one totals line, then one line per action that
+    /// saw traffic, breaking out ok / delayed / shed (by reason) /
+    /// lost.
     pub fn summary(&mut self) -> String {
         let (p50, p99) = (self.latency.quantile(0.5), self.latency.quantile(0.99));
-        format!(
-            "{} completed / {} accepted / {} shed in {:.2?}  |  {:.0} ops/s  |  p50 {:.1} µs  p99 {:.1} µs  |  {} cold  |  lost {}",
+        let mut s = format!(
+            "{} completed / {} accepted ({} delayed) / {} shed in {:.2?}  |  {:.0} ops/s  |  p50 {:.1} µs  p99 {:.1} µs  |  {} cold  |  lost {}",
             self.completed,
             self.accepted,
+            self.delayed,
             self.shed,
             self.wall,
             self.throughput,
@@ -96,7 +159,23 @@ impl LoadReport {
             p99 * 1e6,
             self.cold_starts,
             self.lost()
-        )
+        );
+        for a in self.per_action.iter().filter(|a| a.submitted > 0) {
+            s.push_str(&format!(
+                "\n  {}: {}/{} ok, {} delayed, {} shed ({} queue, {} cap, {} route, {} budget), {} lost",
+                a.name,
+                a.completed,
+                a.submitted,
+                a.delayed,
+                a.shed(),
+                a.shed_queue_full,
+                a.shed_action_saturated,
+                a.shed_no_invoker,
+                a.shed_delay_budget,
+                a.lost()
+            ));
+        }
+        s
     }
 }
 
@@ -109,12 +188,19 @@ pub fn run_load(gw: &Gateway, arrivals: &[Arrival], cfg: &HarnessConfig) -> Load
         wall: Duration::ZERO,
         submitted: 0,
         accepted: 0,
+        delayed: 0,
         shed: 0,
         completed: 0,
         cold_starts: 0,
         throughput: 0.0,
         latency: Cdf::new(),
         queue_wait: Cdf::new(),
+        per_action: (0..n_actions)
+            .map(|i| ActionLoad {
+                name: gw.actions().spec(ActionId(i)).name.clone(),
+                ..Default::default()
+            })
+            .collect(),
     };
     let submit_batch = cfg.submit_batch.max(1);
     let mut inflight = 0usize;
@@ -122,7 +208,10 @@ pub fn run_load(gw: &Gateway, arrivals: &[Arrival], cfg: &HarnessConfig) -> Load
     let mut last_progress = Instant::now();
     let mut buf: Vec<crate::gateway::Completion> = Vec::with_capacity(submit_batch.max(64));
     let mut burst_reqs: Vec<(ActionId, u64)> = Vec::with_capacity(submit_batch);
-    let mut burst_out: Vec<Result<u64, crate::gateway::Shed>> = Vec::with_capacity(submit_batch);
+    let mut burst_out: Vec<Result<crate::gateway::Admit, Shed>> = Vec::with_capacity(submit_batch);
+    // Caller-held bucket scratch: the per-target burst buckets allocate
+    // once per harness run, not once per burst.
+    let mut scratch = BurstScratch::default();
 
     loop {
         // Fold in everything already completed: one non-blocking
@@ -162,15 +251,9 @@ pub fn run_load(gw: &Gateway, arrivals: &[Arrival], cfg: &HarnessConfig) -> Load
                     // shape — the old per-arrival submit loop).
                     let a = arrivals[next];
                     next += 1;
-                    report.submitted += 1;
                     let action = ActionId(a.function as u32 % n_actions);
-                    match gw.invoke_at(action, a.function as u64, now) {
-                        Ok(_) => {
-                            report.accepted += 1;
-                            inflight += 1;
-                        }
-                        Err(_) => report.shed += 1,
-                    }
+                    let outcome = gw.invoke_at(action, a.function as u64, now);
+                    inflight += note_submission(&mut report, action, &outcome);
                     continue;
                 }
                 if burst > 0 {
@@ -180,16 +263,9 @@ pub fn run_load(gw: &Gateway, arrivals: &[Arrival], cfg: &HarnessConfig) -> Load
                         let action = ActionId(a.function as u32 % n_actions);
                         burst_reqs.push((action, a.function as u64));
                     }
-                    gw.invoke_burst(&burst_reqs, now, &mut burst_out);
-                    report.submitted += burst as u64;
-                    for outcome in &burst_out {
-                        match outcome {
-                            Ok(_) => {
-                                report.accepted += 1;
-                                inflight += 1;
-                            }
-                            Err(_) => report.shed += 1,
-                        }
+                    gw.invoke_burst(&burst_reqs, now, &mut burst_out, &mut scratch);
+                    for (outcome, &(action, _)) in burst_out.iter().zip(&burst_reqs) {
+                        inflight += note_submission(&mut report, action, outcome);
                     }
                     next += burst;
                     continue;
@@ -224,10 +300,68 @@ pub fn run_load(gw: &Gateway, arrivals: &[Arrival], cfg: &HarnessConfig) -> Load
     report
 }
 
+/// Drive `arrivals` through `gw` while `ctl` replays its lease plan on
+/// a scoped background thread — the canonical pairing of the load
+/// harness with a [`CapacityController`]. Plan events already due at
+/// call time (the epoch grants) are applied *before* the first arrival,
+/// so bring-up never races traffic; once the replay completes the
+/// controller is stopped and its remaining leases reaped. Returns the
+/// load report together with the controller's final stats.
+pub fn run_load_with_controller(
+    gw: &Gateway,
+    mut ctl: CapacityController<'_>,
+    arrivals: &[Arrival],
+    cfg: &HarnessConfig,
+) -> (LoadReport, LeaseStats) {
+    ctl.poll(Instant::now());
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let stop = &stop;
+        let handle = s.spawn(move || {
+            ctl.run(stop);
+            ctl.finish()
+        });
+        let report = run_load(gw, arrivals, cfg);
+        stop.store(true, Ordering::Release);
+        (report, handle.join().expect("capacity controller thread"))
+    })
+}
+
+/// Fold one submission outcome into the totals and its action's row;
+/// returns 1 when it joined the in-flight window.
+fn note_submission(
+    report: &mut LoadReport,
+    action: ActionId,
+    outcome: &Result<crate::gateway::Admit, Shed>,
+) -> usize {
+    report.submitted += 1;
+    let row = &mut report.per_action[action.0 as usize];
+    row.submitted += 1;
+    match outcome {
+        Ok(admit) => {
+            report.accepted += 1;
+            row.accepted += 1;
+            if admit.delayed() {
+                report.delayed += 1;
+                row.delayed += 1;
+            }
+            1
+        }
+        Err(reason) => {
+            report.shed += 1;
+            row.note_shed(*reason);
+            0
+        }
+    }
+}
+
 fn record(report: &mut LoadReport, c: &crate::gateway::Completion) {
     report.completed += 1;
+    let row = &mut report.per_action[c.action.0 as usize];
+    row.completed += 1;
     if c.cold {
         report.cold_starts += 1;
+        row.cold_starts += 1;
     }
     report.latency.add(c.total.as_secs_f64());
     report.queue_wait.add(c.queue_wait.as_secs_f64());

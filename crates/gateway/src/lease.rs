@@ -1,0 +1,465 @@
+//! Capacity leases for the live plane: the wall-clock schedule a
+//! [`CapacityController`](crate::controller::CapacityController)
+//! executes.
+//!
+//! A [`LeasePlan`] is the live-plane compilation of a
+//! `cluster::CapacityTrace`: simulation-time grant/extend/revoke events
+//! become wall-clock offsets (optionally time-compressed), node counts
+//! are capped to what one machine can actually run as invoker threads,
+//! and an optional **floor** of pinned always-on leases keeps the plane
+//! routable through full-outage stretches of the trace (the paper's
+//! static-reserve escape hatch; set the floor to zero to reproduce the
+//! outage instead — accepted work then waits in the fast lane for the
+//! next grant).
+//!
+//! Plans can also be generated directly ([`LeasePlan::synthetic_churn`])
+//! for stress tests that want seeded, randomized churn without building
+//! an availability trace first: a Poisson lease process with
+//! exponential holds, a tunable share of early (preemption-shaped)
+//! revokes and of renewals.
+
+use cluster::{CapacityEventKind, CapacityTrace};
+use simcore::SimRng;
+use std::time::Duration;
+
+/// What happens to one node's lease, in wall-clock offsets from the
+/// plan's epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LeaseEventKind {
+    /// Start an invoker on the node; capacity promised until `deadline`.
+    Grant {
+        /// Announced lease end (offset from the plan epoch).
+        deadline: Duration,
+    },
+    /// Renew the node's lease to a new deadline.
+    Extend {
+        /// The new announced lease end.
+        deadline: Duration,
+    },
+    /// The node is reclaimed: drain (if not already draining) and join.
+    Revoke,
+}
+
+/// One scheduled capacity event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeaseEvent {
+    /// Offset from the plan epoch at which the event fires.
+    pub at: Duration,
+    /// The node the lease lives on (also the invoker's identity for
+    /// stats; node ids are plan-local).
+    pub node: u32,
+    /// Grant, extend or revoke.
+    pub kind: LeaseEventKind,
+}
+
+/// A compiled, time-sorted capacity schedule.
+#[derive(Debug, Clone)]
+pub struct LeasePlan {
+    /// Events sorted by `at` (revokes before grants on ties).
+    pub events: Vec<LeaseEvent>,
+    /// Wall-clock length of the plan.
+    pub horizon: Duration,
+    /// Grants dropped because the concurrent-lease cap was reached —
+    /// surfaced so a capped replay is never silently thinner than its
+    /// trace.
+    pub capped_grants: usize,
+    /// Pinned floor leases added at compile time (granted at the epoch,
+    /// never revoked by the plan; the controller reaps them at finish).
+    pub floor: usize,
+}
+
+/// Tuning for [`LeasePlan::synthetic_churn`].
+#[derive(Debug, Clone, Copy)]
+pub struct ChurnCfg {
+    /// Wall-clock span grants may arrive in.
+    pub horizon: Duration,
+    /// Mean lease hold time (exponential).
+    pub mean_hold: Duration,
+    /// Target average number of concurrently leased nodes (sets the
+    /// grant rate by Little's law).
+    pub target_active: usize,
+    /// Hard cap on concurrently leased nodes.
+    pub max_active: usize,
+    /// Pinned always-on leases guaranteeing a routable floor.
+    pub min_active: usize,
+    /// Share of leases revoked before their announced deadline (the
+    /// preemption shape).
+    pub early_revoke_frac: f64,
+    /// Share of leases renewed once before ending.
+    pub extend_frac: f64,
+}
+
+impl Default for ChurnCfg {
+    fn default() -> Self {
+        ChurnCfg {
+            horizon: Duration::from_millis(50),
+            mean_hold: Duration::from_millis(10),
+            target_active: 3,
+            max_active: 6,
+            min_active: 1,
+            early_revoke_frac: 0.4,
+            extend_frac: 0.3,
+        }
+    }
+}
+
+impl LeasePlan {
+    /// Compile a simulation-time capacity trace into a wall-clock plan.
+    ///
+    /// `speedup` compresses the schedule (3600.0 replays an hour of
+    /// trace per wall second); `max_active` caps concurrent leases to a
+    /// runnable invoker-thread count (grants beyond it are dropped and
+    /// counted in [`capped_grants`](LeasePlan::capped_grants), along
+    /// with the dropped leases' extends and revokes); `min_active`
+    /// pins that many extra always-on leases so the plane keeps a
+    /// routable floor through zero-availability stretches.
+    pub fn from_capacity_trace(
+        trace: &CapacityTrace,
+        speedup: f64,
+        max_active: usize,
+        min_active: usize,
+    ) -> Self {
+        assert!(speedup > 0.0, "speedup must be positive");
+        assert!(max_active >= 1, "cap must admit at least one lease");
+        let scale = |t: simcore::SimTime| -> Duration {
+            Duration::from_secs_f64(t.since(trace.start).as_secs_f64() / speedup)
+        };
+        let mut events = Vec::with_capacity(trace.events.len());
+        // Nodes whose grant was dropped at the cap: their extends and
+        // revokes are dropped too, until the revoke clears the mark.
+        let mut capped: Vec<bool> = vec![false; trace.n_nodes];
+        let mut active = 0usize;
+        let mut capped_grants = 0usize;
+        for e in &trace.events {
+            let node = e.node;
+            match e.kind {
+                CapacityEventKind::Grant { deadline } => {
+                    if active >= max_active {
+                        capped[node as usize] = true;
+                        capped_grants += 1;
+                        continue;
+                    }
+                    active += 1;
+                    events.push(LeaseEvent {
+                        at: scale(e.at),
+                        node,
+                        kind: LeaseEventKind::Grant {
+                            deadline: scale(deadline),
+                        },
+                    });
+                }
+                CapacityEventKind::Extend { deadline } => {
+                    if capped[node as usize] {
+                        continue;
+                    }
+                    events.push(LeaseEvent {
+                        at: scale(e.at),
+                        node,
+                        kind: LeaseEventKind::Extend {
+                            deadline: scale(deadline),
+                        },
+                    });
+                }
+                CapacityEventKind::Revoke => {
+                    if capped[node as usize] {
+                        capped[node as usize] = false;
+                        continue;
+                    }
+                    active -= 1;
+                    events.push(LeaseEvent {
+                        at: scale(e.at),
+                        node,
+                        kind: LeaseEventKind::Revoke,
+                    });
+                }
+            }
+        }
+        let horizon = scale(trace.end);
+        Self::assemble(
+            events,
+            horizon,
+            capped_grants,
+            trace.n_nodes as u32,
+            min_active,
+        )
+    }
+
+    /// A seeded random churn plan (no trace needed): Poisson grants at
+    /// the rate implied by `target_active` and `mean_hold`, exponential
+    /// holds, early revokes and renewals per the configured shares.
+    /// Every lease gets a fresh node id, so plans never reuse a node.
+    pub fn synthetic_churn(cfg: &ChurnCfg, seed: u64) -> Self {
+        assert!(cfg.max_active >= 1);
+        assert!(cfg.target_active >= 1);
+        let mut rng = SimRng::seed_from_u64(seed ^ 0x1ea5_e91a);
+        let horizon_s = cfg.horizon.as_secs_f64();
+        let mean_hold_s = cfg.mean_hold.as_secs_f64().max(1e-6);
+        let rate = cfg.target_active as f64 / mean_hold_s;
+        let mut events = Vec::new();
+        let mut active: Vec<(u32, f64)> = Vec::new(); // (node, end time)
+        let mut next_node = 0u32;
+        let mut capped_grants = 0usize;
+        let mut t = 0.0f64;
+        loop {
+            t += -rng.f64_open().ln() / rate;
+            if t >= horizon_s {
+                break;
+            }
+            // Leases whose end has passed stop counting against the cap.
+            active.retain(|&(_, end)| end > t);
+            if active.len() >= cfg.max_active {
+                capped_grants += 1;
+                continue;
+            }
+            let node = next_node;
+            next_node += 1;
+            let hold = (-rng.f64_open().ln() * mean_hold_s).max(mean_hold_s * 0.05);
+            let mut deadline = t + hold;
+            let extend_at = rng
+                .chance(cfg.extend_frac)
+                .then_some(deadline - hold * 0.25);
+            if extend_at.is_some() {
+                deadline += hold;
+            }
+            let revoke_at = if rng.chance(cfg.early_revoke_frac) {
+                // Preemption: the node is reclaimed well before the
+                // announced deadline.
+                t + (deadline - t) * (0.3 + 0.65 * rng.f64())
+            } else {
+                deadline
+            };
+            events.push(LeaseEvent {
+                at: Duration::from_secs_f64(t),
+                node,
+                // The grant announces the pre-extend deadline; the
+                // extend (if scheduled) raises it later.
+                kind: LeaseEventKind::Grant {
+                    deadline: Duration::from_secs_f64(t + hold),
+                },
+            });
+            // An early revoke can land before the renewal would have
+            // fired; the renewal is then moot and is not scheduled.
+            if let Some(at) = extend_at.filter(|&at| at < revoke_at) {
+                events.push(LeaseEvent {
+                    at: Duration::from_secs_f64(at),
+                    node,
+                    kind: LeaseEventKind::Extend {
+                        deadline: Duration::from_secs_f64(deadline),
+                    },
+                });
+            }
+            events.push(LeaseEvent {
+                at: Duration::from_secs_f64(revoke_at),
+                node,
+                kind: LeaseEventKind::Revoke,
+            });
+            active.push((node, revoke_at));
+        }
+        let horizon = cfg.horizon;
+        Self::assemble(events, horizon, capped_grants, next_node, cfg.min_active)
+    }
+
+    /// Sort, pin the floor leases and finalize.
+    fn assemble(
+        mut events: Vec<LeaseEvent>,
+        horizon: Duration,
+        capped_grants: usize,
+        first_free_node: u32,
+        min_active: usize,
+    ) -> Self {
+        for i in 0..min_active as u32 {
+            events.push(LeaseEvent {
+                at: Duration::ZERO,
+                node: first_free_node + i,
+                // A deadline far past the horizon: never drained by the
+                // headroom logic, reaped by the controller at finish.
+                kind: LeaseEventKind::Grant {
+                    deadline: horizon.max(Duration::from_millis(1)) * 1_000,
+                },
+            });
+        }
+        events.sort_by_key(|e| (e.at, !matches!(e.kind, LeaseEventKind::Revoke)));
+        LeasePlan {
+            events,
+            horizon,
+            capped_grants,
+            floor: min_active,
+        }
+    }
+
+    /// Number of grants scheduled (including the pinned floor).
+    pub fn n_grants(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, LeaseEventKind::Grant { .. }))
+            .count()
+    }
+
+    /// Peak concurrently leased nodes the plan reaches.
+    pub fn max_concurrent(&self) -> usize {
+        let mut cur = 0usize;
+        let mut max = 0usize;
+        for e in &self.events {
+            match e.kind {
+                LeaseEventKind::Grant { .. } => {
+                    cur += 1;
+                    max = max.max(cur);
+                }
+                LeaseEventKind::Revoke => cur = cur.saturating_sub(1),
+                LeaseEventKind::Extend { .. } => {}
+            }
+        }
+        max
+    }
+
+    /// Lowest concurrently leased node count over the plan's span
+    /// (after the first grant; the plan starts at zero by definition).
+    pub fn min_concurrent_after_start(&self) -> usize {
+        let mut cur = 0usize;
+        let mut min = usize::MAX;
+        for e in &self.events {
+            match e.kind {
+                LeaseEventKind::Grant { .. } => cur += 1,
+                LeaseEventKind::Revoke => {
+                    cur = cur.saturating_sub(1);
+                    min = min.min(cur);
+                }
+                LeaseEventKind::Extend { .. } => {}
+            }
+        }
+        min.min(cur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster::AvailabilityTrace;
+    use simcore::{SimDuration, SimTime};
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn cap_trace(per_node: Vec<Vec<(SimTime, SimTime)>>) -> CapacityTrace {
+        let avail = AvailabilityTrace::from_intervals(t(0), t(1_000), per_node);
+        CapacityTrace::from_availability(&avail, SimDuration::from_secs(100))
+    }
+
+    #[test]
+    fn trace_compilation_scales_and_orders() {
+        let cap = cap_trace(vec![vec![(t(100), t(150))], vec![(t(120), t(400))]]);
+        let plan = LeasePlan::from_capacity_trace(&cap, 100.0, 8, 0);
+        assert_eq!(plan.capped_grants, 0);
+        assert_eq!(plan.n_grants(), 2);
+        assert_eq!(plan.horizon, Duration::from_secs(10));
+        // 100 s of trace per wall second.
+        assert_eq!(plan.events[0].at, Duration::from_secs(1));
+        match plan.events[0].kind {
+            LeaseEventKind::Grant { deadline } => assert_eq!(deadline, Duration::from_secs(2)),
+            ref k => panic!("expected grant, got {k:?}"),
+        }
+        // Monotone schedule.
+        for w in plan.events.windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+    }
+
+    #[test]
+    fn cap_drops_whole_leases_not_just_grants() {
+        // Three overlapping leases, cap 2: the third lease's grant AND
+        // revoke vanish; the count never exceeds the cap and never goes
+        // negative.
+        let cap = cap_trace(vec![
+            vec![(t(0), t(300))],
+            vec![(t(10), t(310))],
+            vec![(t(20), t(320))],
+        ]);
+        let plan = LeasePlan::from_capacity_trace(&cap, 10.0, 2, 0);
+        assert_eq!(plan.capped_grants, 1);
+        assert_eq!(plan.max_concurrent(), 2);
+        let revokes = plan
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, LeaseEventKind::Revoke))
+            .count();
+        assert_eq!(revokes, 2, "the capped lease's revoke is dropped too");
+    }
+
+    #[test]
+    fn floor_pins_always_on_leases() {
+        let cap = cap_trace(vec![vec![(t(100), t(200))]]);
+        let plan = LeasePlan::from_capacity_trace(&cap, 10.0, 4, 2);
+        assert_eq!(plan.floor, 2);
+        assert_eq!(plan.n_grants(), 3);
+        // Floor grants land at the epoch, before any trace lease.
+        assert_eq!(plan.events[0].at, Duration::ZERO);
+        assert_eq!(plan.events[1].at, Duration::ZERO);
+        assert!(plan.min_concurrent_after_start() >= 2);
+        // Floor deadlines sit far past the horizon.
+        match plan.events[0].kind {
+            LeaseEventKind::Grant { deadline } => assert!(deadline > plan.horizon * 100),
+            ref k => panic!("expected grant, got {k:?}"),
+        }
+    }
+
+    #[test]
+    fn synthetic_churn_is_seeded_and_bounded() {
+        let cfg = ChurnCfg {
+            target_active: 4,
+            max_active: 5,
+            min_active: 1,
+            ..Default::default()
+        };
+        let a = LeasePlan::synthetic_churn(&cfg, 7);
+        let b = LeasePlan::synthetic_churn(&cfg, 7);
+        assert_eq!(a.events, b.events, "same seed, same plan");
+        let c = LeasePlan::synthetic_churn(&cfg, 8);
+        assert_ne!(a.events, c.events, "different seed, different plan");
+        assert!(a.n_grants() > 3, "plan has churn: {} grants", a.n_grants());
+        assert!(a.max_concurrent() <= 5 + 1, "cap + floor respected");
+        assert!(a.min_concurrent_after_start() >= 1, "floor holds");
+        for w in a.events.windows(2) {
+            assert!(w[0].at <= w[1].at, "sorted");
+        }
+    }
+
+    #[test]
+    fn synthetic_churn_mixes_revoke_shapes() {
+        let cfg = ChurnCfg {
+            horizon: Duration::from_millis(200),
+            target_active: 6,
+            max_active: 10,
+            early_revoke_frac: 0.5,
+            extend_frac: 0.5,
+            ..Default::default()
+        };
+        let plan = LeasePlan::synthetic_churn(&cfg, 3);
+        let extends = plan
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, LeaseEventKind::Extend { .. }))
+            .count();
+        assert!(extends > 0, "plan has renewals");
+        // Some revokes land before their lease's final deadline, some at
+        // it: track per node.
+        let mut deadline: std::collections::HashMap<u32, Duration> = Default::default();
+        let (mut early, mut graceful) = (0, 0);
+        for e in &plan.events {
+            match e.kind {
+                LeaseEventKind::Grant { deadline: d } | LeaseEventKind::Extend { deadline: d } => {
+                    deadline.insert(e.node, d);
+                }
+                LeaseEventKind::Revoke => {
+                    if e.at < deadline[&e.node] {
+                        early += 1;
+                    } else {
+                        graceful += 1;
+                    }
+                }
+            }
+        }
+        assert!(early > 0, "preemption-shaped revokes present");
+        assert!(graceful > 0, "deadline revokes present");
+    }
+}

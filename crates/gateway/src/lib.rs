@@ -18,32 +18,54 @@
 //!   (differentially tested against it);
 //! * [`pool`] — thread-private warm-container pools: cold-start
 //!   penalty, keep-alive eviction, LRU under capacity pressure;
-//! * [`gateway`] — admission control (shed on overload), the invoker
-//!   threads with the paper's §III-C fast-lane-first drain protocol
-//!   (draining up to `drain_batch` envelopes per lock), per-invoker
-//!   **completion shards** (single-producer buffers swept round-robin
-//!   — no shared multi-producer point on the completion path), and
-//!   graceful sigterm/join lifecycle;
+//! * [`admission`] — admission *shaping*: the default hard-shed policy,
+//!   or a capacity-tracking token bucket that degrades through a typed,
+//!   bounded **delay** before shedding (a latency slope instead of a
+//!   shed cliff under overload and capacity dips);
+//! * [`gateway`] — admission control, the invoker threads with the
+//!   paper's §III-C fast-lane-first drain protocol (draining up to
+//!   `drain_batch` envelopes per lock), per-invoker **completion
+//!   shards** (single-producer buffers swept round-robin — no shared
+//!   multi-producer point on the completion path), and graceful
+//!   sigterm/join lifecycle;
+//! * [`lease`] — capacity leases: wall-clock [`LeasePlan`]s compiled
+//!   from `cluster::CapacityTrace` availability streams (or generated
+//!   as seeded synthetic churn), with per-lease deadlines, a
+//!   concurrency cap and a pinned routable floor;
+//! * [`controller`] — the [`CapacityController`] that executes a plan:
+//!   grants start invokers, deadlines trigger drains *ahead* of the
+//!   revoke (§III-C's grace window), revokes reap — the lease-driven
+//!   invoker lifecycle that replaces hand-rolled start/sigterm/join;
 //! * [`harness`] — the closed-loop load harness replaying
 //!   `crates/workload` arrival processes (Poisson, diurnal) into
-//!   `crates/metrics` latency CDFs.
+//!   `crates/metrics` latency CDFs, with per-action
+//!   admitted/delayed/shed/lost accounting.
 //!
 //! The drain guarantee, stated once and tested in
-//! `tests/drain_stress.rs`: **every admitted request is executed
+//! `tests/drain_stress.rs` (hand-churned) and by the `elasticity`
+//! scenario (trace-churned): **every admitted request is executed
 //! exactly once as long as one invoker survives** — sigterm moves
 //! unstarted backlog to the fast lane with admission timestamps
 //! preserved; producers that race a drain reroute themselves.
 
 pub mod action;
+pub mod admission;
+pub mod controller;
 pub mod gateway;
 pub mod harness;
+pub mod lease;
 pub mod pool;
 pub mod queue;
 pub mod route;
 
 pub use action::{ActionBody, ActionId, ActionRegistry, ActionSpec};
-pub use gateway::{Completion, Counters, Gateway, GatewayConfig, InvokerToken, Shed};
-pub use harness::{run_load, HarnessConfig, LoadReport};
+pub use admission::{AdmissionPolicy, TokenBucketCfg};
+pub use controller::{CapacityController, ControllerConfig, LeaseStats};
+pub use gateway::{
+    Admit, BurstScratch, Completion, Counters, Gateway, GatewayConfig, InvokerToken, Shed,
+};
+pub use harness::{run_load, run_load_with_controller, ActionLoad, HarnessConfig, LoadReport};
+pub use lease::{ChurnCfg, LeaseEvent, LeaseEventKind, LeasePlan};
 pub use pool::{Placement, PoolStats, WarmPool};
 pub use queue::{Envelope, Produce, ProduceBatch, Request, WorkQueue};
 pub use route::Router;

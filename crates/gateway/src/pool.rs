@@ -32,6 +32,29 @@ pub struct PoolStats {
     pub lru_evictions: u64,
     /// Idle containers retired by the keep-alive sweep.
     pub keepalive_evictions: u64,
+    /// Containers retired because their invoker drained (lease revoked
+    /// / sigterm): work checked out at sigterm time finishes, checks
+    /// back in, and is retired here — never leaked.
+    pub drain_retired: u64,
+}
+
+impl PoolStats {
+    /// Every container ever cold-started must leave through exactly one
+    /// retirement path (LRU, keep-alive, or drain); true when the books
+    /// balance for a pool whose invoker has exited.
+    pub fn containers_conserved(&self) -> bool {
+        self.cold_starts == self.lru_evictions + self.keepalive_evictions + self.drain_retired
+    }
+}
+
+impl std::ops::AddAssign for PoolStats {
+    fn add_assign(&mut self, rhs: PoolStats) {
+        self.warm_hits += rhs.warm_hits;
+        self.cold_starts += rhs.cold_starts;
+        self.lru_evictions += rhs.lru_evictions;
+        self.keepalive_evictions += rhs.keepalive_evictions;
+        self.drain_retired += rhs.drain_retired;
+    }
 }
 
 /// One invoker's container pool. Single-threaded by design: the owning
@@ -122,6 +145,22 @@ impl WarmPool {
         // No idle container to evict means every slot is genuinely busy;
         // with one request in flight per invoker thread that cannot
         // happen for slots >= 1, so over-commit is a no-op here.
+    }
+
+    /// Retire every container at invoker drain time. By the drain
+    /// protocol nothing is checked out when this runs (in-flight work
+    /// finishes and checks back in first), so the whole population is
+    /// idle and is retired — the pool ends empty, leaking nothing.
+    /// Returns how many containers were retired.
+    pub fn retire_all(&mut self) -> usize {
+        debug_assert_eq!(self.busy, 0, "drain with a container checked out");
+        let retired = self.idle_total;
+        for q in &mut self.warm {
+            q.clear();
+        }
+        self.idle_total = 0;
+        self.stats.drain_retired += retired as u64;
+        retired
     }
 
     /// Containers currently executing.
@@ -254,6 +293,23 @@ mod tests {
         // And the keep-alive still applies from the new check-in stamp.
         assert_eq!(p.sweep(mid + Duration::from_millis(50), &registry), 1);
         assert_eq!(p.stats().keepalive_evictions, 1);
+    }
+
+    #[test]
+    fn retire_all_empties_the_pool_and_balances_the_books() {
+        let mut p = WarmPool::new(4, 2);
+        let t = Instant::now();
+        p.acquire(ActionId(0), t);
+        p.release(ActionId(0), t);
+        p.acquire(ActionId(1), t);
+        p.release(ActionId(1), t);
+        assert_eq!(p.retire_all(), 2);
+        assert_eq!(p.n_warm_idle(), 0);
+        let s = p.stats();
+        assert_eq!(s.drain_retired, 2);
+        assert!(s.containers_conserved(), "{s:?}");
+        // Idempotent on an empty pool.
+        assert_eq!(p.retire_all(), 0);
     }
 
     #[test]

@@ -1,23 +1,37 @@
 //! Drain-without-loss stress matrix (ISSUE 2 acceptance criterion,
-//! extended by ISSUE 3): 100 seeded iterations of randomized churn —
-//! invokers sigtermed and restarted at arbitrary points while a request
-//! stream flows — executed at **drain batch sizes 1, 4 and 32**, and
-//! after every iteration, **every accepted request completed exactly
-//! once**: no losses, no duplicates, in every cell of the matrix.
+//! extended by ISSUEs 3 and 4): 100 seeded iterations of randomized
+//! churn — invoker leases granted, extended, drained at deadlines and
+//! revoked at arbitrary points while a request stream flows — executed
+//! at **drain batch sizes 1, 4 and 32**, and after every iteration,
+//! **every accepted request completed exactly once**: no losses, no
+//! duplicates, in every cell of the matrix.
+//!
+//! Since ISSUE 4 the churn no longer hand-rolls `start_invoker` /
+//! `sigterm` / `join_invoker`: each iteration compiles a seeded
+//! synthetic [`LeasePlan`] (Poisson grants, exponential holds, early
+//! preemption-shaped revokes, renewals, a pinned routable floor) and
+//! steps a [`CapacityController`] through it on a **virtual clock**
+//! interleaved with the submissions — the same lease-driven lifecycle
+//! the production scenario uses, with deterministic event points per
+//! seed.
 //!
 //! This exercises the whole drain stack at once: the atomic queue
-//! closure, batched fast-lane/home-queue pops (including a sigterm
-//! landing while a popped batch is mid-execution — in-flight work
-//! finishes, only unstarted backlog moves), the fast-lane move with
-//! preserved `produced_at` (the `mq` ordering semantics), producer-vs-
-//! drain races rerouting to the fast lane, the router's epoch swaps
-//! under membership churn, and the sharded completion path under
-//! invoker death and slot reuse.
+//! closure, batched fast-lane/home-queue pops (including a
+//! deadline-led or surprise drain landing while a popped batch is
+//! mid-execution — in-flight work finishes, only unstarted backlog
+//! moves), the fast-lane move with preserved `produced_at` (the `mq`
+//! ordering semantics), producer-vs-drain races rerouting to the fast
+//! lane, the router's epoch swaps under membership churn, the sharded
+//! completion path under invoker death and slot reuse, and the
+//! controller's deadline-headroom drains racing live traffic.
 
-use gateway::{ActionBody, ActionId, ActionSpec, Gateway, GatewayConfig, InvokerToken};
+use gateway::{
+    ActionBody, ActionId, ActionSpec, BurstScratch, CapacityController, ChurnCfg, ControllerConfig,
+    Gateway, GatewayConfig, LeasePlan,
+};
 use simcore::SimRng;
 use std::collections::HashSet;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 #[test]
 fn hundred_randomized_drains_exactly_once_batch_1() {
@@ -42,7 +56,6 @@ fn hundred_randomized_drains_exactly_once_batch_32() {
 
 fn run_iteration(seed: u64, drain_batch: usize) {
     let mut rng = SimRng::seed_from_u64(seed ^ 0xd8a1_57e5 ^ (drain_batch as u64) << 32);
-    let n_invokers = 2 + rng.index(4); // 2..=5
     let n_requests = 120 + rng.index(180); // 120..=299
     let gw = Gateway::new(
         GatewayConfig {
@@ -56,34 +69,50 @@ fn run_iteration(seed: u64, drain_batch: usize) {
         },
         vec![
             ActionSpec::noop("noop"),
-            // A touch of real work so backlogs build and sigterms land
+            // A touch of real work so backlogs build and drains land
             // mid-burst (and, at batch sizes > 1, mid-batch).
             ActionSpec::noop("spin").with_body(ActionBody::Spin(Duration::from_micros(
                 20 + rng.range_u64(0, 60),
             ))),
         ],
     );
-    let mut alive: Vec<InvokerToken> = (0..n_invokers).map(|_| gw.start_invoker()).collect();
+    // The lease schedule: one virtual tick per submitted request, churn
+    // dense enough that several grant/extend/drain/revoke transitions
+    // land inside every iteration. The pinned floor keeps one invoker
+    // routable at all times, so everything accepted can complete.
+    let step = Duration::from_micros(100);
+    let horizon = step * n_requests as u32;
+    let plan = LeasePlan::synthetic_churn(
+        &ChurnCfg {
+            horizon,
+            mean_hold: horizon / 5,
+            target_active: 3,
+            max_active: 6,
+            min_active: 1,
+            early_revoke_frac: 0.4,
+            extend_frac: 0.3,
+        },
+        seed,
+    );
+    let t0 = Instant::now();
+    let mut ctl = CapacityController::new(
+        &gw,
+        plan,
+        ControllerConfig {
+            drain_headroom: step * 2,
+            min_routable: 1,
+            ..Default::default()
+        },
+        t0,
+    );
 
     let mut accepted = HashSet::new();
     let mut shed = 0u64;
-    let mut started = n_invokers as u64;
-    for _ in 0..n_requests as u64 {
-        // Random churn interleaved with the stream: kill an invoker
-        // (keeping at least one) ~3% of the time, start one ~2%.
-        if alive.len() > 1 && rng.chance(0.03) {
-            let victim = alive.swap_remove(rng.index(alive.len()));
-            assert!(gw.sigterm(victim), "healthy invoker must accept sigterm");
-            // Half the time reap it immediately, half the time let it
-            // drain concurrently with ongoing traffic.
-            if rng.chance(0.5) {
-                gw.join_invoker(victim);
-            }
-        }
-        if alive.len() < 6 && rng.chance(0.02) {
-            alive.push(gw.start_invoker());
-            started += 1;
-        }
+    let mut scratch = BurstScratch::default();
+    for i in 0..n_requests {
+        // Advance the lease clock: grants, deadline drains, revokes and
+        // renewals interleave with the stream at seed-determined points.
+        ctl.poll(t0 + step * i as u32);
         // Mix the two submit paths: mostly single invokes, ~25% grouped
         // bursts (the batched-producer path that can race a drain with
         // a whole group and take the fast-lane fallback wholesale).
@@ -93,12 +122,12 @@ fn run_iteration(seed: u64, drain_batch: usize) {
                 .map(|_| (ActionId(rng.index(2) as u32), rng.next_u64()))
                 .collect();
             let mut outcomes = Vec::new();
-            gw.invoke_burst(&reqs, std::time::Instant::now(), &mut outcomes);
+            gw.invoke_burst(&reqs, Instant::now(), &mut outcomes, &mut scratch);
             assert_eq!(outcomes.len(), reqs.len());
             for outcome in outcomes {
                 match outcome {
-                    Ok(id) => {
-                        assert!(accepted.insert(id), "request ids must be unique");
+                    Ok(admit) => {
+                        assert!(accepted.insert(admit.id), "request ids must be unique");
                     }
                     Err(_) => shed += 1,
                 }
@@ -106,8 +135,8 @@ fn run_iteration(seed: u64, drain_batch: usize) {
         } else {
             let action = ActionId(rng.index(2) as u32);
             match gw.invoke(action, rng.next_u64()) {
-                Ok(id) => {
-                    assert!(accepted.insert(id), "request ids must be unique");
+                Ok(admit) => {
+                    assert!(accepted.insert(admit.id), "request ids must be unique");
                 }
                 Err(_) => shed += 1,
             }
@@ -118,17 +147,15 @@ fn run_iteration(seed: u64, drain_batch: usize) {
     // equals the accepted set with no duplicates.
     let mut completed = HashSet::new();
     while completed.len() < accepted.len() {
-        let c = gw
-            .recv_timeout(Duration::from_secs(10))
-            .unwrap_or_else(|| {
-                panic!(
-                    "seed {seed} batch {drain_batch}: lost {} of {} accepted requests ({} shed, {} invokers started)",
-                    accepted.len() - completed.len(),
-                    accepted.len(),
-                    shed,
-                    started
-                )
-            });
+        let c = gw.recv_timeout(Duration::from_secs(10)).unwrap_or_else(|| {
+            panic!(
+                "seed {seed} batch {drain_batch}: lost {} of {} accepted requests ({} shed, {:?})",
+                accepted.len() - completed.len(),
+                accepted.len(),
+                shed,
+                ctl.stats(),
+            )
+        });
         assert!(
             completed.insert(c.id),
             "seed {seed} batch {drain_batch}: request {} executed twice",
@@ -141,6 +168,8 @@ fn run_iteration(seed: u64, drain_batch: usize) {
         );
     }
     assert_eq!(completed, accepted, "seed {seed} batch {drain_batch}");
+    let stats = ctl.finish();
+    assert!(stats.grants >= 1, "plan granted nothing: {stats:?}");
     // Graceful shutdown afterwards strands nothing: everything accepted
     // already completed.
     assert_eq!(gw.shutdown(), 0, "seed {seed} batch {drain_batch}");
@@ -152,5 +181,12 @@ fn run_iteration(seed: u64, drain_batch: usize) {
     assert!(
         gw.try_recv().is_none(),
         "seed {seed} batch {drain_batch}: stray completion"
+    );
+    // Container conservation: with every invoker joined, each container
+    // ever cold-started left through exactly one retirement path.
+    let pools = gw.retired_pool_stats();
+    assert!(
+        pools.containers_conserved(),
+        "seed {seed} batch {drain_batch}: container leak: {pools:?}"
     );
 }

@@ -27,7 +27,7 @@ fn recv(gw: &Gateway) -> gateway::Completion {
 fn basic_invocation_roundtrip() {
     let gw = noop_plane(1);
     let inv = gw.start_invoker();
-    let id = gw.invoke(ActionId(0), 7).expect("accepted");
+    let id = gw.invoke(ActionId(0), 7).expect("accepted").id;
     let c = recv(&gw);
     assert_eq!(c.id, id);
     assert_eq!(c.invoker, inv.id);
@@ -64,7 +64,7 @@ fn drain_hands_off_backlog_no_request_lost() {
     // Slow work so a backlog builds on both queues.
     let mut ids = HashSet::new();
     for i in 0..200u64 {
-        ids.insert(gw.invoke(ActionId(0), i % 16).expect("accepted"));
+        ids.insert(gw.invoke(ActionId(0), i % 16).expect("accepted").id);
     }
     // SIGTERM invoker 1 mid-burst: its backlog must flow through the
     // fast lane to invoker 2.
@@ -105,7 +105,7 @@ fn sequential_drains_leave_last_invoker_serving() {
     let tokens: Vec<_> = (0..3).map(|_| gw.start_invoker()).collect();
     let mut ids = HashSet::new();
     for i in 0..90u64 {
-        ids.insert(gw.invoke(ActionId(0), i).unwrap());
+        ids.insert(gw.invoke(ActionId(0), i).unwrap().id);
     }
     for t in &tokens[..2] {
         assert!(gw.sigterm(*t));

@@ -19,7 +19,7 @@
 //! time until backfill finds something that fits). On entry to the
 //! saturated regime all open gaps are claimed immediately.
 
-use cluster::AvailabilityTrace;
+use cluster::{AvailabilityTrace, CapacityTrace};
 use simcore::dist::{LogNormal, Pareto, Sample};
 use simcore::{SimDuration, SimRng, SimTime};
 
@@ -276,6 +276,22 @@ impl IdleModel {
 
         AvailabilityTrace::from_intervals(SimTime::ZERO, end, per_node)
     }
+
+    /// The same availability process as [`generate`](Self::generate),
+    /// exported as the *causal* lease stream the live plane consumes:
+    /// grant/extend/revoke events with per-lease deadlines, where
+    /// `quantum` is the pilot jobs' declared wall-time limit. This is
+    /// the bridge from the Prometheus-calibrated statistics to the
+    /// gateway's capacity controller — replaying it drives real invoker
+    /// threads through the same churn the paper's platform survived.
+    pub fn capacity_trace(
+        &self,
+        horizon: SimDuration,
+        seed: u64,
+        quantum: SimDuration,
+    ) -> CapacityTrace {
+        CapacityTrace::from_availability(&self.generate(horizon, seed), quantum)
+    }
 }
 
 /// Mostly singleton openings (one node freed as one job ends and the
@@ -388,6 +404,37 @@ mod tests {
                 assert!(len <= m.gap_cap_mins + 1.0, "gap of {len} min");
             }
         }
+    }
+
+    #[test]
+    fn capacity_trace_mirrors_the_availability_process() {
+        let m = IdleModel::fib_day();
+        let horizon = SimDuration::from_hours(4);
+        let avail = m.generate(horizon, 5);
+        let cap = m.capacity_trace(horizon, 5, SimDuration::from_mins_f64(10.0));
+        // One lease per availability interval, every lease revoked.
+        assert_eq!(cap.n_grants(), avail.n_intervals());
+        // The leased-node series is the idle-count series: same
+        // time-average capacity offered to the FaaS plane.
+        let a = avail.count_series().time_avg(SimTime::ZERO, avail.end);
+        let c = cap.leased_series().time_avg(SimTime::ZERO, cap.end);
+        assert!((a - c).abs() < 1e-9, "leased {c} vs idle {a}");
+        // Interval ends fall anywhere relative to the 10-min deadlines
+        // (the paper's point: invoker lifetimes are unpredictable), so
+        // preemption-shaped early revokes dominate…
+        let early = cap.n_early_revokes();
+        assert!(
+            early * 2 > cap.n_grants(),
+            "only {early} early revokes in {} grants",
+            cap.n_grants()
+        );
+        // …and the heavy tail produces gaps long enough to need renewal.
+        let extends = cap
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, cluster::CapacityEventKind::Extend { .. }))
+            .count();
+        assert!(extends > 0, "no lease outlived the 10-min quantum");
     }
 
     #[test]

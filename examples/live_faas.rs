@@ -1,16 +1,21 @@
 //! The live serving plane: run actual compute — the SeBS PageRank
-//! kernel — through the sharded gateway on a dynamic pool of invoker
-//! threads, drain one mid-burst, and verify no invocation is lost.
+//! kernel — through the sharded gateway on a **lease-driven** pool of
+//! invoker threads. Capacity comes and goes the way the paper's does:
+//! a `CapacityController` replays a lease plan (grants with deadlines,
+//! a mid-burst revoke) while the request stream flows, and no
+//! invocation is lost.
 //!
 //! This is the drain/fast-lane protocol of §III-C on OS threads and
 //! queues rather than under the simulator's virtual clock, plus the
 //! pieces the DES plane models analytically: warm-container pools with
-//! cold starts, admission control, and a closed-loop load harness.
+//! cold starts, deadline-aware drains, admission control, and a
+//! closed-loop load harness.
 //!
 //! Run with: `cargo run --release --example live_faas`
 
 use hpc_whisk::gateway::{
-    run_load, ActionBody, ActionId, ActionSpec, Gateway, GatewayConfig, HarnessConfig,
+    run_load, ActionBody, ActionId, ActionSpec, CapacityController, ControllerConfig, Gateway,
+    GatewayConfig, HarnessConfig, LeaseEvent, LeaseEventKind, LeasePlan,
 };
 use hpc_whisk::sebs::{Graph, Kernel};
 use hpc_whisk::simcore::SimDuration;
@@ -31,23 +36,50 @@ fn main() {
         })
         .collect();
     let gw = Gateway::new(GatewayConfig::default(), actions);
-    let tokens: Vec<_> = (0..3).map(|_| gw.start_invoker()).collect();
-    println!("started 3 invoker threads behind the sharded router");
 
+    // The capacity plan: three pilot leases granted up front; node 1's
+    // lease is revoked mid-burst (a prime HPC job reclaims it), the
+    // other two run long enough to serve the whole demo.
+    let grant = |node: u32, deadline_ms: u64| LeaseEvent {
+        at: Duration::ZERO,
+        node,
+        kind: LeaseEventKind::Grant {
+            deadline: Duration::from_millis(deadline_ms),
+        },
+    };
+    let plan = LeasePlan {
+        events: vec![
+            grant(0, 60_000),
+            grant(1, 60_000),
+            grant(2, 60_000),
+            LeaseEvent {
+                at: Duration::from_millis(20),
+                node: 1,
+                kind: LeaseEventKind::Revoke,
+            },
+        ],
+        horizon: Duration::from_secs(60),
+        capped_grants: 0,
+        floor: 0,
+    };
     let t0 = Instant::now();
+    let mut ctl = CapacityController::new(&gw, plan, ControllerConfig::default(), t0);
+    ctl.poll(t0);
+    println!(
+        "granted {} pilot leases behind the sharded router",
+        ctl.n_routable()
+    );
+
     let n_requests = 120u64;
     let mut accepted = 0u64;
     for i in 0..n_requests {
         gw.invoke(ActionId((i % 4) as u32), i).expect("accepted");
         accepted += 1;
         if i == 40 {
-            // A prime HPC job takes an invoker's node: SIGTERM mid-burst.
-            println!(
-                "SIGTERM invoker {} after 40 submissions (node reclaimed)",
-                tokens[1].id
-            );
-            gw.sigterm(tokens[1]);
-            gw.join_invoker(tokens[1]);
+            // Replay up to the revoke event: node 1's invoker drains
+            // mid-burst and its backlog takes the fast lane.
+            ctl.poll(t0 + Duration::from_millis(20));
+            println!("lease on node 1 revoked after 40 submissions (node reclaimed)");
         }
     }
 
@@ -61,7 +93,7 @@ fn main() {
         cold += c.cold as u64;
     }
     println!(
-        "all {accepted} invocations completed in {:.2?} despite the drain ({cold} cold starts)",
+        "all {accepted} invocations completed in {:.2?} despite the revoke ({cold} cold starts)",
         t0.elapsed()
     );
     for (inv, n) in per_invoker {
@@ -69,7 +101,8 @@ fn main() {
     }
 
     // Second act: replay a compressed diurnal arrival process through
-    // the closed-loop harness and report latency quantiles.
+    // the closed-loop harness and report latency quantiles with the
+    // per-action admitted/delayed/shed/lost breakdown.
     let arrivals = DiurnalLoadGen::new(50.0, 400.0, SimDuration::from_secs(4), 4)
         .arrivals(SimDuration::from_secs(4), 7);
     println!(
@@ -80,6 +113,20 @@ fn main() {
     println!("harness: {}", report.summary());
     assert_eq!(report.lost(), 0, "accepted requests are never lost");
 
+    let stats = ctl.finish();
+    println!(
+        "controller: {} grants, {} revokes ({} surprise), {} deadline drains, {} reaped at finish",
+        stats.grants,
+        stats.revokes,
+        stats.surprise_revokes,
+        stats.deadline_drains,
+        stats.reaped_at_finish
+    );
     let stranded = gw.shutdown();
-    println!("gateway shut down cleanly ({stranded} stranded)");
+    let pools = gw.retired_pool_stats();
+    assert!(pools.containers_conserved(), "container leak: {pools:?}");
+    println!(
+        "gateway shut down cleanly ({stranded} stranded, {} containers retired at drains)",
+        pools.drain_retired
+    );
 }

@@ -65,11 +65,23 @@ fn workload_models_via_facade() {
 
 #[test]
 fn live_gateway_via_facade() {
+    // Invoker lifecycle through the capacity-lease API: the floor lease
+    // of a synthetic churn plan brings the plane up.
+    use hpc_whisk::gateway::{CapacityController, ChurnCfg, ControllerConfig, LeasePlan};
     let gw = Gateway::new(GatewayConfig::default(), vec![ActionSpec::noop("f")]);
-    gw.start_invoker();
-    let id = gw.invoke(ActionId(0), 0).unwrap();
+    let t0 = std::time::Instant::now();
+    let mut ctl = CapacityController::new(
+        &gw,
+        LeasePlan::synthetic_churn(&ChurnCfg::default(), 1),
+        ControllerConfig::default(),
+        t0,
+    );
+    ctl.poll(t0);
+    let id = gw.invoke(ActionId(0), 0).unwrap().id;
     let c = gw.recv_timeout(std::time::Duration::from_secs(5)).unwrap();
     assert_eq!(c.id, id);
+    let stats = ctl.finish();
+    assert!(stats.grants >= 1);
     assert_eq!(gw.shutdown(), 0);
 }
 
