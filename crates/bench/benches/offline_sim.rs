@@ -19,6 +19,10 @@ fn bench_offline(c: &mut Criterion) {
     group.bench_function("simulate_C2_day", |b| {
         b.iter(|| black_box(simulate(&trace, &OfflineConfig::table1(lengths::c2())).n_jobs))
     });
+    let week = IdleModel::prometheus_week().generate(SimDuration::from_hours(24 * 7), 42);
+    group.bench_function("simulate_A1_week", |b| {
+        b.iter(|| black_box(simulate(&week, &OfflineConfig::table1(lengths::A1.to_vec())).n_jobs))
+    });
     group.finish();
 
     let mut group = c.benchmark_group("tracegen");

@@ -2,7 +2,7 @@
 //! 2,239-node cluster processing a backfill pass with a 100-deep pilot
 //! queue — the operation whose cadence bounds the whole day simulation.
 
-use cluster::{ClusterEvent, ClusterSim, JobSpec, SlurmConfig};
+use cluster::{ClusterEvent, ClusterSim, JobSpec, SlurmConfig, Timeline};
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use hpcwhisk_core::{lengths, FibManager, PilotManager};
 use simcore::{Outbox, SimDuration, SimTime};
@@ -66,6 +66,18 @@ fn bench_passes(c: &mut Criterion) {
                 sim.handle(SimTime::ZERO, ClusterEvent::QuickPass, &mut out, &mut notes);
                 black_box(notes.len())
             },
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("placement_churn_2239_nodes", |b| {
+        // 4,096 run-length-indexed placements per iteration with
+        // releases and window advances mixed in — the index's O(1)
+        // amortized claim/release/advance contract under sustained
+        // churn (the canonical stream shared with the perf_trajectory
+        // probe and pinned by the placement_churn regression test).
+        b.iter_batched_ref(
+            || Timeline::new(SimTime::ZERO, SimDuration::from_mins(2), 60, 2_239),
+            |tl| black_box(tl.run_deterministic_churn(4_096)),
             BatchSize::LargeInput,
         )
     });

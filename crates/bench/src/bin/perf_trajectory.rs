@@ -34,14 +34,48 @@ fn median(mut xs: Vec<f64>) -> f64 {
     xs[xs.len() / 2]
 }
 
+/// Parse the `ns_per_op` figures out of a previously written results
+/// file (the checked-in `BENCH_results.json`), so the run can print a
+/// delta column against it. Hand-rolled: the file is our own fixed
+/// shape, and the vendored serde shim has no JSON deserializer.
+fn read_baseline(path: &str) -> Vec<(String, f64)> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some(name_at) = line.find("\"name\": \"") else {
+            continue;
+        };
+        let rest = &line[name_at + 9..];
+        let Some(name_end) = rest.find('"') else {
+            continue;
+        };
+        let name = rest[..name_end].to_string();
+        let Some(ns_at) = rest.find("\"ns_per_op\": ") else {
+            continue;
+        };
+        let ns_text: String = rest[ns_at + 13..]
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.')
+            .collect();
+        if let Ok(ns) = ns_text.parse::<f64>() {
+            out.push((name, ns));
+        }
+    }
+    out
+}
+
 /// Time `routine` on fresh `setup` output, `iters` ops per sample. The
 /// routine takes the input by `&mut`, so fixture teardown happens
 /// outside the timed region (mirrors the criterion shim's
-/// `iter_batched_ref`).
-fn probe<I, O>(
+/// `iter_batched_ref`). `ops_per_iter` divides the figure for routines
+/// that run many homogeneous steps per call (e.g. a churn loop).
+fn probe_scaled<I, O>(
     name: &'static str,
     samples: usize,
     iters: usize,
+    ops_per_iter: f64,
     mut setup: impl FnMut() -> I,
     mut routine: impl FnMut(&mut I) -> O,
 ) -> Probe {
@@ -52,15 +86,26 @@ fn probe<I, O>(
         for input in inputs.iter_mut() {
             black_box(routine(input));
         }
-        per_sample.push(t.elapsed().as_nanos() as f64 / iters as f64);
+        per_sample.push(t.elapsed().as_nanos() as f64 / iters as f64 / ops_per_iter);
         drop(inputs);
     }
     let ns = median(per_sample);
-    eprintln!("{name:<36} {:>12.0} ns/op  ({:>10.1} ops/s)", ns, 1e9 / ns);
+    eprintln!("{name:<36} {:>12.1} ns/op  ({:>10.1} ops/s)", ns, 1e9 / ns);
     Probe {
         name,
         ns_per_op: ns,
     }
+}
+
+/// [`probe_scaled`] with one op per routine call.
+fn probe<I, O>(
+    name: &'static str,
+    samples: usize,
+    iters: usize,
+    setup: impl FnMut() -> I,
+    routine: impl FnMut(&mut I) -> O,
+) -> Probe {
+    probe_scaled(name, samples, iters, 1.0, setup, routine)
 }
 
 /// Invoker-thread count of the gateway probes; the probe names below
@@ -255,6 +300,11 @@ fn main() {
     let out_path = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "BENCH_results.json".to_string());
+    // The delta column always compares against the checked-in
+    // trajectory (read before the overwrite below when out_path is the
+    // default), never against a previous run's scratch output — a
+    // repeated run to the same path must not mask drift.
+    let baseline = read_baseline("BENCH_results.json");
     // Fail fast on an unwritable destination — the probes below take a
     // while and their results would be lost.
     if let Err(e) = std::fs::write(&out_path, "{}\n") {
@@ -283,6 +333,18 @@ fn main() {
         3,
         loaded_cluster,
         cluster_pass(ClusterEvent::Poll),
+    ));
+    probes.push(probe_scaled(
+        "scheduler/placement_churn_2239_nodes",
+        9,
+        3,
+        4_096.0,
+        || cluster::Timeline::new(SimTime::ZERO, SimDuration::from_mins(2), 60, 2_239),
+        // 4,096 indexed placements with releases and window advances
+        // mixed in (the canonical shape pinned by the
+        // `deterministic_churn_like_the_probe` test); reported per
+        // churn step.
+        |tl: &mut cluster::Timeline| tl.run_deterministic_churn(4_096),
     ));
     probes.push(probe(
         "engine/ping_chain_100k",
@@ -351,6 +413,14 @@ fn main() {
             || (),
             |_: &mut ()| simulate(&trace, &OfflineConfig::table1(lengths::A1.to_vec())).n_jobs,
         ));
+        let week = IdleModel::prometheus_week().generate(SimDuration::from_hours(24 * 7), 42);
+        probes.push(probe(
+            "offline/simulate_A1_week",
+            7,
+            1,
+            || (),
+            |_: &mut ()| simulate(&week, &OfflineConfig::table1(lengths::A1.to_vec())).n_jobs,
+        ));
     }
     gateway_probes(5, &mut probes);
 
@@ -366,5 +436,30 @@ fn main() {
     }
     json.push_str("  ]\n}\n");
     std::fs::write(&out_path, json).expect("write results file");
-    eprintln!("wrote {out_path}");
+
+    // Delta column against the checked-in trajectory: ratio > 1 is a
+    // speed-up, < 1 a regression — visible in CI logs without diffing
+    // JSON.
+    if !baseline.is_empty() {
+        eprintln!(
+            "\n{:<36} {:>12} {:>12} {:>8}",
+            "probe", "old ns", "new ns", "delta"
+        );
+        for p in &probes {
+            match baseline.iter().find(|(n, _)| n == p.name) {
+                Some((_, old)) => {
+                    let ratio = old / p.ns_per_op;
+                    let marker = if ratio < 0.9 { "  <-- regression" } else { "" };
+                    eprintln!(
+                        "{:<36} {:>12.0} {:>12.0} {:>7.2}x{marker}",
+                        p.name, old, p.ns_per_op, ratio
+                    );
+                }
+                None => {
+                    eprintln!("{:<36} {:>12} {:>12.0}     new", p.name, "-", p.ns_per_op);
+                }
+            }
+        }
+    }
+    eprintln!("\nwrote {out_path}");
 }

@@ -7,16 +7,137 @@
 //! Each day is simulated independently (seeded per-day), mirroring how
 //! the paper's two experiment days were separate runs; the week trace
 //! uses the Fig. 1 idle-process calibration.
+//!
+//! `--sweep` goes further than the single week: a 4-week, multi-cluster,
+//! multi-seed sweep through the parallel day driver, reporting per
+//! day-of-week coverage with error bars across weeks × seeds. With
+//! `--quick` the sweep shrinks to 1 week × 2 seeds on small clusters
+//! (the CI smoke shape).
 
 use hpcwhisk_bench::{quick_mode, section};
-use hpcwhisk_core::{lengths, DayConfig};
+use hpcwhisk_core::{lengths, run_week_sweep, DayConfig, ManagerKind, SweepCluster, SweepConfig};
 use metrics::OnlineStats;
 use rayon::prelude::*;
 use simcore::SimDuration;
 use workload::IdleModel;
 
+/// The `--sweep` mode: §VII at full scale.
+fn run_sweep(quick: bool) {
+    let mut clusters = Vec::new();
+    if quick {
+        let mut small = IdleModel::prometheus_week();
+        small.n_nodes = 250;
+        small.target_avg_idle = 4.0;
+        clusters.push(SweepCluster {
+            label: "quick-250".into(),
+            model: small,
+        });
+        let mut tiny = IdleModel::prometheus_week();
+        tiny.n_nodes = 120;
+        tiny.target_avg_idle = 2.5;
+        clusters.push(SweepCluster {
+            label: "quick-120".into(),
+            model: tiny,
+        });
+    } else {
+        clusters.push(SweepCluster {
+            label: "prometheus-2239".into(),
+            model: IdleModel::prometheus_week(),
+        });
+        let mut half = IdleModel::prometheus_week();
+        half.n_nodes = 1_120;
+        half.target_avg_idle = 5.2;
+        clusters.push(SweepCluster {
+            label: "half-1120".into(),
+            model: half,
+        });
+        let mut busy = IdleModel::prometheus_week();
+        busy.target_avg_idle = 5.0; // a busier quarter: half the idle surface
+        clusters.push(SweepCluster {
+            label: "busy-2239".into(),
+            model: busy,
+        });
+    }
+    let cfg = SweepConfig {
+        weeks: if quick { 1 } else { 4 },
+        seeds: if quick {
+            vec![11, 23]
+        } else {
+            vec![11, 23, 47]
+        },
+        manager: ManagerKind::Fib(lengths::A1.to_vec()),
+    };
+
+    section(&format!(
+        "Week-scale sweep: {} clusters x {} weeks x {} seeds ({} day-runs)",
+        clusters.len(),
+        cfg.weeks,
+        cfg.seeds.len(),
+        clusters.len() as u64 * cfg.weeks * 7 * cfg.seeds.len() as u64
+    ));
+    let days = run_week_sweep(&clusters, &cfg);
+
+    // Per (cluster, day-of-week): mean ± stddev across weeks × seeds.
+    println!(
+        "cluster          | dow | coverage % (mean ± sd) | clairvoyant % | avail avg | max delay s"
+    );
+    let mut overall = vec![OnlineStats::new(); clusters.len()];
+    let mut worst_delay = 0.0f64;
+    for (ci, cl) in clusters.iter().enumerate() {
+        for dow in 0..7u64 {
+            let mut cov = OnlineStats::new();
+            let mut clair = OnlineStats::new();
+            let mut avail = OnlineStats::new();
+            let mut delay = 0.0f64;
+            for d in days.iter().filter(|d| d.cluster == ci && d.day == dow) {
+                cov.add(d.coverage * 100.0);
+                clair.add(d.clairvoyant * 100.0);
+                avail.add(d.avg_available);
+                delay = delay.max(d.max_demand_delay_secs);
+                overall[ci].add(d.coverage * 100.0);
+            }
+            worst_delay = worst_delay.max(delay);
+            if cov.count() > 0 {
+                println!(
+                    "{:<16} | {dow:>3} | {:>12.1} ± {:>4.1} | {:>13.1} | {:>9.2} | {:>11.1}",
+                    cl.label,
+                    cov.mean(),
+                    cov.stddev(),
+                    clair.mean(),
+                    avail.mean(),
+                    delay
+                );
+            }
+        }
+    }
+    section("Sweep summary");
+    for (ci, cl) in clusters.iter().enumerate() {
+        println!(
+            "{:<16} coverage {:.1}% ± {:.1} over {} day-runs (min {:.1}, max {:.1})",
+            cl.label,
+            overall[ci].mean(),
+            overall[ci].stddev(),
+            overall[ci].count(),
+            overall[ci].min().unwrap_or(0.0),
+            overall[ci].max().unwrap_or(0.0)
+        );
+    }
+    println!(
+        "\nworst prime-demand delay anywhere in the sweep: {worst_delay:.1} s \
+         (the paper's invasiveness bound is 3 minutes + handover latency)"
+    );
+    assert!(
+        worst_delay <= 200.0,
+        "invasiveness bound violated in sweep: {worst_delay:.1} s"
+    );
+}
+
 fn main() {
     let quick = quick_mode();
+    if std::env::args().any(|a| a == "--sweep") {
+        run_sweep(quick);
+        return;
+    }
     let days: u64 = if quick { 2 } else { 7 };
     let model = if quick {
         let mut m = IdleModel::prometheus_week();

@@ -22,11 +22,24 @@
 //!   from an O(slots × nodes) loop-of-loops into one node-major
 //!   counting sweep.
 //!
+//! Since PR 5 the "start now" queries are answered by a **run-length
+//! index** ([`RunIndex`]): per-run-length buckets (bitset of the nodes
+//! whose slot-0 free run is exactly ℓ), a run histogram with a non-empty
+//! bucket mask, and a lazily rebuilt suffix count. The index is built
+//! lazily on the first query and maintained incrementally — O(1) per
+//! claim/release — so [`Timeline::find_single_now`] pops the smallest
+//! non-empty bucket ≥ d, [`Timeline::count_startable`] reads a cached
+//! suffix count, and [`Timeline::find_start`] short-circuits its
+//! counting sweep whenever slot 0 already admits the request. Window
+//! advances ([`Timeline::advance_slots`]) invalidate the index wholesale;
+//! the next query rebuilds it in one sweep.
+//!
 //! The original scan-based implementations are retained as
 //! `*_reference` methods; property tests assert bit-exact equivalence.
 
 use crate::ids::NodeId;
 use simcore::{SimDuration, SimTime};
+use std::cell::RefCell;
 
 /// Node selection policy when several nodes satisfy a request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,6 +66,186 @@ pub struct Timeline {
     /// Bit `n` set iff node `n`'s slot 0 is free — the candidate set for
     /// every "start now" query.
     now_free: Vec<u64>,
+    /// The run-length index, built lazily on the first "start now" query
+    /// (so pass timelines that are only written never pay for it) and
+    /// then maintained incrementally by every claim/release.
+    index: RefCell<Option<RunIndex>>,
+}
+
+/// Run-length-bucketed index over the nodes' slot-0 free runs.
+///
+/// Invariants (whenever the index exists):
+/// * `runs[n]` is exactly `free[n].trailing_ones()` — the length of the
+///   free run starting at slot 0;
+/// * bucket row ℓ of `buckets` has bit `n` set iff `runs[n] == ℓ`;
+/// * `hist[ℓ]` counts the nodes in bucket ℓ and `nonempty` has bit ℓ set
+///   iff `hist[ℓ] > 0`;
+/// * `suffix[ℓ] == Σ_{j ≥ ℓ} hist[j]` whenever `suffix_valid` — the one
+///   lazily invalidated piece, rebuilt in O(n_slots) on the next
+///   [`Timeline::count_startable`] after a mutation.
+#[derive(Debug, Clone)]
+struct RunIndex {
+    words: usize,
+    runs: Vec<u8>,
+    /// `(n_slots + 1)` rows × `words` columns, flattened row-major.
+    buckets: Vec<u64>,
+    /// Per-row lower bound on the first word with a set bit (clears never
+    /// lower it, so it is repaired upward when a scan walks past zeros).
+    lo: Vec<u32>,
+    hist: Vec<u32>,
+    nonempty: u64,
+    suffix: Vec<u32>,
+    suffix_valid: bool,
+}
+
+impl RunIndex {
+    /// One sparse sweep: only nodes whose slot 0 is free (the `now_free`
+    /// candidate set) are bucketed — bucket row 0 is never queried (the
+    /// degenerate d = 0 request takes the reference path), so run-0 nodes
+    /// contribute only to the histogram. On a ~95%-occupied production
+    /// cluster this touches ~5% of the nodes.
+    fn build(free: &[u64], now_free: &[u64], n_slots: u32) -> Self {
+        let n = free.len();
+        let words = n.div_ceil(64);
+        let rows = n_slots as usize + 1;
+        let mut runs = vec![0u8; n];
+        let mut buckets = vec![0u64; rows * words];
+        let mut lo = vec![words as u32; rows];
+        let mut hist = vec![0u32; rows];
+        let mut indexed = 0u32;
+        for (w, bits) in now_free.iter().enumerate() {
+            let mut m = *bits;
+            while m != 0 {
+                let b = m.trailing_zeros() as usize;
+                m &= m - 1;
+                let i = w * 64 + b;
+                // `free` only has bits below n_slots, so trailing_ones
+                // is already capped at n_slots.
+                let r = free[i].trailing_ones() as usize;
+                runs[i] = r as u8;
+                buckets[r * words + w] |= 1u64 << b;
+                lo[r] = lo[r].min(w as u32);
+                hist[r] += 1;
+                indexed += 1;
+            }
+        }
+        hist[0] = n as u32 - indexed;
+        let mut nonempty = 0u64;
+        for (l, h) in hist.iter().enumerate() {
+            if *h > 0 {
+                nonempty |= 1 << l;
+            }
+        }
+        RunIndex {
+            words,
+            runs,
+            buckets,
+            lo,
+            hist,
+            nonempty,
+            suffix: vec![0; rows],
+            suffix_valid: false,
+        }
+    }
+
+    /// Move node `n` to the bucket of its new mask. O(1). Bucket row 0
+    /// is not materialized (see [`RunIndex::build`]).
+    #[inline]
+    fn update(&mut self, node: usize, mask: u64) {
+        let new = mask.trailing_ones() as u8;
+        let old = self.runs[node];
+        if new == old {
+            return;
+        }
+        self.runs[node] = new;
+        let (w, bit) = (node / 64, 1u64 << (node % 64));
+        if old != 0 {
+            self.buckets[old as usize * self.words + w] &= !bit;
+        }
+        if new != 0 {
+            self.buckets[new as usize * self.words + w] |= bit;
+            self.lo[new as usize] = self.lo[new as usize].min(w as u32);
+        }
+        self.hist[old as usize] -= 1;
+        if self.hist[old as usize] == 0 {
+            self.nonempty &= !(1u64 << old);
+        }
+        self.hist[new as usize] += 1;
+        self.nonempty |= 1u64 << new;
+        self.suffix_valid = false;
+    }
+
+    /// The cached suffix counts (`suffix[ℓ]` = nodes with run ≥ ℓ),
+    /// rebuilt from the histogram if a mutation invalidated them.
+    fn suffix_counts(&mut self) -> &[u32] {
+        if !self.suffix_valid {
+            let mut acc = 0u32;
+            for l in (0..self.hist.len()).rev() {
+                acc += self.hist[l];
+                self.suffix[l] = acc;
+            }
+            self.suffix_valid = true;
+        }
+        &self.suffix
+    }
+
+    /// Lowest node id in bucket ℓ; `None` if it is empty. Starts at the
+    /// row's low-word hint and repairs it to the word it lands on.
+    fn lowest_in_bucket(&mut self, l: u32) -> Option<u32> {
+        let row = l as usize * self.words;
+        for w in self.lo[l as usize] as usize..self.words {
+            let bits = self.buckets[row + w];
+            if bits != 0 {
+                self.lo[l as usize] = w as u32;
+                return Some((w * 64) as u32 + bits.trailing_zeros());
+            }
+        }
+        self.lo[l as usize] = self.words as u32;
+        None
+    }
+
+    /// Visit nodes with run ≥ `d` in ascending id order until `f`
+    /// returns `false`. Word-major union over the non-empty buckets ≥ d,
+    /// starting at the lowest hint among the candidate rows.
+    fn for_each_ge(&self, d: u32, mut f: impl FnMut(u32) -> bool) {
+        let cand = self.nonempty >> d;
+        if cand == 0 {
+            return;
+        }
+        let mut start = self.words;
+        let mut c = cand;
+        while c != 0 {
+            let l = d + c.trailing_zeros();
+            start = start.min(self.lo[l as usize] as usize);
+            c &= c - 1;
+        }
+        for w in start..self.words {
+            let mut m = 0u64;
+            let mut c = cand;
+            while c != 0 {
+                let l = d + c.trailing_zeros();
+                m |= self.buckets[l as usize * self.words + w];
+                c &= c - 1;
+            }
+            while m != 0 {
+                let b = m.trailing_zeros();
+                m &= m - 1;
+                if !f((w * 64) as u32 + b) {
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Lowest node id with run ≥ `d` (first-fit).
+    fn first_ge(&self, d: u32) -> Option<u32> {
+        let mut found = None;
+        self.for_each_ge(d, |n| {
+            found = Some(n);
+            false
+        });
+        found
+    }
 }
 
 /// Positions where a run of at least `d` consecutive set bits starts,
@@ -94,6 +287,78 @@ impl Timeline {
             window_end: origin + SimDuration::from_millis(slot_ms * n_slots as u64),
             free: vec![all_free; n_nodes],
             now_free,
+            index: RefCell::new(None),
+        }
+    }
+
+    /// Keep the run index (if built) in sync after `free[node]` changed.
+    #[inline]
+    fn touch(&mut self, node: usize) {
+        if let Some(idx) = self.index.get_mut().as_mut() {
+            idx.update(node, self.free[node]);
+        }
+    }
+
+    /// Run `f` on the index, building it first if needed.
+    #[inline]
+    fn with_index<R>(&self, f: impl FnOnce(&mut RunIndex) -> R) -> R {
+        let mut guard = self.index.borrow_mut();
+        let idx =
+            guard.get_or_insert_with(|| RunIndex::build(&self.free, &self.now_free, self.n_slots));
+        f(idx)
+    }
+
+    /// Build a timeline directly from per-node free masks (bit `s` of
+    /// `masks[n]` set ⟺ node `n` free in slot `s`; bits at or above
+    /// `n_slots` must be clear). One branchless sweep derives the
+    /// slot-0-free bitset — this is how the scheduler materializes its
+    /// pass timelines without paying a per-node `block_*` call.
+    pub fn from_masks(
+        origin: SimTime,
+        resolution: SimDuration,
+        n_slots: u32,
+        masks: Vec<u64>,
+    ) -> Self {
+        let words = masks.len().div_ceil(64);
+        let mut now_free = Vec::with_capacity(words);
+        // Per-64 chunks accumulate the slot-0 bits in a register instead
+        // of read-modify-writing a memory word per node.
+        for chunk in masks.chunks(64) {
+            let mut w = 0u64;
+            for (b, m) in chunk.iter().enumerate() {
+                w |= (m & 1) << b;
+            }
+            now_free.push(w);
+        }
+        Self::from_parts(origin, resolution, n_slots, masks, now_free)
+    }
+
+    /// [`Timeline::from_masks`] with the slot-0-free words already
+    /// accumulated by the caller's sweep (the scheduler folds them into
+    /// its projection pass).
+    pub(crate) fn from_parts(
+        origin: SimTime,
+        resolution: SimDuration,
+        n_slots: u32,
+        masks: Vec<u64>,
+        now_free: Vec<u64>,
+    ) -> Self {
+        assert!((1..=63).contains(&n_slots));
+        debug_assert_eq!(now_free.len(), masks.len().div_ceil(64));
+        debug_assert!(masks.iter().all(|m| m >> n_slots == 0));
+        debug_assert!(masks
+            .iter()
+            .enumerate()
+            .all(|(i, m)| (now_free[i / 64] >> (i % 64)) & 1 == m & 1));
+        let slot_ms = resolution.as_millis();
+        Timeline {
+            origin,
+            slot_ms,
+            n_slots,
+            window_end: origin + SimDuration::from_millis(slot_ms * n_slots as u64),
+            free: masks,
+            now_free,
+            index: RefCell::new(None),
         }
     }
 
@@ -144,6 +409,7 @@ impl Timeline {
     pub fn block_all(&mut self, node: NodeId) {
         self.free[node.0 as usize] = 0;
         self.clear_now_free(node);
+        self.touch(node.0 as usize);
     }
 
     /// Mark the node busy from the window start until `t` (rounded up to
@@ -153,6 +419,7 @@ impl Timeline {
             // Busy past the whole window: no slot arithmetic needed.
             self.free[node.0 as usize] = 0;
             self.clear_now_free(node);
+            self.touch(node.0 as usize);
             return;
         }
         let s = self.slot_of_ceil(t);
@@ -162,6 +429,7 @@ impl Timeline {
         let mask = (1u64 << s) - 1;
         self.free[node.0 as usize] &= !mask;
         self.clear_now_free(node);
+        self.touch(node.0 as usize);
     }
 
     /// Mark slots `[from_slot, to_slot)` busy — reservations.
@@ -175,6 +443,53 @@ impl Timeline {
         if from_slot == 0 {
             self.clear_now_free(node);
         }
+        self.touch(node.0 as usize);
+    }
+
+    /// Mark slots `[from_slot, to_slot)` free again — a claim ending
+    /// early, or capacity handed back between passes.
+    pub fn release_slots(&mut self, node: NodeId, from_slot: u32, to_slot: u32) {
+        let to = to_slot.min(self.n_slots);
+        if from_slot >= to {
+            return;
+        }
+        self.free[node.0 as usize] |= range_mask(from_slot, to);
+        if from_slot == 0 {
+            self.now_free[node.0 as usize / 64] |= 1u64 << (node.0 % 64);
+        }
+        self.touch(node.0 as usize);
+    }
+
+    /// Slide the window `k` slots forward: slot `s` now covers what slot
+    /// `s + k` covered, and the `k` slots uncovered at the far end are
+    /// free (nothing beyond the old window was known to be busy, matching
+    /// [`Timeline::is_free_range`]'s truncation). The run index is
+    /// invalidated wholesale and rebuilt by the next query.
+    pub fn advance_slots(&mut self, k: u32) {
+        if k == 0 {
+            return;
+        }
+        let shift = SimDuration::from_millis(self.slot_ms * k as u64);
+        self.origin += shift;
+        self.window_end += shift;
+        let all_free = (1u64 << self.n_slots) - 1;
+        if k >= self.n_slots {
+            self.free.fill(all_free);
+        } else {
+            let tail = range_mask(self.n_slots - k, self.n_slots);
+            for m in &mut self.free {
+                *m = (*m >> k) | tail;
+            }
+        }
+        for w in &mut self.now_free {
+            *w = 0;
+        }
+        for (i, m) in self.free.iter().enumerate() {
+            if m & 1 != 0 {
+                self.now_free[i / 64] |= 1u64 << (i % 64);
+            }
+        }
+        *self.index.get_mut() = None;
     }
 
     /// Mark the node busy over the absolute interval `[from, to)`
@@ -253,6 +568,29 @@ impl Timeline {
             return None;
         }
         let d = d.max(1);
+        let d_eff = d.min(self.n_slots);
+        // Slot-0 fast path: the run index already knows how many nodes
+        // can start a d-slot run *now*; when that satisfies k, the
+        // earliest slot is 0 and the first k eligible nodes fall out of
+        // one ascending bucket-union walk — no per-node fits masks.
+        if self.count_startable(d) >= k {
+            let mut chosen = Vec::with_capacity(k as usize);
+            self.with_index(|idx| {
+                idx.for_each_ge(d_eff, |n| {
+                    chosen.push(NodeId(n));
+                    (chosen.len() as u32) < k
+                })
+            });
+            // A shortfall means the suffix counts and the bucket walk
+            // disagree — an index bug. Abort loudly in debug builds; in
+            // release, fall through to the counting sweep (whose own
+            // mismatch path degrades to the reference scan) rather than
+            // return a short node list.
+            debug_assert_eq!(chosen.len() as u32, k);
+            if chosen.len() as u32 == k {
+                return Some((0, chosen));
+            }
+        }
         let last = max_slot.min(self.n_slots.saturating_sub(1));
         let slot_lim = if last >= 63 {
             u64::MAX
@@ -282,44 +620,45 @@ impl Timeline {
                 }
             }
         }
-        unreachable!(
-            "counting sweep found {} nodes at slot {s}, collection found fewer",
-            k
-        )
+        // The counting sweep and the collection scan disagreeing means an
+        // index/mask inconsistency. Abort loudly in debug builds; in
+        // release, degrade to the slow-but-correct reference scan instead
+        // of killing a day-long simulation.
+        debug_assert!(
+            false,
+            "counting sweep found {k} nodes at slot {s}, collection found fewer"
+        );
+        self.find_start_reference(k, d, max_slot)
     }
 
-    /// Find a single node able to start a `d`-slot job at slot 0.
-    /// Iterates only the slot-0-free candidate set.
+    /// Find a single node able to start a `d`-slot job at slot 0,
+    /// answered by the run index in O(1) amortized:
+    ///
+    /// * `BestFit` pops the smallest non-empty bucket ≥ d (the node with
+    ///   the tightest still-fitting slot-0 run, lowest id on ties —
+    ///   exactly the reference scan's answer);
+    /// * `FirstFit` takes the lowest id across all buckets ≥ d.
     pub fn find_single_now(&self, d: u32, policy: FitPolicy) -> Option<NodeId> {
         if d == 0 {
             // Degenerate request: every node fits; preserve the
             // reference scan's answers exactly.
             return self.find_single_now_reference(d, policy);
         }
-        match policy {
-            FitPolicy::FirstFit => self.iter_now_free().find(|n| self.is_free_range(*n, 0, d)),
-            FitPolicy::BestFit => {
-                // One trailing-ones computation decides both eligibility
-                // (run ≥ min(d, n_slots), matching is_free_range's
-                // window truncation) and the fit quality.
-                let d_eff = d.min(self.n_slots);
-                let mut best: Option<(u32, NodeId)> = None;
-                for node in self.iter_now_free() {
-                    let run = self.free_run_from(node, 0);
-                    if run < d_eff {
-                        continue;
-                    }
-                    match best {
-                        Some((brun, _)) if brun <= run => {}
-                        _ => best = Some((run, node)),
-                    }
-                    if run == d {
-                        break; // perfect fit
-                    }
-                }
-                best.map(|(_, n)| n)
-            }
+        if self.free.is_empty() {
+            return None;
         }
+        let d_eff = d.min(self.n_slots);
+        self.with_index(|idx| match policy {
+            FitPolicy::FirstFit => idx.first_ge(d_eff).map(NodeId),
+            FitPolicy::BestFit => {
+                let m = idx.nonempty >> d_eff;
+                if m == 0 {
+                    return None;
+                }
+                let l = d_eff + m.trailing_zeros();
+                idx.lowest_in_bucket(l).map(NodeId)
+            }
+        })
     }
 
     /// Can `nodes` all run `d` slots starting at slot `s`?
@@ -327,34 +666,56 @@ impl Timeline {
         nodes.iter().all(|n| self.is_free_range(*n, s, d))
     }
 
-    /// Number of nodes free at slot 0 for at least `d` slots.
+    /// Number of nodes free at slot 0 for at least `d` slots — a cached
+    /// suffix count over the run histogram (O(1) amortized; rebuilt in
+    /// O(n_slots) after a mutation).
     pub fn count_startable(&self, d: u32) -> u32 {
         if d == 0 {
             return self.free.len() as u32;
         }
-        self.iter_now_free()
-            .filter(|n| self.is_free_range(*n, 0, d))
-            .count() as u32
-    }
-
-    /// Ascending iterator over nodes whose slot 0 is free.
-    fn iter_now_free(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.now_free.iter().enumerate().flat_map(|(w, bits)| {
-            let mut m = *bits;
-            std::iter::from_fn(move || {
-                if m == 0 {
-                    return None;
-                }
-                let b = m.trailing_zeros();
-                m &= m - 1;
-                Some(NodeId((w * 64) as u32 + b))
-            })
-        })
+        if self.free.is_empty() {
+            return 0;
+        }
+        let d_eff = d.min(self.n_slots) as usize;
+        self.with_index(|idx| idx.suffix_counts()[d_eff])
     }
 
     /// Raw mask for a node (tests).
     pub fn mask(&self, node: NodeId) -> u64 {
         self.free[node.0 as usize]
+    }
+
+    /// The canonical deterministic churn workload shared by the
+    /// `scheduler/placement_churn_2239_nodes` perf probe, the criterion
+    /// bench and the `placement_churn` regression test (which pins its
+    /// final state against the reference scans): BestFit claims from an
+    /// LCG stream, releases when saturated, periodic window advances.
+    /// One definition keeps the three measurements of "the same shape"
+    /// from drifting apart. Returns the number of placements.
+    #[doc(hidden)]
+    pub fn run_deterministic_churn(&mut self, steps: u64) -> u64 {
+        let n = self.n_nodes() as u64;
+        let window = self.n_slots();
+        let mut placed = 0u64;
+        let mut x = 0x243F_6A88_85A3_08D3u64;
+        for step in 0..steps {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let d = (1 + (x >> 33) % 31) as u32;
+            if let Some(node) = self.find_single_now(d, FitPolicy::BestFit) {
+                self.block_slots(node, 0, d);
+                placed += 1;
+            } else {
+                // Saturated: hand back a random node's low slots.
+                let node = NodeId(((x >> 17) % n) as u32);
+                self.release_slots(node, 0, 1 + ((x >> 7) % window as u64) as u32);
+            }
+            if step % 64 == 63 {
+                self.advance_slots(1 + (x % 4) as u32);
+            }
+        }
+        placed
     }
 
     // ------------------------------------------------------------------

@@ -1,0 +1,185 @@
+//! Differential churn test for the run-length-indexed timeline.
+//!
+//! Drives a [`Timeline`] through randomized claim (`block_*`), release
+//! (`release_slots`) and window-advance (`advance_slots`) sequences and
+//! asserts after **every** step that the indexed queries answer exactly
+//! like the retained reference scans, for every depth d ∈ {0, 1, …,
+//! n_slots + 1} (including the degenerate d = 0 path) and both fit
+//! policies. This is the proof that the incremental index maintenance —
+//! bucket moves on claim/release, wholesale invalidation on advance —
+//! never drifts from the masks.
+
+use hpcwhisk_cluster::{FitPolicy, NodeId, Timeline};
+use proptest::prelude::*;
+use simcore::{SimDuration, SimTime};
+
+/// One generated timeline operation.
+#[derive(Debug, Clone)]
+enum Op {
+    BlockSlots { node: usize, from: u32, len: u32 },
+    BlockAll { node: usize },
+    BlockUntil { node: usize, mins_ahead: u64 },
+    ReleaseSlots { node: usize, from: u32, len: u32 },
+    Advance { slots: u32 },
+}
+
+fn op_strategy(n_nodes: usize, n_slots: u32) -> impl Strategy<Value = Op> {
+    let s = n_slots;
+    // (The vendored proptest shim's prop_oneof! is unweighted; claims
+    // and releases appear twice to keep the mix claim/release-heavy.)
+    prop_oneof![
+        (0..n_nodes, 0..s, 1..s + 1).prop_map(|(node, from, len)| Op::BlockSlots {
+            node,
+            from,
+            len
+        }),
+        (0..n_nodes, 0..s, 1..s + 1).prop_map(|(node, from, len)| Op::BlockSlots {
+            node,
+            from,
+            len
+        }),
+        (0..n_nodes).prop_map(|node| Op::BlockAll { node }),
+        (0..n_nodes, 0u64..300).prop_map(|(node, mins_ahead)| Op::BlockUntil { node, mins_ahead }),
+        (0..n_nodes, 0..s, 1..s + 1).prop_map(|(node, from, len)| Op::ReleaseSlots {
+            node,
+            from,
+            len
+        }),
+        (0..n_nodes, 0..s, 1..s + 1).prop_map(|(node, from, len)| Op::ReleaseSlots {
+            node,
+            from,
+            len
+        }),
+        (1..s + 1).prop_map(|slots| Op::Advance { slots }),
+    ]
+}
+
+/// Every indexed query must agree with its reference scan.
+fn assert_queries_match(tl: &Timeline, n_slots: u32) {
+    for d in 0..=n_slots + 1 {
+        assert_eq!(
+            tl.find_single_now(d, FitPolicy::BestFit),
+            tl.find_single_now_reference(d, FitPolicy::BestFit),
+            "BestFit diverged at d={d}"
+        );
+        assert_eq!(
+            tl.find_single_now(d, FitPolicy::FirstFit),
+            tl.find_single_now_reference(d, FitPolicy::FirstFit),
+            "FirstFit diverged at d={d}"
+        );
+        assert_eq!(
+            tl.count_startable(d),
+            tl.count_startable_reference(d),
+            "count_startable diverged at d={d}"
+        );
+    }
+    // A couple of find_start shapes exercise the slot-0 fast path and
+    // its fallthrough into the counting sweep.
+    for (k, d) in [(1, 1), (2, 3), (3, n_slots), (1, n_slots + 1)] {
+        assert_eq!(
+            tl.find_start(k, d, n_slots.saturating_sub(1)),
+            tl.find_start_reference(k, d, n_slots.saturating_sub(1)),
+            "find_start diverged at k={k} d={d}"
+        );
+    }
+}
+
+fn run_churn(n_nodes: usize, n_slots: u32, ops: Vec<Op>) {
+    let origin = SimTime::from_mins(100);
+    let res = SimDuration::from_mins(2);
+    let mut tl = Timeline::new(origin, res, n_slots, n_nodes);
+    // Query first so the index exists and every subsequent op takes the
+    // incremental-maintenance path, not a fresh build.
+    assert_queries_match(&tl, n_slots);
+    for op in ops {
+        match op {
+            Op::BlockSlots { node, from, len } => {
+                tl.block_slots(NodeId(node as u32), from, from.saturating_add(len));
+            }
+            Op::BlockAll { node } => tl.block_all(NodeId(node as u32)),
+            Op::BlockUntil { node, mins_ahead } => {
+                let t = tl.origin() + SimDuration::from_mins(mins_ahead);
+                tl.block_until(NodeId(node as u32), t);
+            }
+            Op::ReleaseSlots { node, from, len } => {
+                tl.release_slots(NodeId(node as u32), from, from.saturating_add(len));
+            }
+            Op::Advance { slots } => tl.advance_slots(slots),
+        }
+        assert_queries_match(&tl, n_slots);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Small clusters, full-size paper window (60 slots).
+    #[test]
+    fn prop_churn_paper_window(
+        n_nodes in 1usize..12,
+        ops in proptest::collection::vec(op_strategy(12, 60), 1..60),
+    ) {
+        let ops = ops
+            .into_iter()
+            .map(|op| clamp_node(op, n_nodes))
+            .collect();
+        run_churn(n_nodes, 60, ops);
+    }
+
+    /// Wider clusters crossing the 64-node word boundary, small window.
+    #[test]
+    fn prop_churn_multiword(
+        n_nodes in 60usize..140,
+        ops in proptest::collection::vec(op_strategy(140, 12), 1..40),
+    ) {
+        let ops = ops
+            .into_iter()
+            .map(|op| clamp_node(op, n_nodes))
+            .collect();
+        run_churn(n_nodes, 12, ops);
+    }
+}
+
+fn clamp_node(op: Op, n_nodes: usize) -> Op {
+    match op {
+        Op::BlockSlots { node, from, len } => Op::BlockSlots {
+            node: node % n_nodes,
+            from,
+            len,
+        },
+        Op::BlockAll { node } => Op::BlockAll {
+            node: node % n_nodes,
+        },
+        Op::BlockUntil { node, mins_ahead } => Op::BlockUntil {
+            node: node % n_nodes,
+            mins_ahead,
+        },
+        Op::ReleaseSlots { node, from, len } => Op::ReleaseSlots {
+            node: node % n_nodes,
+            from,
+            len,
+        },
+        Op::Advance { slots } => Op::Advance { slots },
+    }
+}
+
+/// The exact workload the perf probe and criterion bench measure
+/// (`Timeline::run_deterministic_churn` — one shared definition, so the
+/// measured shape and the tested shape cannot drift apart), pinned here
+/// so the probe can never silently measure a panicking loop: a
+/// 2,239-node timeline, claims via BestFit pops, periodic releases and
+/// advances.
+#[test]
+fn deterministic_churn_like_the_probe() {
+    let mut tl = Timeline::new(SimTime::ZERO, SimDuration::from_mins(2), 60, 2_239);
+    let placed = tl.run_deterministic_churn(5_000);
+    assert!(placed > 2_000, "churn must mostly place: {placed}");
+    // Cross-check the final state against the reference scans.
+    for d in 0..=61 {
+        assert_eq!(
+            tl.find_single_now(d, FitPolicy::BestFit),
+            tl.find_single_now_reference(d, FitPolicy::BestFit)
+        );
+        assert_eq!(tl.count_startable(d), tl.count_startable_reference(d));
+    }
+}

@@ -105,12 +105,8 @@ pub fn ow_level(
     to: SimTime,
 ) -> OwLevel {
     let q = |s: &StepSeries| {
-        (
-            s.time_quantile(from, to, 0.25),
-            s.time_quantile(from, to, 0.5),
-            s.time_quantile(from, to, 0.75),
-            s.time_avg(from, to),
-        )
+        let qs = s.time_quantiles(from, to, &[0.25, 0.5, 0.75]);
+        (qs[0], qs[1], qs[2], s.time_avg(from, to))
     };
     OwLevel {
         warmup: q(warming),

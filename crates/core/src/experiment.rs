@@ -9,7 +9,7 @@
 //! (Figs. 5b/6b) and response-time distributions.
 
 use crate::coverage::{self, OwLevel, SlurmLevel};
-use crate::manager::{FibManager, PilotManager, VarManager, REPLENISH_EVERY};
+use crate::manager::{PilotManager, REPLENISH_EVERY};
 use crate::offline::{self, OfflineConfig, OfflineReport};
 use crate::pilot::{PilotPhase, PilotTable, WarmupModel};
 use cluster::{
@@ -43,16 +43,7 @@ pub enum SysEvent {
     Load(u64),
 }
 
-/// Which pilot-supply strategy the day uses.
-#[derive(Debug, Clone)]
-pub enum ManagerKind {
-    /// Fixed lengths (minutes), e.g. set A1.
-    Fib(Vec<u64>),
-    /// Fixed lengths without the longest-first priority (ablation).
-    FibUniform(Vec<u64>),
-    /// Variable-length jobs (2–120 min).
-    Var,
-}
+pub use crate::manager::ManagerKind;
 
 /// Experiment configuration.
 #[derive(Debug, Clone)]
@@ -470,11 +461,7 @@ pub fn run_day(trace: &AvailabilityTrace, cfg: DayConfig) -> DayReport {
     let horizon_mins = trace.horizon().as_mins() as usize + 2;
     let mut cluster = ClusterSim::new(cfg.slurm.clone(), n_nodes, cfg.seed);
     let mut whisk = WhiskSys::new(cfg.whisk.clone(), cfg.seed);
-    let manager: Box<dyn PilotManager> = match &cfg.manager {
-        ManagerKind::Fib(lengths) => Box::new(FibManager::paper(lengths.clone())),
-        ManagerKind::FibUniform(lengths) => Box::new(FibManager::uniform_priority(lengths.clone())),
-        ManagerKind::Var => Box::new(VarManager::paper()),
-    };
+    let manager: Box<dyn PilotManager> = cfg.manager.make();
     let manager_name = manager.name();
     let mut rng = SimRng::seed_from_u64(cfg.seed ^ 0xDA71);
 
@@ -620,6 +607,113 @@ pub fn run_days(days: Vec<(AvailabilityTrace, DayConfig)>) -> Vec<DayReport> {
     days.into_par_iter()
         .map(|(trace, cfg)| run_day(&trace, cfg))
         .collect()
+}
+
+/// One cluster shape in a week-scale sweep.
+#[derive(Debug, Clone)]
+pub struct SweepCluster {
+    /// Label for reports (e.g. "prometheus-2239").
+    pub label: String,
+    /// The idle-process model generating this cluster's traces.
+    pub model: workload::IdleModel,
+}
+
+/// Configuration of a multi-week, multi-cluster, multi-seed sweep — the
+/// §VII extension: "evaluate and characterize the quantity of unused
+/// resources in longer periods of time".
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Weeks simulated per cluster (each day is its own deterministic
+    /// run, mirroring how the paper's experiment days were separate).
+    pub weeks: u64,
+    /// Replication seeds per day (error bars).
+    pub seeds: Vec<u64>,
+    /// Pilot-supply strategy.
+    pub manager: ManagerKind,
+}
+
+/// One simulated day of a sweep, flattened for aggregation.
+#[derive(Debug, Clone)]
+pub struct SweepDay {
+    /// Index into the sweep's cluster list.
+    pub cluster: usize,
+    /// Week index (0-based).
+    pub week: u64,
+    /// Day-of-week index (0-based).
+    pub day: u64,
+    /// Replication seed.
+    pub seed: u64,
+    /// Time-average available nodes (Slurm-level).
+    pub avg_available: f64,
+    /// Achieved coverage share of available time.
+    pub coverage: f64,
+    /// Clairvoyant (offline greedy) coverage bound.
+    pub clairvoyant: f64,
+    /// Pilots started.
+    pub pilots: u64,
+    /// Pilots preempted by prime demand.
+    pub preempted: u64,
+    /// Worst prime-demand delay (seconds) — the invasiveness bound.
+    pub max_demand_delay_secs: f64,
+}
+
+/// Run a full week-scale sweep through the rayon day driver: every
+/// `(cluster, week, day, seed)` combination is one independent,
+/// per-seed-deterministic [`run_day`], so wall-clock scales with cores
+/// while results stay bit-identical to sequential runs. Each unique
+/// `(cluster, week, day)` trace is generated once and shared by
+/// reference across its replication seeds (which run inside one rayon
+/// task — the fan-out across unique traces saturates cores long before
+/// per-seed parallelism would matter). Results return flattened in
+/// `(cluster, week, day, seed)` order.
+pub fn run_week_sweep(clusters: &[SweepCluster], cfg: &SweepConfig) -> Vec<SweepDay> {
+    use rayon::prelude::*;
+    let mut days = Vec::new();
+    for (ci, cl) in clusters.iter().enumerate() {
+        for week in 0..cfg.weeks {
+            for day in 0..7 {
+                // One trace per (cluster, week, day): replication seeds
+                // share the trace and vary the scheduler/poller streams.
+                let trace_seed = 0x5EED_0000 + week * 7 + day;
+                let trace = cl.model.generate(SimDuration::from_hours(24), trace_seed);
+                days.push((ci, week, day, trace_seed, trace));
+            }
+        }
+    }
+    let lengths = cfg.manager.clairvoyant_lengths();
+    let per_day: Vec<Vec<SweepDay>> = days
+        .par_iter()
+        .map(|(cluster, week, day, trace_seed, trace)| {
+            cfg.seeds
+                .iter()
+                .map(|&seed| {
+                    let mut day_cfg = DayConfig::fib_paper(seed ^ (trace_seed << 8));
+                    day_cfg.manager = cfg.manager.clone();
+                    day_cfg.load = None;
+                    let rep = run_day(trace, day_cfg);
+                    let slurm = rep.slurm_level();
+                    let sim = rep.simulation(lengths.clone());
+                    SweepDay {
+                        cluster: *cluster,
+                        week: *week,
+                        day: *day,
+                        seed,
+                        avg_available: slurm.avg_available,
+                        coverage: slurm.used_share,
+                        clairvoyant: sim.coverage(),
+                        pilots: rep.cluster_counters.pilots_started,
+                        preempted: rep.cluster_counters.pilots_preempted,
+                        max_demand_delay_secs: rep
+                            .cluster_counters
+                            .demand_delay_secs
+                            .max()
+                            .unwrap_or(0.0),
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    per_day.into_iter().flatten().collect()
 }
 
 /// Run the same day configuration over many seeds in parallel —

@@ -33,7 +33,8 @@ pub mod wrapper;
 
 pub use coverage::{OwLevel, SlurmLevel};
 pub use experiment::{
-    run_day, run_days, run_replications, DayConfig, DayReport, ManagerKind, SysEvent,
+    run_day, run_days, run_replications, run_week_sweep, DayConfig, DayReport, ManagerKind,
+    SweepCluster, SweepConfig, SweepDay, SysEvent,
 };
 pub use manager::{FibManager, PilotManager, VarManager, QUEUE_CAP, REPLENISH_EVERY};
 pub use offline::{simulate, OfflineConfig, OfflineReport};

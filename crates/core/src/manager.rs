@@ -20,6 +20,41 @@ pub trait PilotManager {
     fn name(&self) -> &'static str;
 }
 
+/// Which pilot-supply strategy an experiment uses — the configuration
+/// counterpart of [`PilotManager`] (cloneable, serializable-by-hand),
+/// used by the day harness and the week-scale sweep driver.
+#[derive(Debug, Clone)]
+pub enum ManagerKind {
+    /// Fixed lengths (minutes), e.g. set A1.
+    Fib(Vec<u64>),
+    /// Fixed lengths without the longest-first priority (ablation).
+    FibUniform(Vec<u64>),
+    /// Variable-length jobs (2–120 min).
+    Var,
+}
+
+impl ManagerKind {
+    /// Instantiate the matching manager.
+    pub fn make(&self) -> Box<dyn PilotManager> {
+        match self {
+            ManagerKind::Fib(lengths) => Box::new(FibManager::paper(lengths.clone())),
+            ManagerKind::FibUniform(lengths) => {
+                Box::new(FibManager::uniform_priority(lengths.clone()))
+            }
+            ManagerKind::Var => Box::new(VarManager::paper()),
+        }
+    }
+
+    /// The lengths the matching *clairvoyant* simulation should use for
+    /// comparison (var uses the paper's A1 yardstick).
+    pub fn clairvoyant_lengths(&self) -> Vec<u64> {
+        match self {
+            ManagerKind::Fib(lengths) | ManagerKind::FibUniform(lengths) => lengths.clone(),
+            ManagerKind::Var => crate::lengths::A1.to_vec(),
+        }
+    }
+}
+
 /// The *fib* model: bags of fixed-length jobs, 10 of each length, with
 /// longer jobs given higher priority so Slurm fills long idleness
 /// periods greedily (§III-D).

@@ -110,6 +110,51 @@ impl StepSeries {
         segs.last().unwrap().0
     }
 
+    /// Several time-weighted quantiles in one pass: the segment list is
+    /// collected and sorted once instead of once per quantile. `ps` must
+    /// be sorted ascending; the result is one value per entry of `ps`.
+    pub fn time_quantiles(&self, from: SimTime, to: SimTime, ps: &[f64]) -> Vec<f64> {
+        assert!(ps.windows(2).all(|w| w[0] <= w[1]), "ps must be ascending");
+        assert!(ps.iter().all(|p| (0.0..=1.0).contains(p)));
+        let mut segs: Vec<(f64, f64)> = self
+            .iter_segments(from, to)
+            .map(|s| (s.value, s.len.as_secs_f64()))
+            .collect();
+        assert!(!segs.is_empty(), "empty quantile window");
+        segs.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let total: f64 = segs.iter().map(|(_, w)| *w).sum();
+        let mut out = Vec::with_capacity(ps.len());
+        let mut acc = 0.0;
+        let mut iter = segs.iter();
+        let mut cur: Option<&(f64, f64)> = None;
+        for p in ps {
+            let target = p * total;
+            loop {
+                if acc >= target {
+                    if let Some((v, _)) = cur {
+                        out.push(*v);
+                        break;
+                    }
+                }
+                match iter.next() {
+                    Some(seg) => {
+                        acc += seg.1;
+                        cur = Some(seg);
+                        if acc >= target {
+                            out.push(seg.0);
+                            break;
+                        }
+                    }
+                    None => {
+                        out.push(segs.last().unwrap().0);
+                        break;
+                    }
+                }
+            }
+        }
+        out
+    }
+
     /// Total time within `[from, to)` during which `pred(value)` holds.
     pub fn time_where(
         &self,

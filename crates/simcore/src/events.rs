@@ -170,6 +170,52 @@ impl<E> QuadHeap<E> {
         }
     }
 
+    /// Classic downward sift with early exit — used by [`QuadHeap::heapify`]
+    /// (for pop, [`QuadHeap::sift_down_to_bottom`] is faster because the
+    /// displaced tail element almost always belongs near a leaf).
+    fn sift_down(&mut self, pos: usize) {
+        let n = self.v.len();
+        // Safety: every index handed to the hole is < n and never equals
+        // the hole's own position.
+        unsafe {
+            let mut hole = Hole::new(&mut self.v, pos);
+            loop {
+                let first = hole.pos * Self::ARITY + 1;
+                if first >= n {
+                    break;
+                }
+                let last = (first + Self::ARITY).min(n);
+                let mut best = first;
+                let mut best_key = hole.key_at(first);
+                for c in first + 1..last {
+                    let k = hole.key_at(c);
+                    if k < best_key {
+                        best = c;
+                        best_key = k;
+                    }
+                }
+                if hole.key() <= best_key {
+                    break;
+                }
+                hole.move_to(best);
+            }
+        }
+    }
+
+    /// Floyd's bottom-up heap construction: O(n) total instead of
+    /// O(n log n) sift-up pushes. Safe to call on any permutation of the
+    /// backing vector.
+    fn heapify(&mut self) {
+        let n = self.v.len();
+        if n < 2 {
+            return;
+        }
+        let last_parent = (n - 2) / Self::ARITY;
+        for i in (0..=last_parent).rev() {
+            self.sift_down(i);
+        }
+    }
+
     fn peek(&self) -> Option<&Entry<E>> {
         self.v.first()
     }
@@ -202,6 +248,19 @@ impl<E> QuadHeap<E> {
 /// ```
 pub struct EventQueue<E> {
     heap: QuadHeap<E>,
+    /// Staging buffer for push *runs*: the first pushes after a pop go
+    /// straight into the heap (the dispatch loop's one-push-per-pop
+    /// steady state pays nothing), but a run that outlives the budget
+    /// stages here and is merged in bulk at the next pop.
+    pending: Vec<Entry<E>>,
+    /// A bulk build absorbed as one descending-sorted segment: popping
+    /// from its tail is O(1), so a push-then-drain burst costs one
+    /// `sort_unstable` instead of n heap sifts + n heap pops. Only
+    /// formed when the heap is (nearly) empty; steady-state dispatch
+    /// never touches it.
+    sorted: Vec<Entry<E>>,
+    /// Pushes since the last pop (saturating at the direct-push budget).
+    push_streak: u32,
     seq: u64,
     popped: u64,
 }
@@ -212,11 +271,26 @@ impl<E> Default for EventQueue<E> {
     }
 }
 
+/// Pushes per run that sift straight into the heap before staging
+/// starts. Anything a dispatch handler fans out per event stays on the
+/// direct path; a bootstrap burst or bulk rebuild overflows into the
+/// staging buffer and gets one bulk merge (see
+/// [`EventQueue::flush_pending`]).
+const DIRECT_PUSH_BUDGET: u32 = 8;
+
+/// Staged-run length at which a merge switches from per-entry sifts to
+/// a bulk build (sort when it can become the sorted segment, Floyd
+/// heapify otherwise).
+const BULK_BUILD_MIN: usize = 64;
+
 impl<E> EventQueue<E> {
     /// An empty queue.
     pub fn new() -> Self {
         EventQueue {
             heap: QuadHeap::new(),
+            pending: Vec::new(),
+            sorted: Vec::new(),
+            push_streak: 0,
             seq: 0,
             popped: 0,
         }
@@ -226,6 +300,9 @@ impl<E> EventQueue<E> {
     pub fn with_capacity(cap: usize) -> Self {
         EventQueue {
             heap: QuadHeap::with_capacity(cap),
+            pending: Vec::new(),
+            sorted: Vec::new(),
+            push_streak: 0,
             seq: 0,
             popped: 0,
         }
@@ -236,13 +313,68 @@ impl<E> EventQueue<E> {
     pub fn push(&mut self, time: SimTime, event: E) {
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Entry { time, seq, event });
+        let entry = Entry { time, seq, event };
+        // Short push runs sift directly (the dispatch loop's steady
+        // state); once a run outlives the budget, stage the rest for a
+        // bulk merge at the next pop.
+        if self.push_streak < DIRECT_PUSH_BUDGET {
+            self.push_streak += 1;
+            self.heap.push(entry);
+        } else {
+            self.pending.push(entry);
+        }
+    }
+
+    /// Merge staged pushes. The pop order is total by `(time, seq)`, so
+    /// whether entries arrive by sift, heapify or sort is unobservable.
+    #[inline]
+    fn flush_pending(&mut self) {
+        self.push_streak = 0;
+        if self.pending.is_empty() {
+            return;
+        }
+        if self.sorted.is_empty()
+            && self.pending.len() >= BULK_BUILD_MIN
+            && self.pending.len() >= 8 * self.heap.len()
+        {
+            // A bulk build from (nearly) scratch: absorb the few
+            // direct-path entries, sort once descending, and drain from
+            // the tail in O(1) per pop.
+            self.pending.append(&mut self.heap.v);
+            self.pending
+                .sort_unstable_by_key(|e| std::cmp::Reverse(e.key()));
+            std::mem::swap(&mut self.sorted, &mut self.pending);
+        } else if self.pending.len() >= BULK_BUILD_MIN && self.pending.len() >= self.heap.len() {
+            self.heap.v.append(&mut self.pending);
+            self.heap.heapify();
+        } else {
+            for e in self.pending.drain(..) {
+                self.heap.push(e);
+            }
+        }
+    }
+
+    /// Earliest entry across the sorted segment and the heap.
+    #[inline]
+    fn pop_entry(&mut self) -> Option<Entry<E>> {
+        self.flush_pending();
+        let from_sorted = match (self.sorted.last(), self.heap.peek()) {
+            (Some(s), Some(h)) => s.key() <= h.key(),
+            (Some(_), None) => true,
+            (None, _) => false,
+        };
+        let e = if from_sorted {
+            self.sorted.pop()
+        } else {
+            self.heap.pop()
+        }?;
+        self.popped += 1;
+        Some(e)
     }
 
     /// Remove and return the earliest event.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let e = self.heap.pop()?;
-        self.popped += 1;
+        let e = self.pop_entry()?;
         Some((e.time, e.event))
     }
 
@@ -251,8 +383,7 @@ impl<E> EventQueue<E> {
     /// losing its FIFO position among same-timestamp events. This is the
     /// engine's single-heap-access dispatch path: no separate peek.
     pub fn pop_with_seq(&mut self) -> Option<(SimTime, u64, E)> {
-        let e = self.heap.pop()?;
-        self.popped += 1;
+        let e = self.pop_entry()?;
         Some((e.time, e.seq, e.event))
     }
 
@@ -267,17 +398,24 @@ impl<E> EventQueue<E> {
 
     /// Timestamp of the earliest pending event, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+        [
+            self.heap.peek().map(|e| e.time),
+            self.sorted.last().map(|e| e.time),
+            self.pending.iter().map(|e| e.time).min(),
+        ]
+        .into_iter()
+        .flatten()
+        .min()
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.heap.len() + self.sorted.len() + self.pending.len()
     }
 
     /// True iff no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.heap.is_empty() && self.sorted.is_empty() && self.pending.is_empty()
     }
 
     /// Total number of events ever popped (the engine's step counter).
@@ -293,6 +431,9 @@ impl<E> EventQueue<E> {
     /// Drop every pending event.
     pub fn clear(&mut self) {
         self.heap.clear();
+        self.pending.clear();
+        self.sorted.clear();
+        self.push_streak = 0;
     }
 }
 
@@ -383,6 +524,40 @@ mod tests {
             }
             prop_assert_eq!(got, expected);
             prop_assert_eq!(q.total_popped() as usize, ops.len());
+        }
+
+        /// Interleaved push runs and pops across the bulk-heapify
+        /// threshold: every pop must return exactly the (time, seq)
+        /// minimum of what is queued at that instant — the Floyd rebuild
+        /// path must be unobservable.
+        #[test]
+        fn prop_bulk_heapify_order_invariant(
+            runs in proptest::collection::vec((proptest::collection::vec(0u64..200, 1..150), 0usize..80), 1..6)
+        ) {
+            let mut q = EventQueue::new();
+            let mut model = std::collections::BTreeSet::new();
+            let mut next_id = 0usize;
+            for (times, pops) in runs {
+                for t in times {
+                    q.push(SimTime::from_millis(t), next_id);
+                    model.insert((t, next_id));
+                    next_id += 1;
+                }
+                for _ in 0..pops {
+                    match q.pop() {
+                        Some((t, id)) => {
+                            let min = model.pop_first().unwrap();
+                            prop_assert_eq!((t.as_millis(), id), min);
+                        }
+                        None => prop_assert!(model.is_empty()),
+                    }
+                }
+            }
+            while let Some((t, id)) = q.pop() {
+                let min = model.pop_first().unwrap();
+                prop_assert_eq!((t.as_millis(), id), min);
+            }
+            prop_assert!(model.is_empty());
         }
 
         /// The queue never loses or duplicates events.

@@ -330,9 +330,9 @@ mod tests {
         let series = trace.count_series();
         let avg = series.time_avg(SimTime::ZERO, horizon_end);
         assert!((6.5..=12.5).contains(&avg), "avg idle nodes = {avg}");
-        let med = series.time_quantile(SimTime::ZERO, horizon_end, 0.5);
+        let qs = series.time_quantiles(SimTime::ZERO, horizon_end, &[0.25, 0.5]);
+        let (p25, med) = (qs[0], qs[1]);
         assert!((2.0..=9.0).contains(&med), "median idle nodes = {med}");
-        let p25 = series.time_quantile(SimTime::ZERO, horizon_end, 0.25);
         assert!(p25 <= 4.0, "p25 idle nodes = {p25}");
 
         // Zero-idle share ~10% (Fig 1c / §I).
