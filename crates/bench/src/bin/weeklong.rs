@@ -21,6 +21,21 @@ use rayon::prelude::*;
 use simcore::SimDuration;
 use workload::IdleModel;
 
+/// The worker count the rayon fan-out will use — the `RAYON_NUM_THREADS`
+/// pin when set (the multicore CI job's cores→days/s curve), else every
+/// available core.
+fn worker_count() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
 /// The `--sweep` mode: §VII at full scale.
 fn run_sweep(quick: bool) {
     let mut clusters = Vec::new();
@@ -75,7 +90,15 @@ fn run_sweep(quick: bool) {
         cfg.seeds.len(),
         clusters.len() as u64 * cfg.weeks * 7 * cfg.seeds.len() as u64
     ));
+    let wall = std::time::Instant::now();
     let days = run_week_sweep(&clusters, &cfg);
+    let secs = wall.elapsed().as_secs_f64();
+    println!(
+        "simulated {} day-runs in {secs:.1} s on {} worker(s): {:.2} days/s",
+        days.len(),
+        worker_count(),
+        days.len() as f64 / secs
+    );
 
     // Per (cluster, day-of-week): mean ± stddev across weeks × seeds.
     println!(
@@ -164,7 +187,14 @@ fn main() {
             (trace, cfg)
         })
         .collect();
+    let wall = std::time::Instant::now();
     let reports = hpcwhisk_core::run_days(day_inputs);
+    let secs = wall.elapsed().as_secs_f64();
+    println!(
+        "simulated {days} days in {secs:.1} s on {} worker(s): {:.2} days/s",
+        worker_count(),
+        days as f64 / secs
+    );
     let results: Vec<(u64, f64, f64, f64, u64, u64, f64)> = reports
         .into_iter()
         .enumerate()

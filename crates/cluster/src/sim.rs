@@ -98,6 +98,12 @@ const PROJ_BLOCKED: u8 = 1;
 const PROJ_PILOT_UNTIL: u8 = 2;
 const PROJ_BOTH_UNTIL: u8 = 3;
 
+/// `wheel_pos` sentinel: node not tracked by the residue wheel.
+const WHEEL_NONE: u16 = u16::MAX;
+/// `wheel_pos` flag set transiently during a bucket sweep so duplicate
+/// entries for the same node collapse to one survivor.
+const WHEEL_SEEN: u16 = 0x8000;
+
 /// Ground-truth state series maintained by the simulator (the poller's
 /// view in [`ClusterNote::Polled`] is the *measured* counterpart).
 #[derive(Debug, Clone)]
@@ -172,9 +178,116 @@ pub struct ClusterSim {
     /// Earliest future `earliest_start` among pending pinned claims at
     /// the time `quick_clean_epoch` was recorded.
     next_pinned_due: Option<SimTime>,
+    /// The persistent scheduling plane: a long-lived pilot view (and a
+    /// lazily materialized HPC view) re-anchored at each pass instant
+    /// and mutated by the events the simulator emits instead of being
+    /// rebuilt from the node table every pass.
+    plane_pilot: Option<Timeline>,
+    plane_hpc: Option<Timeline>,
+    /// Nodes whose projection changed since the plane was last brought
+    /// up to date (dedup'd by the bitset) — the "events since last pass"
+    /// a pass applies in O(dirty) instead of O(nodes).
+    plane_dirty: Vec<NodeId>,
+    plane_dirty_bits: Vec<u64>,
+    /// The busy-release residue wheel: bucket `b` holds the nodes whose
+    /// projected release time `u` has `u mod bf_resolution` in bucket
+    /// `b`'s span. A node's slot-rounded free mask changes exactly when
+    /// the plane anchor crosses such a residue, so a pass re-masks only
+    /// the buckets its anchor moved across — every busy node is touched
+    /// once per resolution period instead of once per pass.
+    plane_wheel: Vec<Vec<NodeId>>,
+    /// Per-node live wheel bucket (`WHEEL_NONE` when untracked); entries
+    /// whose bucket disagrees are stale and dropped lazily on sweep.
+    wheel_pos: Vec<u16>,
+    /// Divide-free reciprocals for the wheel's residue arithmetic
+    /// (`wheel_gran.d` is the bucket granularity in ms).
+    wheel_res: Recip,
+    wheel_gran: Recip,
+    /// Pending pinned demand claims, maintained on submit, so painting
+    /// their announced windows never re-scans the whole pending queue.
+    pinned_pending: Vec<JobId>,
     /// Run the retained pre-optimization pass instead (differential
     /// tests only).
     reference_mode: bool,
+}
+
+/// Multiply-shift reciprocal (round-up magic-number division) for
+/// dividing simulation timestamps by a small runtime constant without a
+/// hardware divide — the residue wheel takes `until mod resolution` for
+/// every busy node on a rebuild and for every endpoint-bucket entry on a
+/// sweep, and two u64 divides per node dominate those walks. With
+/// `m = ceil(2^64 / d)`, `floor(x * m / 2^64) == x / d` for every
+/// `x ≤ 2^64 / d` at minimum — for the 2-minute default resolution
+/// that is ~4,800 years of simulated time; a debug assert guards the
+/// bound anyway.
+#[derive(Clone, Copy)]
+struct Recip {
+    m: u128,
+    d: u64,
+}
+
+impl Recip {
+    fn new(d: u64) -> Self {
+        debug_assert!(d > 0);
+        Self {
+            m: (1u128 << 64).div_ceil(d as u128),
+            d,
+        }
+    }
+
+    #[inline]
+    fn div(self, x: u64) -> u64 {
+        let q = ((x as u128 * self.m) >> 64) as u64;
+        debug_assert_eq!(q, x / self.d);
+        q
+    }
+
+    #[inline]
+    fn rem(self, x: u64) -> u64 {
+        x - self.div(x) * self.d
+    }
+}
+
+/// The window geometry of a pass plane: turns a node's cached projection
+/// into its per-view free masks, anchored at the plane origin. Shared by
+/// the persistent-plane maintenance and the fresh differential build so
+/// the two arithmetics cannot drift.
+#[derive(Clone, Copy)]
+struct ProjView {
+    origin: SimTime,
+    window_end: SimTime,
+    slot_ms: u64,
+    all_free: u64,
+}
+
+impl ProjView {
+    /// Busy-until time → free mask (busy from slot 0 through the slot
+    /// containing `t`, rounded up — mirrors `Timeline::block_until`).
+    #[inline]
+    fn until_mask(&self, t: SimTime) -> u64 {
+        if t >= self.window_end {
+            return 0;
+        }
+        if t <= self.origin {
+            return self.all_free;
+        }
+        let s = t.since(self.origin).as_millis().div_ceil(self.slot_ms);
+        self.all_free & !((1u64 << s) - 1)
+    }
+
+    /// `(pilot view, hpc view)` free masks for one node projection.
+    #[inline]
+    fn masks(&self, class: u8, until: SimTime) -> (u64, u64) {
+        match class {
+            PROJ_FREE => (self.all_free, self.all_free),
+            PROJ_BLOCKED => (0, 0),
+            PROJ_PILOT_UNTIL => (self.until_mask(until), self.all_free),
+            _ => {
+                let m = self.until_mask(until);
+                (m, m)
+            }
+        }
+    }
 }
 
 impl ClusterSim {
@@ -182,6 +295,9 @@ impl ClusterSim {
     pub fn new(cfg: SlurmConfig, n_nodes: usize, seed: u64) -> Self {
         let start = SimTime::ZERO;
         let words = n_nodes.div_ceil(64);
+        let res_ms = cfg.bf_resolution.as_millis();
+        let wheel_gran_ms = res_ms.div_ceil(128).max(1);
+        let n_buckets = res_ms.div_ceil(wheel_gran_ms) as usize;
         let mut idle_bits = vec![u64::MAX; words];
         if !n_nodes.is_multiple_of(64) && words > 0 {
             idle_bits[words - 1] = (1u64 << (n_nodes % 64)) - 1;
@@ -212,6 +328,15 @@ impl ClusterSim {
             epoch: 0,
             quick_clean_epoch: None,
             next_pinned_due: None,
+            plane_pilot: None,
+            plane_hpc: None,
+            plane_dirty: Vec::new(),
+            plane_dirty_bits: vec![0; words],
+            plane_wheel: vec![Vec::new(); n_buckets],
+            wheel_pos: vec![WHEEL_NONE; n_nodes],
+            wheel_res: Recip::new(res_ms),
+            wheel_gran: Recip::new(wheel_gran_ms),
+            pinned_pending: Vec::new(),
             reference_mode: false,
         }
     }
@@ -227,6 +352,12 @@ impl ClusterSim {
     #[doc(hidden)]
     pub fn set_reference_mode(&mut self, on: bool) {
         self.reference_mode = on;
+        // Dirty tracking is disabled in reference mode, so any retained
+        // plane would go silently stale across a mode switch.
+        self.plane_pilot = None;
+        self.plane_hpc = None;
+        self.plane_dirty.clear();
+        self.plane_dirty_bits.fill(0);
     }
 
     /// Number of nodes.
@@ -322,6 +453,12 @@ impl ClusterSim {
         });
         self.pending.push(id);
         self.epoch += 1;
+        {
+            let spec = &self.jobs[id.0 as usize].spec;
+            if spec.pinned_nodes.is_some() && spec.earliest_start.is_some() {
+                self.pinned_pending.push(id);
+            }
+        }
         // Pinned claims must fire close to their intended start even if
         // the cluster is otherwise quiet.
         if let Some(t) = self.jobs[id.0 as usize].spec.earliest_start {
@@ -544,44 +681,38 @@ impl ClusterSim {
         } else {
             self.idle_bits[i / 64] &= !bit;
         }
+        // The projection changed (or may have): the persistent plane's
+        // masks for this node are stale until the next pass recomputes
+        // them.
+        if !self.reference_mode && self.plane_dirty_bits[i / 64] & bit == 0 {
+            self.plane_dirty_bits[i / 64] |= bit;
+            self.plane_dirty.push(n);
+        }
     }
 
     // ------------------------------------------------------------------
     // Scheduling passes
     // ------------------------------------------------------------------
 
-    /// Project node occupancy and live reservations onto fresh pass
-    /// timelines. The occupancy projection is one branch-light sweep that
-    /// computes both views' free masks per node and hands them to
-    /// [`Timeline::from_masks`] — no per-node `block_*` calls, which at
-    /// 2,239 nodes is the difference between ~20 µs and ~4 µs of build.
-    ///
-    /// When `need_hpc` is false (no unpinned HPC job in this pass's
-    /// queue — the common fib-day shape), the HPC view is never queried,
-    /// so a zero-node dummy is returned instead and every HPC-view write
-    /// is skipped.
-    fn build_timelines(
-        &mut self,
-        now: SimTime,
-        mode: PassMode,
-        need_hpc: bool,
-    ) -> (Timeline, Timeline) {
+    /// The projection→mask geometry for a plane anchored at `origin`.
+    fn proj_view(&self, origin: SimTime) -> ProjView {
         let n_slots = self.cfg.n_slots();
-        let all_free = (1u64 << n_slots) - 1;
         let slot_ms = self.cfg.bf_resolution.as_millis();
-        let window_end = now + SimDuration::from_millis(slot_ms * n_slots as u64);
-        // Busy-until time → free mask (busy from slot 0 through the slot
-        // containing `t`, rounded up — mirrors `Timeline::block_until`).
-        let until_mask = |t: SimTime| -> u64 {
-            if t >= window_end {
-                return 0;
-            }
-            if t <= now {
-                return all_free;
-            }
-            let s = t.since(now).as_millis().div_ceil(slot_ms);
-            all_free & !((1u64 << s) - 1)
-        };
+        ProjView {
+            origin,
+            window_end: origin + SimDuration::from_millis(slot_ms * n_slots as u64),
+            slot_ms,
+            all_free: (1u64 << n_slots) - 1,
+        }
+    }
+
+    /// One branch-light sweep projecting every node onto fresh proj-only
+    /// timelines at `origin` — the O(nodes) path, taken only on the very
+    /// first pass (and in the debug differential); all later passes
+    /// maintain the persistent plane incrementally.
+    fn fresh_proj_planes(&self, origin: SimTime, need_hpc: bool) -> (Timeline, Timeline) {
+        let pv = self.proj_view(origin);
+        let n_slots = self.cfg.n_slots();
         let n = self.nodes.len();
         let words = n.div_ceil(64);
         let mut pilot_masks = Vec::with_capacity(n);
@@ -590,15 +721,7 @@ impl ClusterSim {
         let mut hpc_nf = Vec::with_capacity(if need_hpc { words } else { 0 });
         let (mut pw, mut hw) = (0u64, 0u64);
         for (i, class) in self.proj_class.iter().enumerate() {
-            let (pm, hm) = match *class {
-                PROJ_FREE => (all_free, all_free),
-                PROJ_BLOCKED => (0, 0),
-                PROJ_PILOT_UNTIL => (until_mask(self.proj_until[i]), all_free),
-                _ => {
-                    let m = until_mask(self.proj_until[i]);
-                    (m, m)
-                }
-            };
+            let (pm, hm) = pv.masks(*class, self.proj_until[i]);
             pilot_masks.push(pm);
             pw |= (pm & 1) << (i & 63);
             if need_hpc {
@@ -621,13 +744,26 @@ impl ClusterSim {
             }
         }
         let res = self.cfg.bf_resolution;
-        let mut tl_pilot = Timeline::from_parts(now, res, n_slots, pilot_masks, pilot_nf);
-        let mut tl_hpc = Timeline::from_parts(now, res, n_slots, hpc_masks, hpc_nf);
+        let tl_pilot = Timeline::from_parts(origin, res, n_slots, pilot_masks, pilot_nf);
+        let tl_hpc = Timeline::from_parts(origin, res, n_slots, hpc_masks, hpc_nf);
+        (tl_pilot, tl_hpc)
+    }
 
-        // 2. Project reservations. Pinned pending claims always reserve
-        //    their announced window; unpinned reservations persist from
-        //    the last backfill pass (rebuilt by the caller when
-        //    mode=Backfill).
+    /// A from-scratch build of both pass views exactly as a pass at `now`
+    /// would see them: node projections plus the window paint (pinned
+    /// pending claims always; live unpinned reservations only on quick
+    /// passes, since a backfill pass re-derives its reservations). Pure —
+    /// no retain/clear side effects. This is the independent authority
+    /// the persistent plane is differentially checked against, so it
+    /// deliberately re-scans `self.pending` for pinned claims rather than
+    /// trusting the maintained `pinned_pending` list.
+    fn fresh_timelines(
+        &self,
+        now: SimTime,
+        mode: PassMode,
+        need_hpc: bool,
+    ) -> (Timeline, Timeline) {
+        let (mut tl_pilot, mut tl_hpc) = self.fresh_proj_planes(now, need_hpc);
         for id in &self.pending {
             let job = &self.jobs[id.0 as usize];
             if !job.is_pending() {
@@ -644,12 +780,11 @@ impl ClusterSim {
                 }
             }
         }
-        if mode == PassMode::Backfill {
-            self.reservations.clear();
-        } else {
-            self.reservations
-                .retain(|r| self.jobs[r.job.0 as usize].is_pending());
+        if mode != PassMode::Backfill {
             for r in &self.reservations {
+                if !self.jobs[r.job.0 as usize].is_pending() {
+                    continue;
+                }
                 for n in &r.nodes {
                     tl_pilot.block_interval(*n, r.start, r.end);
                     if need_hpc {
@@ -659,6 +794,281 @@ impl ClusterSim {
             }
         }
         (tl_pilot, tl_hpc)
+    }
+
+    /// Track `n` in the residue wheel if it projects as busy until a
+    /// future instant (its mask changes when the plane anchor crosses
+    /// `until`'s slot residue; free/blocked masks are anchor-invariant).
+    fn wheel_insert(&mut self, n: NodeId, now: SimTime) {
+        let i = n.0 as usize;
+        let class = self.proj_class[i];
+        if class == PROJ_FREE || class == PROJ_BLOCKED || self.proj_until[i] <= now {
+            return;
+        }
+        let b = self
+            .wheel_gran
+            .div(self.wheel_res.rem(self.proj_until[i].as_millis())) as u16;
+        if self.wheel_pos[i] != b {
+            self.wheel_pos[i] = b;
+            self.plane_wheel[b as usize].push(n);
+        }
+    }
+
+    /// Rebuild the residue wheel from scratch (fresh plane build only).
+    fn rebuild_wheel(&mut self, now: SimTime) {
+        for b in &mut self.plane_wheel {
+            b.clear();
+        }
+        self.wheel_pos.fill(WHEEL_NONE);
+        for i in 0..self.nodes.len() {
+            self.wheel_insert(NodeId(i as u32), now);
+        }
+    }
+
+    /// Re-mask every node whose busy-release residue the plane anchor
+    /// crossed while moving from `prev` to `now`; survivors are kept in
+    /// their bucket for the next lap, released nodes leave the wheel.
+    fn sweep_wheel(
+        &mut self,
+        prev: SimTime,
+        now: SimTime,
+        pv: &ProjView,
+        pilot: &mut Timeline,
+        hpc: &mut Option<Timeline>,
+    ) {
+        let res_ms = self.cfg.bf_resolution.as_millis();
+        let sweep_all = now.since(prev).as_millis() >= res_ms;
+        let (prev_r, now_r) = (
+            self.wheel_res.rem(prev.as_millis()),
+            self.wheel_res.rem(now.as_millis()),
+        );
+        let (b0, b1) = (
+            self.wheel_gran.div(prev_r) as usize,
+            self.wheel_gran.div(now_r) as usize,
+        );
+        // Buckets are coarser than residues, so the endpoint buckets are
+        // visited conservatively; within a bucket, each node's *exact*
+        // residue decides whether its mask actually moved — nodes whose
+        // release residue the anchor did not cross (the common case: a
+        // whole-slot job limit keeps every such node at one residue) are
+        // kept untouched.
+        let in_range = |b: usize| {
+            if sweep_all {
+                true
+            } else if now_r >= prev_r {
+                b0 <= b && b <= b1
+            } else {
+                b >= b0 || b <= b1 // the anchor wrapped past the period
+            }
+        };
+        for b in 0..self.plane_wheel.len() {
+            if !in_range(b) || self.plane_wheel[b].is_empty() {
+                continue;
+            }
+            let mut bucket = std::mem::take(&mut self.plane_wheel[b]);
+            bucket.retain(|&n| {
+                let i = n.0 as usize;
+                if self.wheel_pos[i] != b as u16 {
+                    return false; // stale (re-bucketed) or duplicate entry
+                }
+                let class = self.proj_class[i];
+                let until = self.proj_until[i];
+                let r = self.wheel_res.rem(until.as_millis());
+                let crossed = sweep_all
+                    || if now_r >= prev_r {
+                        r > prev_r && r <= now_r
+                    } else {
+                        r > prev_r || r <= now_r
+                    };
+                if crossed {
+                    let (pm, hm) = pv.masks(class, until);
+                    pilot.set_node_mask(n, pm);
+                    if let Some(h) = hpc.as_mut() {
+                        h.set_node_mask(n, hm);
+                    }
+                    if class == PROJ_FREE || class == PROJ_BLOCKED || until <= now {
+                        self.wheel_pos[i] = WHEEL_NONE;
+                        return false;
+                    }
+                }
+                self.wheel_pos[i] = b as u16 | WHEEL_SEEN;
+                true
+            });
+            for n in &bucket {
+                self.wheel_pos[n.0 as usize] &= !WHEEL_SEEN;
+            }
+            self.plane_wheel[b] = bucket;
+        }
+    }
+
+    /// Bring the persistent plane to the pass instant and paint the live
+    /// claim/reservation windows, in O(events + residue crossings) since
+    /// the last pass instead of O(nodes):
+    ///
+    /// 1. re-anchor the retained planes at `now` without touching masks —
+    ///    a node's slot-rounded free mask only changes when the anchor
+    ///    crosses one of its busy-release residues — and sweep the wheel
+    ///    buckets the anchor moved across, re-masking exactly the
+    ///    crossed nodes (or build the planes fresh the first time);
+    /// 2. re-mask the dirty-listed nodes — the ones `refresh_node`
+    ///    touched since the last pass;
+    /// 3. paint pending pinned-claim windows and (on quick passes) the
+    ///    live reservations, recording every painted node so
+    ///    [`Self::finish_plane`] can restore the proj-only invariant.
+    ///
+    /// Returns `(pilot view, hpc view for this pass, parked hpc view,
+    /// painted nodes)`; the pass hpc view is a zero-node dummy when the
+    /// pass does not need it, with the materialized plane (if any) parked
+    /// and kept coherent for the next pass that does.
+    fn prepare_plane(
+        &mut self,
+        now: SimTime,
+        mode: PassMode,
+        need_hpc: bool,
+    ) -> (Timeline, Timeline, Option<Timeline>, Vec<NodeId>) {
+        let pv = self.proj_view(now);
+        let n_slots = self.cfg.n_slots();
+
+        // 1. Re-anchor (or build) the planes at `now`.
+        let (mut pilot, mut hpc, built_fresh) =
+            match (self.plane_pilot.take(), self.plane_hpc.take()) {
+                (Some(mut p), mut h) if p.origin() <= now => {
+                    let prev = p.origin();
+                    if prev < now {
+                        p.rebase(now);
+                        if let Some(h) = h.as_mut() {
+                            h.rebase(now);
+                        }
+                        self.sweep_wheel(prev, now, &pv, &mut p, &mut h);
+                    }
+                    (p, h, false)
+                }
+                _ => {
+                    let (p, h) = self.fresh_proj_planes(now, need_hpc);
+                    self.rebuild_wheel(now);
+                    (p, if need_hpc { Some(h) } else { None }, true)
+                }
+            };
+
+        // 2. Apply the events since the last pass. A fresh build already
+        //    projected every node (and `rebuild_wheel` re-bucketed them),
+        //    so the accumulated dirty list — often the whole cluster on a
+        //    cold start — is only drained, not re-applied.
+        let mut dirty = std::mem::take(&mut self.plane_dirty);
+        if !built_fresh {
+            for n in &dirty {
+                let i = n.0 as usize;
+                let (pm, hm) = pv.masks(self.proj_class[i], self.proj_until[i]);
+                pilot.set_node_mask(*n, pm);
+                if let Some(h) = hpc.as_mut() {
+                    h.set_node_mask(*n, hm);
+                }
+                self.wheel_insert(*n, now);
+            }
+        }
+        self.plane_dirty_bits.fill(0);
+        dirty.clear();
+        self.plane_dirty = dirty;
+
+        // Lazily materialize the hpc view the first time a pass needs it.
+        if need_hpc && hpc.is_none() {
+            let (_, h) = self.fresh_proj_planes(now, true);
+            hpc = Some(h);
+        }
+
+        // 3. Paint the transient pass state, recording what was touched.
+        let (mut hpc_pass, hpc_parked) = if need_hpc {
+            (hpc.expect("hpc plane materialized above"), None)
+        } else {
+            (Timeline::new(now, self.cfg.bf_resolution, n_slots, 0), hpc)
+        };
+        let mut painted: Vec<NodeId> = Vec::new();
+        let mut pinned = std::mem::take(&mut self.pinned_pending);
+        pinned.retain(|id| self.jobs[id.0 as usize].is_pending());
+        for id in &pinned {
+            let job = &self.jobs[id.0 as usize];
+            let nodes = job.spec.pinned_nodes.as_ref().expect("pinned_pending");
+            let ann = job.spec.announced_start.unwrap();
+            let end = ann + job.spec.time_limit;
+            for n in nodes {
+                pilot.block_interval(*n, ann, end);
+                if need_hpc {
+                    hpc_pass.block_interval(*n, ann, end);
+                }
+                painted.push(*n);
+            }
+        }
+        self.pinned_pending = pinned;
+        if mode == PassMode::Backfill {
+            self.reservations.clear();
+        } else {
+            self.reservations
+                .retain(|r| self.jobs[r.job.0 as usize].is_pending());
+            for r in &self.reservations {
+                for n in &r.nodes {
+                    pilot.block_interval(*n, r.start, r.end);
+                    if need_hpc {
+                        hpc_pass.block_interval(*n, r.start, r.end);
+                    }
+                    painted.push(*n);
+                }
+            }
+        }
+        (pilot, hpc_pass, hpc_parked, painted)
+    }
+
+    /// Restore the proj-only invariant on every node the pass painted or
+    /// whose projection changed mid-pass, then park the planes for the
+    /// next pass.
+    fn finish_plane(
+        &mut self,
+        mut pilot: Timeline,
+        hpc_pass: Timeline,
+        hpc_parked: Option<Timeline>,
+        painted: Vec<NodeId>,
+    ) {
+        let now = pilot.origin();
+        let pv = self.proj_view(now);
+        let mut hpc = if hpc_pass.n_nodes() > 0 {
+            Some(hpc_pass)
+        } else {
+            hpc_parked
+        };
+        let mut dirty = std::mem::take(&mut self.plane_dirty);
+        for n in painted.iter().chain(dirty.iter()) {
+            let i = n.0 as usize;
+            let (pm, hm) = pv.masks(self.proj_class[i], self.proj_until[i]);
+            pilot.set_node_mask(*n, pm);
+            if let Some(h) = hpc.as_mut() {
+                h.set_node_mask(*n, hm);
+            }
+            self.wheel_insert(*n, now);
+        }
+        self.plane_dirty_bits.fill(0);
+        dirty.clear();
+        self.plane_dirty = dirty;
+        self.plane_pilot = Some(pilot);
+        self.plane_hpc = hpc;
+    }
+
+    /// Test hook: bring the persistent plane to `now` exactly as a pass
+    /// would, assert both views match a from-scratch rebuild bit for bit,
+    /// and restore the between-pass invariant. Panics on divergence.
+    #[doc(hidden)]
+    pub fn check_plane(&mut self, now: SimTime) {
+        let (pilot, hpc_pass, hpc_parked, painted) = self.prepare_plane(now, PassMode::Quick, true);
+        let (fp, fh) = self.fresh_timelines(now, PassMode::Quick, true);
+        assert!(
+            pilot.same_occupancy(&fp),
+            "pilot plane diverged from fresh build (generation {})",
+            pilot.generation()
+        );
+        assert!(
+            hpc_pass.same_occupancy(&fh),
+            "hpc plane diverged from fresh build (generation {})",
+            hpc_pass.generation()
+        );
+        self.finish_plane(pilot, hpc_pass, hpc_parked, painted);
     }
 
     /// The pass queue: pending jobs ordered tier desc, priority desc,
@@ -738,8 +1148,22 @@ impl ClusterSim {
             let j = &self.jobs[id.0 as usize];
             j.spec.kind == JobKind::Hpc && j.spec.pinned_nodes.is_none()
         });
-        let (mut tl_pilot, mut tl_hpc) = self.build_timelines(now, mode, need_hpc);
-
+        let (mut tl_pilot, mut tl_hpc, hpc_parked, mut painted) =
+            self.prepare_plane(now, mode, need_hpc);
+        #[cfg(debug_assertions)]
+        {
+            let (fp, fh) = self.fresh_timelines(now, mode, need_hpc);
+            debug_assert!(
+                tl_pilot.same_occupancy(&fp),
+                "pilot plane diverged from fresh build (generation {})",
+                tl_pilot.generation()
+            );
+            debug_assert!(
+                !need_hpc || tl_hpc.same_occupancy(&fh),
+                "hpc plane diverged from fresh build (generation {})",
+                tl_hpc.generation()
+            );
+        }
         let limit = match mode {
             PassMode::Quick => self.cfg.sched_queue_depth,
             PassMode::Backfill => self.cfg.bf_max_job_test,
@@ -778,6 +1202,7 @@ impl ClusterSim {
                                 if need_hpc {
                                     tl_hpc.block_all(*n);
                                 }
+                                painted.push(*n);
                             }
                         }
                         continue;
@@ -789,12 +1214,9 @@ impl ClusterSim {
                     // prefer genuinely idle nodes over pilot-held.
                     let startable = self.startable_for_hpc(&tl_hpc, k, d);
                     if startable.len() as u32 == k {
-                        // Same busy range as block_until(now + limit_dur),
-                        // already in slots — no per-node division.
-                        let d_block = self.cfg.slots_ceil(limit_dur);
                         for n in &startable {
-                            tl_hpc.block_slots(*n, 0, d_block);
-                            tl_pilot.block_slots(*n, 0, d_block);
+                            tl_hpc.block_until(*n, now + limit_dur);
+                            tl_pilot.block_until(*n, now + limit_dur);
                         }
                         self.start_or_handover(now, id, startable, out, notes);
                     } else if mode == PassMode::Backfill
@@ -806,6 +1228,7 @@ impl ClusterSim {
                             for n in &nodes {
                                 tl_hpc.block_interval(*n, start, end);
                                 tl_pilot.block_interval(*n, start, end);
+                                painted.push(*n);
                             }
                             new_reservations.push(Reservation {
                                 job: id,
@@ -844,7 +1267,7 @@ impl ClusterSim {
                         max_slots
                     };
                     let granted = self.cfg.slots_to_duration(granted_slots);
-                    tl_pilot.block_slots(node, 0, granted_slots);
+                    tl_pilot.block_until(node, now + granted);
                     self.start_job(now, id, NodeList::single(node), granted, out, notes);
                 }
             }
@@ -855,6 +1278,7 @@ impl ClusterSim {
         }
         self.pending
             .retain(|id| self.jobs[id.0 as usize].is_pending());
+        self.finish_plane(tl_pilot, tl_hpc, hpc_parked, painted);
 
         // Simulated pass cost (delays the next backfill pass).
         SimDuration::from_millis(

@@ -31,8 +31,11 @@
 //! non-empty bucket ≥ d, [`Timeline::count_startable`] reads a cached
 //! suffix count, and [`Timeline::find_start`] short-circuits its
 //! counting sweep whenever slot 0 already admits the request. Window
-//! advances ([`Timeline::advance_slots`]) invalidate the index wholesale;
-//! the next query rebuilds it in one sweep.
+//! advances ([`Timeline::advance_slots`]) retain the index, re-bucketing
+//! only the nodes whose slot-0 run can have changed (slot 0 free before
+//! or after the shift) instead of invalidating it wholesale — the
+//! property that lets the scheduler keep one persistent timeline alive
+//! across passes.
 //!
 //! The original scan-based implementations are retained as
 //! `*_reference` methods; property tests assert bit-exact equivalence.
@@ -70,6 +73,10 @@ pub struct Timeline {
     /// (so pass timelines that are only written never pay for it) and
     /// then maintained incrementally by every claim/release.
     index: RefCell<Option<RunIndex>>,
+    /// Bumped on every window advance — lets a long-lived consumer (the
+    /// scheduler's persistent plane) tag derived state with the window
+    /// epoch it was computed against.
+    generation: u64,
 }
 
 /// Run-length-bucketed index over the nodes' slot-0 free runs.
@@ -237,14 +244,31 @@ impl RunIndex {
         }
     }
 
-    /// Lowest node id with run ≥ `d` (first-fit).
-    fn first_ge(&self, d: u32) -> Option<u32> {
-        let mut found = None;
-        self.for_each_ge(d, |n| {
-            found = Some(n);
-            false
-        });
-        found
+    /// Lowest node id with run ≥ `d` (first-fit). Takes the minimum of
+    /// `lowest_in_bucket` over the populated buckets ≥ `d` — each an
+    /// amortized-O(1) hop from its low-word hint — and prunes any bucket
+    /// whose hint already lies past the best candidate, instead of the
+    /// former word-major union walk that scanned O(words) per query.
+    fn first_ge(&mut self, d: u32) -> Option<u32> {
+        let mut cand = self.nonempty >> d;
+        let mut best: Option<u32> = None;
+        while cand != 0 {
+            let l = d + cand.trailing_zeros();
+            cand &= cand - 1;
+            if let Some(b) = best {
+                // `lo` is a lower bound on the bucket's first populated
+                // word: everything in it is ≥ lo·64.
+                if self.lo[l as usize] * 64 > b {
+                    continue;
+                }
+            }
+            if let Some(n) = self.lowest_in_bucket(l) {
+                if best.is_none_or(|b| n < b) {
+                    best = Some(n);
+                }
+            }
+        }
+        best
     }
 }
 
@@ -288,6 +312,7 @@ impl Timeline {
             free: vec![all_free; n_nodes],
             now_free,
             index: RefCell::new(None),
+            generation: 0,
         }
     }
 
@@ -359,7 +384,14 @@ impl Timeline {
             free: masks,
             now_free,
             index: RefCell::new(None),
+            generation: 0,
         }
+    }
+
+    /// How many window advances this timeline has absorbed (epoch tag
+    /// for persistent-plane consumers and debug diagnostics).
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Window start.
@@ -464,15 +496,27 @@ impl Timeline {
     /// `s + k` covered, and the `k` slots uncovered at the far end are
     /// free (nothing beyond the old window was known to be busy, matching
     /// [`Timeline::is_free_range`]'s truncation). The run index is
-    /// invalidated wholesale and rebuilt by the next query.
+    /// *retained*: only nodes whose slot-0 run can have changed — those
+    /// with slot 0 free before or after the shift — are re-bucketed, so
+    /// an advance costs O(free nodes) instead of a wholesale rebuild on
+    /// the next query.
     pub fn advance_slots(&mut self, k: u32) {
         if k == 0 {
             return;
         }
+        self.generation += 1;
         let shift = SimDuration::from_millis(self.slot_ms * k as u64);
         self.origin += shift;
         self.window_end += shift;
         let all_free = (1u64 << self.n_slots) - 1;
+        // Snapshot the pre-shift slot-0-free words: a node absent from
+        // both the old and new candidate sets had run 0 before and after,
+        // so its bucket entry is already correct.
+        let old_now_free = if self.index.get_mut().is_some() {
+            self.now_free.clone()
+        } else {
+            Vec::new()
+        };
         if k >= self.n_slots {
             self.free.fill(all_free);
         } else {
@@ -489,7 +533,64 @@ impl Timeline {
                 self.now_free[i / 64] |= 1u64 << (i % 64);
             }
         }
-        *self.index.get_mut() = None;
+        let free = &self.free;
+        let now_free = &self.now_free;
+        if let Some(idx) = self.index.get_mut().as_mut() {
+            for (w, old) in old_now_free.iter().enumerate() {
+                let mut m = old | now_free[w];
+                while m != 0 {
+                    let b = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    let i = w * 64 + b;
+                    idx.update(i, free[i]);
+                }
+            }
+        }
+    }
+
+    /// Move the window anchor forward to `new_origin` *without touching
+    /// any mask*: slot `s` now starts at `new_origin + s·resolution`.
+    /// The persistent scheduling plane uses this when re-anchoring at a
+    /// pass instant — a node's slot-rounded free mask is unchanged by an
+    /// anchor move unless the anchor crossed one of the node's
+    /// busy-release residues, and the caller re-masks exactly those
+    /// nodes afterwards.
+    pub fn rebase(&mut self, new_origin: SimTime) {
+        debug_assert!(new_origin >= self.origin, "rebase only moves forward");
+        if new_origin == self.origin {
+            return;
+        }
+        self.generation += 1;
+        self.window_end = new_origin + SimDuration::from_millis(self.slot_ms * self.n_slots as u64);
+        self.origin = new_origin;
+    }
+
+    /// Overwrite a node's free mask wholesale — the persistent scheduling
+    /// plane recomputing a node from its authoritative projection. Keeps
+    /// the slot-0 bitset and the run index in sync; no-op (and no index
+    /// traffic) when the mask is unchanged.
+    pub fn set_node_mask(&mut self, node: NodeId, mask: u64) {
+        debug_assert_eq!(mask >> self.n_slots, 0, "mask has bits past the window");
+        let i = node.0 as usize;
+        if self.free[i] == mask {
+            return;
+        }
+        self.free[i] = mask;
+        let (w, bit) = (i / 64, 1u64 << (i % 64));
+        if mask & 1 != 0 {
+            self.now_free[w] |= bit;
+        } else {
+            self.now_free[w] &= !bit;
+        }
+        self.touch(i);
+    }
+
+    /// True iff both timelines describe the same occupancy: same origin
+    /// and bit-identical free masks (differential checks of the
+    /// persistent plane against a fresh rebuild).
+    #[doc(hidden)]
+    pub fn same_occupancy(&self, other: &Timeline) -> bool {
+        self.origin == other.origin && self.free == other.free && self.now_free == other.now_free
     }
 
     /// Mark the node busy over the absolute interval `[from, to)`
@@ -694,6 +795,14 @@ impl Timeline {
     /// from drifting apart. Returns the number of placements.
     #[doc(hidden)]
     pub fn run_deterministic_churn(&mut self, steps: u64) -> u64 {
+        self.run_deterministic_churn_with(steps, FitPolicy::BestFit)
+    }
+
+    /// [`Timeline::run_deterministic_churn`] with an explicit fit policy
+    /// — the FirstFit variant backs the probe proving its bucket-hint
+    /// query matches BestFit's amortized cost.
+    #[doc(hidden)]
+    pub fn run_deterministic_churn_with(&mut self, steps: u64, policy: FitPolicy) -> u64 {
         let n = self.n_nodes() as u64;
         let window = self.n_slots();
         let mut placed = 0u64;
@@ -703,7 +812,7 @@ impl Timeline {
                 .wrapping_mul(6364136223846793005)
                 .wrapping_add(1442695040888963407);
             let d = (1 + (x >> 33) % 31) as u32;
-            if let Some(node) = self.find_single_now(d, FitPolicy::BestFit) {
+            if let Some(node) = self.find_single_now(d, policy) {
                 self.block_slots(node, 0, d);
                 placed += 1;
             } else {

@@ -9,9 +9,12 @@
 //! bucket moves on claim/release, wholesale invalidation on advance —
 //! never drifts from the masks.
 
-use hpcwhisk_cluster::{FitPolicy, NodeId, Timeline};
+use hpcwhisk_cluster::{
+    ClusterEvent, ClusterSim, FitPolicy, JobId, JobKind, JobSpec, JobState, NodeId, SlurmConfig,
+    Timeline,
+};
 use proptest::prelude::*;
-use simcore::{SimDuration, SimTime};
+use simcore::{Engine, Outbox, SimDuration, SimTime};
 
 /// One generated timeline operation.
 #[derive(Debug, Clone)]
@@ -163,6 +166,224 @@ fn clamp_node(op: Op, n_nodes: usize) -> Op {
     }
 }
 
+// --- Persistent scheduling-plane differential (sim level) -----------------
+//
+// The timeline-level proptests above prove the run-length index; the
+// suite below proves the *plane*: the long-lived pilot/hpc timelines
+// that `ClusterSim` re-anchors and patches between passes instead of
+// rebuilding. After every simulator step — submission (claim sources),
+// pilot exit (release), node down/up (trace event), elapsed passes
+// (advance + reservation diff) — [`ClusterSim::check_plane`] must find
+// the persistent views bit-identical to a from-scratch rebuild.
+
+/// One generated simulator step, applied after advancing `dt_secs`.
+#[derive(Debug, Clone)]
+enum SimOp {
+    /// Submit a multi-node HPC job (queues → reservations when tight).
+    Hpc {
+        nodes: u32,
+        limit_mins: u64,
+        actual_mins: u64,
+    },
+    /// Submit a fixed-length pilot.
+    PilotFixed { limit_mins: u64 },
+    /// Submit a variable-length pilot.
+    PilotVar { max_mins: u64 },
+    /// Submit a pinned demand claim with a future announced start.
+    Pinned {
+        node: usize,
+        ahead_mins: u64,
+        slack_mins: u64,
+        limit_mins: u64,
+    },
+    /// Voluntarily exit the `pick`-th currently running pilot, if any.
+    PilotExit { pick: usize },
+    /// Fail a currently-up node.
+    NodeDown { node: usize },
+    /// Repair the `pick`-th currently-down node, if any.
+    NodeUp { pick: usize },
+    /// Let the engine run (quick/backfill passes, job ends, drains).
+    Wait,
+}
+
+fn sim_op_strategy(n_nodes: usize) -> impl Strategy<Value = SimOp> {
+    let n = n_nodes;
+    prop_oneof![
+        (1u32..5, 2u64..40, 1u64..40).prop_map(|(nodes, limit_mins, actual_mins)| SimOp::Hpc {
+            nodes,
+            limit_mins,
+            actual_mins
+        }),
+        (2u64..30).prop_map(|limit_mins| SimOp::PilotFixed { limit_mins }),
+        (4u64..60).prop_map(|max_mins| SimOp::PilotVar { max_mins }),
+        (0..n, 2u64..60, 0u64..15, 4u64..30).prop_map(
+            |(node, ahead_mins, slack_mins, limit_mins)| SimOp::Pinned {
+                node,
+                ahead_mins,
+                slack_mins,
+                limit_mins
+            }
+        ),
+        (0usize..16).prop_map(|pick| SimOp::PilotExit { pick }),
+        (0..n).prop_map(|node| SimOp::NodeDown { node }),
+        (0usize..16).prop_map(|pick| SimOp::NodeUp { pick }),
+        Just(SimOp::Wait),
+        Just(SimOp::Wait),
+    ]
+}
+
+/// Drive one sim through the op sequence, auditing the plane after
+/// every step (and once more after a long drain).
+fn run_plane_churn(n_nodes: usize, steps: Vec<(u64, SimOp)>) {
+    let mut sim = ClusterSim::new(SlurmConfig::default(), n_nodes, 7);
+    let mut engine = Engine::new();
+    let mut t = SimTime::ZERO;
+    {
+        let mut out = Outbox::new(t);
+        sim.bootstrap(t, &mut out);
+        for (at, e) in out.drain() {
+            engine.schedule(at, e);
+        }
+    }
+    let mut pilots: Vec<JobId> = Vec::new();
+    let mut down: Vec<NodeId> = Vec::new();
+
+    for (dt_secs, op) in steps {
+        t += SimDuration::from_secs(dt_secs);
+        {
+            let sim = &mut sim;
+            engine.run_until(t, &mut |now, ev, out: &mut Outbox<ClusterEvent>| {
+                let mut notes = Vec::new();
+                sim.handle(now, ev, out, &mut notes);
+            });
+        }
+        let mut out = Outbox::new(t);
+        let mut notes = Vec::new();
+        match op {
+            SimOp::Hpc {
+                nodes,
+                limit_mins,
+                actual_mins,
+            } => {
+                let spec = JobSpec::hpc(
+                    nodes.min(n_nodes as u32).max(1),
+                    SimDuration::from_mins(limit_mins),
+                    SimDuration::from_mins(actual_mins),
+                );
+                sim.submit(t, spec, &mut out);
+            }
+            SimOp::PilotFixed { limit_mins } => {
+                let spec = JobSpec::pilot_fixed(SimDuration::from_mins(limit_mins), limit_mins);
+                let id = sim.submit(t, spec, &mut out);
+                pilots.push(id);
+            }
+            SimOp::PilotVar { max_mins } => {
+                let spec =
+                    JobSpec::pilot_var(SimDuration::from_mins(2), SimDuration::from_mins(max_mins));
+                let id = sim.submit(t, spec, &mut out);
+                pilots.push(id);
+            }
+            SimOp::Pinned {
+                node,
+                ahead_mins,
+                slack_mins,
+                limit_mins,
+            } => {
+                let start = t + SimDuration::from_mins(ahead_mins);
+                let spec = JobSpec::pinned_demand(
+                    vec![NodeId((node % n_nodes) as u32)],
+                    start,
+                    start + SimDuration::from_mins(slack_mins),
+                    SimDuration::from_mins(limit_mins),
+                    SimDuration::from_mins(limit_mins.max(2) - 1),
+                );
+                sim.submit(t, spec, &mut out);
+            }
+            SimOp::PilotExit { pick } => {
+                let running: Vec<JobId> = pilots
+                    .iter()
+                    .copied()
+                    .filter(|id| {
+                        sim.job(*id).spec.kind == JobKind::Pilot
+                            && matches!(sim.job(*id).state, JobState::Running { .. })
+                    })
+                    .collect();
+                if !running.is_empty() {
+                    sim.pilot_exited(t, running[pick % running.len()], &mut out, &mut notes);
+                }
+            }
+            SimOp::NodeDown { node } => {
+                let n = NodeId((node % n_nodes) as u32);
+                if !down.contains(&n) {
+                    down.push(n);
+                    sim.handle(t, ClusterEvent::NodeDown(n), &mut out, &mut notes);
+                }
+            }
+            SimOp::NodeUp { pick } => {
+                if !down.is_empty() {
+                    let n = down.remove(pick % down.len());
+                    sim.handle(t, ClusterEvent::NodeUp(n), &mut out, &mut notes);
+                }
+            }
+            SimOp::Wait => {}
+        }
+        for (at, e) in out.drain() {
+            engine.schedule(at, e);
+        }
+        // The audit: persistent plane ≡ fresh rebuild, bit for bit.
+        sim.check_plane(t);
+    }
+
+    // Drain the tail (timeouts, drains, repairs) and audit once more.
+    let end = t + SimDuration::from_hours(3);
+    {
+        let sim = &mut sim;
+        engine.run_until(end, &mut |now, ev, out: &mut Outbox<ClusterEvent>| {
+            let mut notes = Vec::new();
+            sim.handle(now, ev, out, &mut notes);
+        });
+    }
+    sim.check_plane(end);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Randomized multi-pass persistence: the plane must match a fresh
+    /// rebuild after every claim/release/advance/trace/reservation step.
+    #[test]
+    fn prop_persistent_plane_matches_fresh_build(
+        n_nodes in 4usize..24,
+        steps in proptest::collection::vec((0u64..150, sim_op_strategy(24)), 1..48),
+    ) {
+        let steps = steps
+            .into_iter()
+            .map(|(dt, op)| (dt, clamp_sim_op(op, n_nodes)))
+            .collect();
+        run_plane_churn(n_nodes, steps);
+    }
+}
+
+fn clamp_sim_op(op: SimOp, n_nodes: usize) -> SimOp {
+    match op {
+        SimOp::Pinned {
+            node,
+            ahead_mins,
+            slack_mins,
+            limit_mins,
+        } => SimOp::Pinned {
+            node: node % n_nodes,
+            ahead_mins,
+            slack_mins,
+            limit_mins,
+        },
+        SimOp::NodeDown { node } => SimOp::NodeDown {
+            node: node % n_nodes,
+        },
+        other => other,
+    }
+}
+
 /// The exact workload the perf probe and criterion bench measure
 /// (`Timeline::run_deterministic_churn` — one shared definition, so the
 /// measured shape and the tested shape cannot drift apart), pinned here
@@ -179,6 +400,24 @@ fn deterministic_churn_like_the_probe() {
         assert_eq!(
             tl.find_single_now(d, FitPolicy::BestFit),
             tl.find_single_now_reference(d, FitPolicy::BestFit)
+        );
+        assert_eq!(tl.count_startable(d), tl.count_startable_reference(d));
+    }
+}
+
+/// Same pin for the FirstFit flavour of the churn probe, now that
+/// FirstFit carries its own lowest-populated-bucket hint instead of the
+/// O(words) bucket-union walk.
+#[test]
+fn deterministic_churn_firstfit_matches_reference() {
+    let mut tl = Timeline::new(SimTime::ZERO, SimDuration::from_mins(2), 60, 2_239);
+    let placed = tl.run_deterministic_churn_with(5_000, FitPolicy::FirstFit);
+    assert!(placed > 2_000, "churn must mostly place: {placed}");
+    for d in 0..=61 {
+        assert_eq!(
+            tl.find_single_now(d, FitPolicy::FirstFit),
+            tl.find_single_now_reference(d, FitPolicy::FirstFit),
+            "FirstFit diverged at d={d}"
         );
         assert_eq!(tl.count_startable(d), tl.count_startable_reference(d));
     }

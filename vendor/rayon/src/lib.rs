@@ -16,6 +16,16 @@ pub mod prelude {
 }
 
 fn n_threads() -> usize {
+    // Same knob as real rayon's default pool: RAYON_NUM_THREADS caps the
+    // worker count (scaling benches pin 1/2/4 threads through it). Read
+    // per call — the shim has no persistent pool to rebuild.
+    if let Some(n) = std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        return n;
+    }
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
@@ -294,8 +304,13 @@ mod tests {
         }
     }
 
+    /// Serializes the tests that read/write `RAYON_NUM_THREADS` — the
+    /// process environment is shared across the test harness's threads.
+    static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[test]
     fn actually_uses_threads() {
+        let _env = ENV_LOCK.lock().unwrap();
         // Not a strict guarantee on 1-core machines, but on the CI boxes
         // this must see >1 distinct thread id for 64 chunky items.
         if std::thread::available_parallelism()
@@ -311,5 +326,18 @@ mod tests {
             .collect();
         let distinct: std::collections::HashSet<_> = ids.into_iter().collect();
         assert!(distinct.len() > 1, "expected parallel execution");
+    }
+
+    #[test]
+    fn env_override_pins_thread_count() {
+        let _env = ENV_LOCK.lock().unwrap();
+        std::env::set_var("RAYON_NUM_THREADS", "1");
+        let ids: Vec<std::thread::ThreadId> = (0..64usize)
+            .into_par_iter()
+            .map(|_| std::thread::current().id())
+            .collect();
+        std::env::remove_var("RAYON_NUM_THREADS");
+        let distinct: std::collections::HashSet<_> = ids.into_iter().collect();
+        assert_eq!(distinct.len(), 1, "1-thread override must run inline");
     }
 }
