@@ -29,12 +29,21 @@ enum Ev {
 /// Scheduler fill-up window excluded from the reported samples.
 const WARMUP_MINS: u64 = 45;
 
-/// One closed-loop run, fully determined by `seed`.
-fn run_closed_loop(seed: u64, n_nodes: usize, hours: u64) -> (Counters, Vec<PollSample>) {
+/// One closed-loop run, fully determined by `seed`. `spans` turns on
+/// per-pass phase timing (wall-clock, so only for observability runs).
+fn run_closed_loop(
+    seed: u64,
+    n_nodes: usize,
+    hours: u64,
+    spans: bool,
+) -> (Counters, Vec<PollSample>) {
     let horizon = SimTime::from_hours(hours);
     let warmup_window = SimTime::from_mins(WARMUP_MINS);
 
     let mut sim = ClusterSim::new(SlurmConfig::default(), n_nodes, seed);
+    if spans {
+        sim.enable_pass_spans();
+    }
     let model = HpcWorkloadModel::prometheus();
     let driver = BacklogDriver::new(model, n_nodes);
     let mut manager = FibManager::paper(lengths::A1.to_vec());
@@ -122,12 +131,14 @@ fn main() {
     };
 
     // Independent replications across seeds, one core each (the rayon
-    // fanout leaves per-seed determinism untouched).
+    // fanout leaves per-seed determinism untouched). Pass spans are
+    // timed only when the run will be scraped.
+    let spans = hpcwhisk_bench::arg_value("--metrics-out").is_some();
     let runs: Vec<(u64, Counters, Vec<PollSample>)> = seeds
         .clone()
         .into_par_iter()
         .map(|seed| {
-            let (c, samples) = run_closed_loop(seed, n_nodes, hours);
+            let (c, samples) = run_closed_loop(seed, n_nodes, hours, spans);
             (seed, c, samples)
         })
         .collect();
@@ -204,6 +215,8 @@ fn main() {
         if sl.used_share > 0.5 { "yes" } else { "NO" },
     );
     println!("{}", cmp.render());
+
+    hpcwhisk_bench::write_scheduler_metrics_out(c);
 }
 
 /// Pending HPC work in node-hours (declared limits), for the backlog

@@ -24,6 +24,8 @@
 //!
 //! `--quick` runs a scaled-down version of all three (the CI
 //! `elasticity-churn` job). With no flags, all three run at full size.
+//! `--metrics-out <path>` writes the day-replay gateway's Prometheus
+//! exposition (CI greps it for shed/lease conservation invariants).
 //!
 //! Run with: `cargo run --release -p hpcwhisk_bench --bin elasticity [-- flags]`
 
@@ -128,6 +130,7 @@ fn day_replay(quick: bool) {
     assert_eq!(report.lost(), 0, "day replay lost accepted invocations");
     assert!(report.completed > 0, "day replay completed nothing");
     assert!(stats.revokes + stats.deadline_drains > 0, "no churn landed");
+    hpcwhisk_bench::write_metrics_out(&gw);
     assert_eq!(gw.shutdown(), 0, "requests stranded at shutdown");
     let pools = gw.retired_pool_stats();
     assert!(pools.containers_conserved(), "container leak: {pools:?}");

@@ -6,7 +6,9 @@
 //! throughput, a deadline-led drain actually observed, container books
 //! balanced. Exits nonzero on any violation.
 //!
-//! Run with: `cargo run --release -p hpcwhisk_bench --bin gateway_smoke`
+//! Run with: `cargo run --release -p hpcwhisk_bench --bin gateway_smoke`.
+//! Pass `--metrics-out <path>` to also dump the gateway's Prometheus
+//! exposition after the run (CI greps it for conservation invariants).
 
 use gateway::{
     run_load_with_controller, ActionBody, ActionSpec, CapacityController, ControllerConfig,
@@ -97,6 +99,7 @@ fn main() {
         "smoke: the deadline-led drain did not run: {stats:?}"
     );
     assert_eq!(stats.revokes, 1, "smoke: the revoke did not land");
+    hpcwhisk_bench::write_metrics_out(&gw);
     let stranded = gw.shutdown();
     assert_eq!(stranded, 0, "smoke: requests stranded at shutdown");
     let pools = gw.retired_pool_stats();

@@ -151,7 +151,12 @@ const GATEWAY_PROBE_INVOKERS: usize = 8;
 /// SeBS no-op actions through the closed-loop harness and report the
 /// best sustained throughput (ns/op) plus that run's latency quantiles
 /// — throughput probes want the least-disturbed run of `samples`.
-fn gateway_run(samples: usize, drain_batch: usize, submit_batch: usize) -> (f64, f64, f64) {
+fn gateway_run(
+    samples: usize,
+    drain_batch: usize,
+    submit_batch: usize,
+    telemetry: bool,
+) -> (f64, f64, f64) {
     let mut best_ns = f64::MAX;
     let mut best_p50 = f64::MAX;
     let mut best_p99 = f64::MAX;
@@ -159,6 +164,7 @@ fn gateway_run(samples: usize, drain_batch: usize, submit_batch: usize) -> (f64,
         let gw = Gateway::new(
             GatewayConfig {
                 drain_batch,
+                telemetry,
                 ..Default::default()
             },
             (0..16)
@@ -267,22 +273,45 @@ fn gateway_churn_run(samples: usize) -> (f64, f64) {
 
 /// The serving-plane probes: the historical unbatched shape (drain and
 /// submit batch 1 — comparable across PRs to the pre-batching
-/// baseline), the batched hot path (default batch sizes: the
-/// configuration the plane actually ships with), and the batched hot
-/// path under a lease grant+revoke wave (the elasticity baseline).
-fn gateway_probes(samples: usize, probes: &mut Vec<Probe>) {
-    let (ns, p50, p99) = gateway_run(samples, 1, 1);
-    let (batched_ns, _, _) = gateway_run(
-        samples,
-        GatewayConfig::default().drain_batch,
-        HarnessConfig::default().submit_batch,
-    );
+/// baseline), the batched hot path bare *and* instrumented (telemetry
+/// registry on — the configuration the plane actually ships with), and
+/// the batched hot path under a lease grant+revoke wave (the elasticity
+/// baseline). The bare probes keep telemetry off so their trajectory
+/// stays comparable to the pre-telemetry baseline.
+///
+/// Returns the (bare, instrumented) batched ns/op pair for the
+/// telemetry-overhead gate. Under `--check` the pair comes from
+/// min-of-`samples` **paired** runs — bare and instrumented alternating
+/// back to back, so both minima see the same ambient noise and the ≤2%
+/// overhead bound gates stably on a shared box.
+fn gateway_probes(samples: usize, probes: &mut Vec<Probe>) -> (f64, f64) {
+    let drain_batch = GatewayConfig::default().drain_batch;
+    let submit_batch = HarnessConfig::default().submit_batch;
+    let (ns, p50, p99) = gateway_run(samples, 1, 1, false);
+    let (batched_ns, instrumented_ns) = if CHECK_MODE.load(std::sync::atomic::Ordering::Relaxed) {
+        let mut bare = f64::MAX;
+        let mut inst = f64::MAX;
+        for _ in 0..samples {
+            bare = bare.min(gateway_run(1, drain_batch, submit_batch, false).0);
+            inst = inst.min(gateway_run(1, drain_batch, submit_batch, true).0);
+        }
+        (bare, inst)
+    } else {
+        (
+            gateway_run(samples, drain_batch, submit_batch, false).0,
+            gateway_run(samples, drain_batch, submit_batch, true).0,
+        )
+    };
     let (churn_ns, churn_p99) = gateway_churn_run(samples);
     for (name, ns) in [
         ("gateway/throughput_8inv_noop", ns),
         ("gateway/latency_p50_8inv_noop", p50),
         ("gateway/latency_p99_8inv_noop", p99),
         ("gateway/throughput_batched_8inv_noop", batched_ns),
+        (
+            "gateway/throughput_batched_8inv_noop_instrumented",
+            instrumented_ns,
+        ),
         ("gateway/throughput_churn_8inv_noop", churn_ns),
         ("gateway/latency_p99_churn_8inv_noop", churn_p99),
     ] {
@@ -292,6 +321,7 @@ fn gateway_probes(samples: usize, probes: &mut Vec<Probe>) {
             ns_per_op: ns,
         });
     }
+    (batched_ns, instrumented_ns)
 }
 
 /// The scheduler bench fixture: a 2,239-node cluster, ~95% occupied by
@@ -527,6 +557,23 @@ fn main() {
             steady_passes(ClusterEvent::BackfillPass, 0, 60),
         ));
     }
+    // The same zero-churn floor with per-pass span timing enabled: the
+    // observable cost of the four `Instant::now` laps per pass, and the
+    // figure the scraped span families should be read against.
+    if want(&filter, "scheduler/persistent_pass_2239_nodes_spans") {
+        probes.push(probe_scaled(
+            "scheduler/persistent_pass_2239_nodes_spans",
+            9,
+            3,
+            60.0,
+            || {
+                let mut w = warmed_cluster();
+                w.sim.enable_pass_spans();
+                w
+            },
+            steady_passes(ClusterEvent::BackfillPass, 0, 60),
+        ));
+    }
     if want(&filter, "scheduler/poll_sample_2239_nodes") {
         // One poll is ~10 µs — far too short a timed region to survive
         // timer granularity and scheduling noise on shared runners, so
@@ -655,8 +702,9 @@ fn main() {
             |_: &mut ()| simulate(&week, &OfflineConfig::table1(lengths::A1.to_vec())).n_jobs,
         ));
     }
+    let mut telem_pair: Option<(f64, f64)> = None;
     if want(&filter, "gateway/") {
-        gateway_probes(5, &mut probes);
+        telem_pair = Some(gateway_probes(5, &mut probes));
     }
     scaling_probes(3, &mut probes, &filter);
 
@@ -711,6 +759,19 @@ fn main() {
         }
     }
     if check {
+        // The telemetry budget: the instrumented batched hot path must
+        // stay within 2% of the bare one (paired minima, see
+        // `gateway_probes`).
+        if let Some((bare, inst)) = telem_pair {
+            let overhead = (inst / bare - 1.0) * 100.0;
+            eprintln!("\ntelemetry overhead, batched hot path (paired minima): {overhead:+.2}%");
+            if inst > bare * 1.02 {
+                eprintln!(
+                    "telemetry overhead gate failed: instrumented {inst:.0} ns/op vs bare {bare:.0} ns/op (>2%)"
+                );
+                std::process::exit(1);
+            }
+        }
         if !regressions.is_empty() {
             eprintln!("\n{} probe(s) regressed >25%:", regressions.len());
             for (name, old, new) in &regressions {

@@ -195,10 +195,12 @@ fn main() {
         worker_count(),
         days as f64 / secs
     );
+    let mut week_counters = cluster::Counters::default();
     let results: Vec<(u64, f64, f64, f64, u64, u64, f64)> = reports
         .into_iter()
         .enumerate()
         .map(|(day, rep)| {
+            week_counters.absorb(&rep.cluster_counters);
             let slurm = rep.slurm_level();
             let sim = rep.simulation(lengths::A1.to_vec());
             (
@@ -242,4 +244,8 @@ fn main() {
          coverage stays within a few points of its clairvoyant bound on \
          every day — the harvest is robust to the daily mix."
     );
+
+    // `--metrics-out <path>`: the week's scheduler counters, summed
+    // across days, as a Prometheus exposition.
+    hpcwhisk_bench::write_scheduler_metrics_out(&week_counters);
 }

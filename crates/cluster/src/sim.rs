@@ -99,10 +99,7 @@ const PROJ_PILOT_UNTIL: u8 = 2;
 const PROJ_BOTH_UNTIL: u8 = 3;
 
 /// `wheel_pos` sentinel: node not tracked by the residue wheel.
-const WHEEL_NONE: u16 = u16::MAX;
-/// `wheel_pos` flag set transiently during a bucket sweep so duplicate
-/// entries for the same node collapse to one survivor.
-const WHEEL_SEEN: u16 = 0x8000;
+const WHEEL_NONE: u32 = u32::MAX;
 
 /// Ground-truth state series maintained by the simulator (the poller's
 /// view in [`ClusterNote::Polled`] is the *measured* counterpart).
@@ -145,6 +142,57 @@ pub struct Counters {
     pub demand_delay_secs: OnlineStats,
     /// Granted pilot durations (minutes).
     pub pilot_granted_mins: OnlineStats,
+    /// Nodes re-masked by the residue-wheel sweep, summed over every
+    /// pass — the regression witness that the endpoint-bucket walk is
+    /// crossing-proportional (a full-bucket walk would inflate this).
+    pub wheel_nodes_reprojected: u64,
+    /// Placements made by passes: jobs started plus reservations
+    /// created.
+    pub pass_placements: u64,
+    /// Per-phase pass span totals in wall-clock nanoseconds, populated
+    /// only when [`ClusterSim::enable_pass_spans`] was called: plane
+    /// re-anchor (or fresh build), wheel sweep, dirty-node patch +
+    /// window paint, and the placement walk itself.
+    pub span_rebase_ns: u64,
+    pub span_wheel_ns: u64,
+    pub span_dirty_ns: u64,
+    pub span_placement_ns: u64,
+}
+
+impl Counters {
+    /// Fold another run's counters into this one (multi-day / multi-seed
+    /// aggregation for scraped reports).
+    pub fn absorb(&mut self, other: &Counters) {
+        self.hpc_started += other.hpc_started;
+        self.hpc_completed += other.hpc_completed;
+        self.pilots_started += other.pilots_started;
+        self.pilots_preempted += other.pilots_preempted;
+        self.pilots_timed_out += other.pilots_timed_out;
+        self.pilots_node_failed += other.pilots_node_failed;
+        self.quick_passes += other.quick_passes;
+        self.quick_passes_skipped += other.quick_passes_skipped;
+        self.backfill_passes += other.backfill_passes;
+        self.reservations_made += other.reservations_made;
+        self.demand_delay_secs.merge(&other.demand_delay_secs);
+        self.pilot_granted_mins.merge(&other.pilot_granted_mins);
+        self.wheel_nodes_reprojected += other.wheel_nodes_reprojected;
+        self.pass_placements += other.pass_placements;
+        self.span_rebase_ns += other.span_rebase_ns;
+        self.span_wheel_ns += other.span_wheel_ns;
+        self.span_dirty_ns += other.span_dirty_ns;
+        self.span_placement_ns += other.span_placement_ns;
+    }
+}
+
+/// Advance a span mark (when spans are enabled) and fold the elapsed
+/// nanoseconds into `acc`.
+#[inline]
+fn span_lap(mark: &mut Option<std::time::Instant>, acc: &mut u64) {
+    if let Some(m) = mark {
+        let now = std::time::Instant::now();
+        *acc += now.duration_since(*m).as_nanos() as u64;
+        *m = now;
+    }
 }
 
 /// The Slurm-like cluster simulator.
@@ -194,11 +242,17 @@ pub struct ClusterSim {
     /// `b`'s span. A node's slot-rounded free mask changes exactly when
     /// the plane anchor crosses such a residue, so a pass re-masks only
     /// the buckets its anchor moved across — every busy node is touched
-    /// once per resolution period instead of once per pass.
-    plane_wheel: Vec<Vec<NodeId>>,
-    /// Per-node live wheel bucket (`WHEEL_NONE` when untracked); entries
-    /// whose bucket disagrees are stale and dropped lazily on sweep.
-    wheel_pos: Vec<u16>,
+    /// once per resolution period instead of once per pass. Each bucket
+    /// is a ring kept **sorted by (residue, node)**, so the endpoint
+    /// buckets of a sweep locate the crossed residue range by binary
+    /// search and the walk is crossing-proportional: uncrossed entries
+    /// are never examined (witnessed by
+    /// [`Counters::wheel_nodes_reprojected`]).
+    plane_wheel: Vec<Vec<(u32, NodeId)>>,
+    /// Per-node live wheel residue (`WHEEL_NONE` when untracked);
+    /// entries whose stored residue disagrees are stale and dropped
+    /// lazily on sweep.
+    wheel_pos: Vec<u32>,
     /// Divide-free reciprocals for the wheel's residue arithmetic
     /// (`wheel_gran.d` is the bucket granularity in ms).
     wheel_res: Recip,
@@ -209,6 +263,9 @@ pub struct ClusterSim {
     /// Run the retained pre-optimization pass instead (differential
     /// tests only).
     reference_mode: bool,
+    /// Measure per-phase pass spans into [`Counters`] (off by default:
+    /// four `Instant` reads per pass when on, none when off).
+    pass_spans: bool,
 }
 
 /// Multiply-shift reciprocal (round-up magic-number division) for
@@ -338,6 +395,7 @@ impl ClusterSim {
             wheel_gran: Recip::new(wheel_gran_ms),
             pinned_pending: Vec::new(),
             reference_mode: false,
+            pass_spans: false,
         }
     }
 
@@ -358,6 +416,13 @@ impl ClusterSim {
         self.plane_hpc = None;
         self.plane_dirty.clear();
         self.plane_dirty_bits.fill(0);
+    }
+
+    /// Measure per-phase pass spans (rebase / wheel sweep / dirty patch
+    /// / placement) into [`Counters`] from now on. Off by default; when
+    /// on, each pass costs four extra `Instant` reads.
+    pub fn enable_pass_spans(&mut self) {
+        self.pass_spans = true;
     }
 
     /// Number of nodes.
@@ -799,18 +864,24 @@ impl ClusterSim {
     /// Track `n` in the residue wheel if it projects as busy until a
     /// future instant (its mask changes when the plane anchor crosses
     /// `until`'s slot residue; free/blocked masks are anchor-invariant).
+    /// Bucket entries stay sorted by (residue, node); sorted insertion
+    /// also dedups, so a node re-entering a residue it already has a
+    /// (stale) entry at never produces duplicates.
     fn wheel_insert(&mut self, n: NodeId, now: SimTime) {
         let i = n.0 as usize;
         let class = self.proj_class[i];
         if class == PROJ_FREE || class == PROJ_BLOCKED || self.proj_until[i] <= now {
             return;
         }
-        let b = self
-            .wheel_gran
-            .div(self.wheel_res.rem(self.proj_until[i].as_millis())) as u16;
-        if self.wheel_pos[i] != b {
-            self.wheel_pos[i] = b;
-            self.plane_wheel[b as usize].push(n);
+        let r = self.wheel_res.rem(self.proj_until[i].as_millis()) as u32;
+        if self.wheel_pos[i] != r {
+            self.wheel_pos[i] = r;
+            let b = self.wheel_gran.div(r as u64) as usize;
+            let bucket = &mut self.plane_wheel[b];
+            let at = bucket.partition_point(|&e| e < (r, n));
+            if bucket.get(at) != Some(&(r, n)) {
+                bucket.insert(at, (r, n));
+            }
         }
     }
 
@@ -846,16 +917,17 @@ impl ClusterSim {
             self.wheel_gran.div(prev_r) as usize,
             self.wheel_gran.div(now_r) as usize,
         );
-        // Buckets are coarser than residues, so the endpoint buckets are
-        // visited conservatively; within a bucket, each node's *exact*
-        // residue decides whether its mask actually moved — nodes whose
-        // release residue the anchor did not cross (the common case: a
-        // whole-slot job limit keeps every such node at one residue) are
-        // kept untouched.
+        // Buckets are coarser than residues, but each bucket ring is
+        // sorted by residue: the crossed residues (prev_r, now_r] — at
+        // most two contiguous spans when the anchor wrapped past the
+        // period — are located by binary search, so uncrossed entries in
+        // the endpoint buckets are never examined and the sweep's work
+        // is proportional to the residues actually crossed.
+        let wrapped = now_r < prev_r;
         let in_range = |b: usize| {
             if sweep_all {
                 true
-            } else if now_r >= prev_r {
+            } else if !wrapped {
                 b0 <= b && b <= b1
             } else {
                 b >= b0 || b <= b1 // the anchor wrapped past the period
@@ -865,22 +937,33 @@ impl ClusterSim {
             if !in_range(b) || self.plane_wheel[b].is_empty() {
                 continue;
             }
-            let mut bucket = std::mem::take(&mut self.plane_wheel[b]);
-            bucket.retain(|&n| {
-                let i = n.0 as usize;
-                if self.wheel_pos[i] != b as u16 {
-                    return false; // stale (re-bucketed) or duplicate entry
-                }
-                let class = self.proj_class[i];
-                let until = self.proj_until[i];
-                let r = self.wheel_res.rem(until.as_millis());
-                let crossed = sweep_all
-                    || if now_r >= prev_r {
-                        r > prev_r && r <= now_r
-                    } else {
-                        r > prev_r || r <= now_r
-                    };
-                if crossed {
+            let bucket = std::mem::take(&mut self.plane_wheel[b]);
+            // The crossed sub-ranges of this sorted bucket, in index
+            // order and disjoint (when wrapped, the `r <= now_r` span
+            // sorts before the `r > prev_r` span).
+            let after_prev =
+                |bk: &[(u32, NodeId)]| bk.partition_point(|&(r, _)| (r as u64) <= prev_r);
+            let upto_now = |bk: &[(u32, NodeId)]| bk.partition_point(|&(r, _)| (r as u64) <= now_r);
+            let ranges: [(usize, usize); 2] = if sweep_all {
+                [(0, bucket.len()), (bucket.len(), bucket.len())]
+            } else if !wrapped {
+                let (lo, hi) = (after_prev(&bucket), upto_now(&bucket));
+                [(lo, hi.max(lo)), (bucket.len(), bucket.len())]
+            } else {
+                [(0, upto_now(&bucket)), (after_prev(&bucket), bucket.len())]
+            };
+            let mut out: Vec<(u32, NodeId)> = Vec::with_capacity(bucket.len());
+            let mut idx = 0usize;
+            for &(lo, hi) in &ranges {
+                out.extend_from_slice(&bucket[idx..lo.max(idx)]);
+                for &(r, n) in &bucket[lo..hi] {
+                    let i = n.0 as usize;
+                    if self.wheel_pos[i] != r {
+                        continue; // stale (re-bucketed or released) entry
+                    }
+                    let class = self.proj_class[i];
+                    let until = self.proj_until[i];
+                    self.counters.wheel_nodes_reprojected += 1;
                     let (pm, hm) = pv.masks(class, until);
                     pilot.set_node_mask(n, pm);
                     if let Some(h) = hpc.as_mut() {
@@ -888,16 +971,14 @@ impl ClusterSim {
                     }
                     if class == PROJ_FREE || class == PROJ_BLOCKED || until <= now {
                         self.wheel_pos[i] = WHEEL_NONE;
-                        return false;
+                        continue;
                     }
+                    out.push((r, n));
                 }
-                self.wheel_pos[i] = b as u16 | WHEEL_SEEN;
-                true
-            });
-            for n in &bucket {
-                self.wheel_pos[n.0 as usize] &= !WHEEL_SEEN;
+                idx = hi.max(idx);
             }
-            self.plane_wheel[b] = bucket;
+            out.extend_from_slice(&bucket[idx..]);
+            self.plane_wheel[b] = out;
         }
     }
 
@@ -930,6 +1011,7 @@ impl ClusterSim {
         let n_slots = self.cfg.n_slots();
 
         // 1. Re-anchor (or build) the planes at `now`.
+        let mut mark = self.pass_spans.then(std::time::Instant::now);
         let (mut pilot, mut hpc, built_fresh) =
             match (self.plane_pilot.take(), self.plane_hpc.take()) {
                 (Some(mut p), mut h) if p.origin() <= now => {
@@ -939,13 +1021,17 @@ impl ClusterSim {
                         if let Some(h) = h.as_mut() {
                             h.rebase(now);
                         }
+                        span_lap(&mut mark, &mut self.counters.span_rebase_ns);
                         self.sweep_wheel(prev, now, &pv, &mut p, &mut h);
+                        span_lap(&mut mark, &mut self.counters.span_wheel_ns);
                     }
                     (p, h, false)
                 }
                 _ => {
+                    // A fresh build replaces the rebase; charge it there.
                     let (p, h) = self.fresh_proj_planes(now, need_hpc);
                     self.rebuild_wheel(now);
+                    span_lap(&mut mark, &mut self.counters.span_rebase_ns);
                     (p, if need_hpc { Some(h) } else { None }, true)
                 }
             };
@@ -1014,6 +1100,7 @@ impl ClusterSim {
                 }
             }
         }
+        span_lap(&mut mark, &mut self.counters.span_dirty_ns);
         (pilot, hpc_pass, hpc_parked, painted)
     }
 
@@ -1173,6 +1260,7 @@ impl ClusterSim {
         let mut var_slots_computed: u64 = 0;
         let mut reservations_created = 0usize;
         let mut new_reservations: Vec<Reservation> = Vec::new();
+        let mut mark = self.pass_spans.then(std::time::Instant::now);
 
         for id in queue {
             if examined >= limit {
@@ -1218,6 +1306,7 @@ impl ClusterSim {
                             tl_hpc.block_until(*n, now + limit_dur);
                             tl_pilot.block_until(*n, now + limit_dur);
                         }
+                        self.counters.pass_placements += 1;
                         self.start_or_handover(now, id, startable, out, notes);
                     } else if mode == PassMode::Backfill
                         && reservations_created < self.cfg.bf_max_reservations
@@ -1238,6 +1327,7 @@ impl ClusterSim {
                             });
                             reservations_created += 1;
                             self.counters.reservations_made += 1;
+                            self.counters.pass_placements += 1;
                         }
                     }
                 }
@@ -1268,11 +1358,13 @@ impl ClusterSim {
                     };
                     let granted = self.cfg.slots_to_duration(granted_slots);
                     tl_pilot.block_until(node, now + granted);
+                    self.counters.pass_placements += 1;
                     self.start_job(now, id, NodeList::single(node), granted, out, notes);
                 }
             }
         }
 
+        span_lap(&mut mark, &mut self.counters.span_placement_ns);
         if mode == PassMode::Backfill {
             self.reservations = new_reservations;
         }

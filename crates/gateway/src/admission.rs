@@ -35,7 +35,9 @@
 //! so the hot path stays lock-free: one load + one CAS per admission.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+use telemetry::Counter;
 
 /// How the gateway admits traffic beyond the structural bounds.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -93,6 +95,9 @@ pub(crate) struct AdmissionShaper {
     /// healthy-invoker count (`1e9 / (rate_per_invoker * n)`).
     cost_ns: AtomicU64,
     max_delay_ns: u64,
+    /// Cumulative virtual delay charged to admitted requests, in
+    /// nanoseconds (exposed as `gateway_shaper_charged_delay_ns_total`).
+    charged_ns: Arc<Counter>,
 }
 
 impl AdmissionShaper {
@@ -113,6 +118,7 @@ impl AdmissionShaper {
             max_delay_ns: cfg.map_or(0, |c| {
                 c.max_delay.as_nanos().min(u128::from(u64::MAX)) as u64
             }),
+            charged_ns: Arc::new(Counter::new()),
         };
         shaper.set_capacity(1);
         shaper
@@ -152,7 +158,12 @@ impl AdmissionShaper {
                 .tat
                 .compare_exchange_weak(tat, new_tat, Ordering::Relaxed, Ordering::Relaxed)
             {
-                Ok(_) => return Shape::Admit(Duration::from_nanos(over)),
+                Ok(_) => {
+                    if over > 0 {
+                        self.charged_ns.add(over);
+                    }
+                    return Shape::Admit(Duration::from_nanos(over));
+                }
                 Err(seen) => tat = seen,
             }
         }
@@ -190,6 +201,12 @@ impl AdmissionShaper {
     /// True when a token-bucket policy is active.
     pub(crate) fn shaping(&self) -> bool {
         self.cfg.is_some()
+    }
+
+    /// Handle to the cumulative charged-delay counter, for registry
+    /// registration by the gateway's telemetry plane.
+    pub(crate) fn charged_counter(&self) -> Arc<Counter> {
+        self.charged_ns.clone()
     }
 }
 

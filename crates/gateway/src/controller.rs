@@ -27,6 +27,7 @@ use crate::gateway::{Gateway, InvokerToken};
 use crate::lease::{LeaseEvent, LeaseEventKind, LeasePlan};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
+use telemetry::flight::{self, EventKind};
 
 /// Controller tuning.
 #[derive(Debug, Clone, Copy)]
@@ -172,6 +173,7 @@ impl<'g> CapacityController<'g> {
             lease.deferred = false;
             routable -= 1;
             self.stats.deadline_drains += 1;
+            flight::record(EventKind::DrainStart, lease.node as u64, 1);
             let drained = self.gw.sigterm(lease.token);
             debug_assert!(drained, "controller-held token must be live");
         }
@@ -242,6 +244,7 @@ impl<'g> CapacityController<'g> {
                 let lease = self.active.remove(i);
                 if !lease.draining {
                     self.stats.surprise_revokes += 1;
+                    flight::record(EventKind::LeaseRevoke, ev.node as u64, 1);
                     self.gw.sigterm(lease.token);
                 }
                 self.gw.join_invoker(lease.token);

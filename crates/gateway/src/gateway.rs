@@ -35,11 +35,13 @@ use crate::admission::{AdmissionPolicy, AdmissionShaper, Shape};
 use crate::pool::{Placement, PoolStats, WarmPool};
 use crate::queue::{Envelope, Produce, ProduceBatch, Request, WorkQueue};
 use crate::route::{mix64, Router};
+use crate::telem::{BurstCounts, GatewayTelemetry, SlotTelem};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+use telemetry::flight::{self, EventKind};
 
 /// Why a request was refused at admission (the 4xx/5xx path).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -168,6 +170,12 @@ pub struct GatewayConfig {
     /// behaviour) or a capacity-tracking token bucket that degrades
     /// through a bounded delay before shedding.
     pub admission: AdmissionPolicy,
+    /// Register and maintain the telemetry plane
+    /// ([`GatewayTelemetry`]): per-action request counters, merged
+    /// latency histograms, lease/pool/queue families. Costs one relaxed
+    /// atomic (or single-writer load+store) plus one array index per
+    /// event; the bare leg of the overhead probe turns it off.
+    pub telemetry: bool,
 }
 
 impl Default for GatewayConfig {
@@ -180,6 +188,7 @@ impl Default for GatewayConfig {
             sweep_every_ops: 1_024,
             drain_batch: 32,
             admission: AdmissionPolicy::HardShed,
+            telemetry: true,
         }
     }
 }
@@ -260,6 +269,9 @@ impl CompletionShard {
 pub struct BurstScratch {
     buckets: Vec<Bucket>,
     used: usize,
+    /// Plain per-action accepted tallies, flushed to the telemetry
+    /// plane with one atomic add per action per burst.
+    counts: BurstCounts,
 }
 
 #[derive(Default)]
@@ -330,6 +342,9 @@ pub struct Gateway {
     next_invoker: AtomicU64,
     /// Pool stats of reaped invokers, folded in at join time.
     retired_pools: Mutex<PoolStats>,
+    /// The metric families of this plane (None with
+    /// `cfg.telemetry == false` — the bare probe leg).
+    telem: Option<Arc<GatewayTelemetry>>,
 }
 
 impl Gateway {
@@ -337,12 +352,25 @@ impl Gateway {
     pub fn new(cfg: GatewayConfig, actions: Vec<ActionSpec>) -> Self {
         let shards = cfg.shards;
         let shaper = AdmissionShaper::new(&cfg.admission, Instant::now());
+        let telem = cfg.telemetry.then(|| {
+            let t = Arc::new(GatewayTelemetry::new(
+                actions.iter().map(|a| a.name.clone()).collect(),
+            ));
+            t.register_shaper(shaper.charged_counter());
+            t
+        });
+        let fast = match &telem {
+            // The fast lane reports its high-water under the shared
+            // gauge; tag u64::MAX marks it in flight-recorder events.
+            Some(t) => WorkQueue::with_telem(t.queue_highwater.clone(), u64::MAX),
+            None => WorkQueue::new(),
+        };
         Gateway {
             cfg,
             actions: ActionRegistry::new(actions),
             router: Router::new(shards),
             slots: Mutex::new(Vec::new()),
-            fast: Arc::new(WorkQueue::new()),
+            fast: Arc::new(fast),
             completion_shards: Mutex::new(Vec::new()),
             collect_cursor: AtomicUsize::new(0),
             spill: Mutex::new(VecDeque::new()),
@@ -351,7 +379,13 @@ impl Gateway {
             next_request: AtomicU64::new(0),
             next_invoker: AtomicU64::new(0),
             retired_pools: Mutex::new(PoolStats::default()),
+            telem,
         }
+    }
+
+    /// The telemetry plane, when enabled ([`GatewayConfig::telemetry`]).
+    pub fn telemetry(&self) -> Option<&Arc<GatewayTelemetry>> {
+        self.telem.as_ref()
     }
 
     /// The action catalogue.
@@ -400,10 +434,14 @@ impl Gateway {
     /// Start a new invoker thread and make it routable.
     pub fn start_invoker(&self) -> InvokerToken {
         let id = self.next_invoker.fetch_add(1, Ordering::Relaxed);
+        let queue = match &self.telem {
+            Some(t) => WorkQueue::with_telem(t.queue_highwater.clone(), id),
+            None => WorkQueue::new(),
+        };
         let handle = Arc::new(InvokerHandle {
             id,
             state: AtomicU8::new(STATE_HEALTHY),
-            queue: WorkQueue::new(),
+            queue,
         });
         let mut slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
         // Reserve the slot (and its completion shard) before spawning:
@@ -434,12 +472,21 @@ impl Gateway {
             }
             shards[index].clone()
         };
+        // A lease granted: the invoker lifecycle *is* the lease
+        // lifecycle, so grants − revokes = live leases by construction
+        // no matter which driver (controller, test, bin) starts it.
+        if let Some(t) = &self.telem {
+            t.lease_grants.inc();
+            t.leases_live.add(1);
+        }
+        flight::record(EventKind::LeaseGrant, id, 0);
         let worker = InvokerCtx {
             handle,
             fast: self.fast.clone(),
             completions: shard,
             actions: self.actions.clone(),
             counters: self.counters.clone(),
+            telem: self.telem.as_ref().map(|t| (t.clone(), t.new_slot())),
             pool_slots: self.cfg.pool_slots,
             park: self.cfg.park,
             sweep_every_ops: self.cfg.sweep_every_ops,
@@ -565,6 +612,9 @@ impl Gateway {
             self.counters
                 .shed_action_saturated
                 .fetch_add(1, Ordering::Relaxed);
+            if let Some(t) = &self.telem {
+                t.note_shed(action.0 as usize, Shed::ActionSaturated);
+            }
             return Err(Shed::ActionSaturated);
         }
         let delay = match self.shaper.admit(produced_at) {
@@ -574,6 +624,9 @@ impl Gateway {
                 self.counters
                     .shed_delay_budget
                     .fetch_add(1, Ordering::Relaxed);
+                if let Some(t) = &self.telem {
+                    t.note_shed(action.0 as usize, Shed::DelayBudget);
+                }
                 return Err(Shed::DelayBudget);
             }
         };
@@ -598,6 +651,9 @@ impl Gateway {
             self.counters
                 .shed_no_invoker
                 .fetch_add(1, Ordering::Relaxed);
+            if let Some(t) = &self.telem {
+                t.note_shed(action.0 as usize, Shed::NoInvoker);
+            }
             return Err(Shed::NoInvoker);
         };
         match produced {
@@ -608,6 +664,9 @@ impl Gateway {
                 self.counters
                     .shed_queue_full
                     .fetch_add(1, Ordering::Relaxed);
+                if let Some(t) = &self.telem {
+                    t.note_shed(action.0 as usize, Shed::QueueFull);
+                }
                 return Err(Shed::QueueFull);
             }
             Produce::Closed(req) => {
@@ -626,14 +685,26 @@ impl Gateway {
                     self.counters
                         .shed_no_invoker
                         .fetch_add(1, Ordering::Relaxed);
+                    if let Some(t) = &self.telem {
+                        t.note_shed(action.0 as usize, Shed::NoInvoker);
+                    }
                     return Err(Shed::NoInvoker);
                 }
                 self.counters.fastlane_moves.fetch_add(1, Ordering::Relaxed);
+                if let Some(t) = &self.telem {
+                    t.fastlane_moves.inc();
+                }
             }
         }
         self.counters.accepted.fetch_add(1, Ordering::Relaxed);
         if !delay.is_zero() {
             self.counters.delayed.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(t) = &self.telem {
+            t.accepted.inc(action.0 as usize);
+            if !delay.is_zero() {
+                t.delayed.inc(action.0 as usize);
+            }
         }
         Ok(Admit { id, delay })
     }
@@ -673,13 +744,21 @@ impl Gateway {
         let base = out.len();
         // Pass 1: admit + shape + route, bucketing requests per target
         // invoker. Buckets hold input indices so pass 2 can fix up
-        // outcomes.
+        // outcomes. Accepted telemetry is tallied in plain per-action
+        // counts and flushed once per burst (not one atomic per op).
         debug_assert_eq!(scratch.used, 0, "scratch reused before finish");
+        let telem = self.telem.as_deref();
+        if let Some(t) = telem {
+            scratch.counts.ensure(t.n_actions());
+        }
         for (i, &(action, key)) in reqs.iter().enumerate() {
             if !self.actions.try_admit(action) {
                 self.counters
                     .shed_action_saturated
                     .fetch_add(1, Ordering::Relaxed);
+                if let Some(t) = telem {
+                    t.note_shed(action.0 as usize, Shed::ActionSaturated);
+                }
                 out.push(Err(Shed::ActionSaturated));
                 continue;
             }
@@ -690,6 +769,9 @@ impl Gateway {
                     self.counters
                         .shed_delay_budget
                         .fetch_add(1, Ordering::Relaxed);
+                    if let Some(t) = telem {
+                        t.note_shed(action.0 as usize, Shed::DelayBudget);
+                    }
                     out.push(Err(Shed::DelayBudget));
                     continue;
                 }
@@ -700,6 +782,9 @@ impl Gateway {
                 self.counters
                     .shed_no_invoker
                     .fetch_add(1, Ordering::Relaxed);
+                if let Some(t) = telem {
+                    t.note_shed(action.0 as usize, Shed::NoInvoker);
+                }
                 out.push(Err(Shed::NoInvoker));
                 continue;
             };
@@ -707,12 +792,20 @@ impl Gateway {
             let bucket = scratch.bucket_for(&target);
             bucket.reqs.push(Request { id, action, key });
             bucket.idx.push(i);
+            if telem.is_some() {
+                scratch.counts.note(action.0 as usize);
+            }
             out.push(Ok(Admit { id, delay }));
         }
         // Pass 2: one grouped produce per target; fix up the outcomes
         // of whatever the group could not land.
         let mut accepted = 0u64;
-        for bucket in &scratch.buckets[..scratch.used] {
+        let BurstScratch {
+            buckets,
+            used,
+            counts,
+        } = scratch;
+        for bucket in &buckets[..*used] {
             let target = bucket.target.as_ref().expect("used bucket has a target");
             match target
                 .queue
@@ -726,6 +819,10 @@ impl Gateway {
                         self.counters
                             .shed_queue_full
                             .fetch_add(1, Ordering::Relaxed);
+                        if let Some(t) = telem {
+                            counts.unnote(reqs[i].0 .0 as usize);
+                            t.note_shed(reqs[i].0 .0 as usize, Shed::QueueFull);
+                        }
                         out[base + i] = Err(Shed::QueueFull);
                     }
                 }
@@ -741,12 +838,19 @@ impl Gateway {
                         if self.fast.produce_moved(env).is_ok() {
                             accepted += 1;
                             self.counters.fastlane_moves.fetch_add(1, Ordering::Relaxed);
+                            if let Some(t) = telem {
+                                t.fastlane_moves.inc();
+                            }
                         } else {
                             self.shaper.refund();
                             self.actions.release(req.action);
                             self.counters
                                 .shed_no_invoker
                                 .fetch_add(1, Ordering::Relaxed);
+                            if let Some(t) = telem {
+                                counts.unnote(req.action.0 as usize);
+                                t.note_shed(req.action.0 as usize, Shed::NoInvoker);
+                            }
                             out[base + i] = Err(Shed::NoInvoker);
                         }
                     }
@@ -757,13 +861,21 @@ impl Gateway {
         self.counters
             .accepted
             .fetch_add(accepted, Ordering::Relaxed);
+        if let Some(t) = telem {
+            scratch.counts.flush(&t.accepted);
+        }
         // Only a shaping policy can have charged delays; the default
         // hard-shed hot path skips the outcome rescan entirely.
         if self.shaper.shaping() {
-            let delayed = out[base..]
-                .iter()
-                .filter(|o| o.as_ref().is_ok_and(Admit::delayed))
-                .count() as u64;
+            let mut delayed = 0u64;
+            for (o, &(action, _)) in out[base..].iter().zip(reqs) {
+                if o.as_ref().is_ok_and(Admit::delayed) {
+                    delayed += 1;
+                    if let Some(t) = telem {
+                        t.delayed.inc(action.0 as usize);
+                    }
+                }
+            }
             if delayed > 0 {
                 self.counters.delayed.fetch_add(delayed, Ordering::Relaxed);
             }
@@ -823,6 +935,11 @@ impl Gateway {
             slot.handle = None;
             slot.generation += 1;
             self.rebuild_router(&slots);
+            if let Some(t) = &self.telem {
+                t.lease_revokes.inc();
+                t.leases_live.sub(1);
+            }
+            flight::record(EventKind::LeaseRevoke, token.id, 0);
         }
     }
 
@@ -866,6 +983,9 @@ impl Gateway {
         // shaper, a revoke (or a deadline-led early drain) steepens it
         // *before* the invoker thread is even gone.
         self.shaper.set_capacity(healthy.len());
+        if let Some(t) = &self.telem {
+            t.invokers_routable.set(healthy.len() as i64);
+        }
         self.router.rebuild(&healthy);
     }
 }
@@ -877,6 +997,9 @@ struct InvokerCtx {
     completions: Arc<CompletionShard>,
     actions: Arc<ActionRegistry>,
     counters: Arc<Counters>,
+    /// The plane's families plus this invoker's private single-writer
+    /// shard (None when the gateway runs bare).
+    telem: Option<(Arc<GatewayTelemetry>, Arc<SlotTelem>)>,
     pool_slots: usize,
     park: Duration,
     sweep_every_ops: u64,
@@ -889,6 +1012,9 @@ impl InvokerCtx {
         let mut ops_since_sweep = 0u64;
         let mut batch: Vec<Envelope> = Vec::with_capacity(self.drain_batch);
         let mut done: Vec<Completion> = Vec::with_capacity(self.drain_batch);
+        // Pool telemetry is folded at sweep/retire time as the delta of
+        // the pool's lifetime stats — zero per-op publishing cost.
+        let mut last_pool = PoolStats::default();
         loop {
             if self.handle.state.load(Ordering::Acquire) == STATE_DRAINING {
                 // Atomic close: nothing can enqueue behind this drain.
@@ -897,6 +1023,7 @@ impl InvokerCtx {
                 // only *unstarted* backlog moves).
                 let backlog = self.handle.queue.close_and_drain();
                 let n = backlog.len() as u64;
+                flight::record(EventKind::DrainStart, self.handle.id, n);
                 for env in backlog {
                     // The fast lane outlives every invoker; a failed
                     // move is only possible after full shutdown.
@@ -908,6 +1035,11 @@ impl InvokerCtx {
                 // in-flight batch finished and checked back in above) —
                 // a revoked node's containers are reclaimed, not leaked.
                 pool.retire_all();
+                if let Some((t, _)) = &self.telem {
+                    t.fastlane_moves.add(n);
+                    t.publish_pool_delta(&mut last_pool, pool.stats());
+                }
+                flight::record(EventKind::DrainFinish, self.handle.id, n);
                 return pool.stats();
             }
             // §III-C ordering: drain the shared fast lane before the
@@ -923,6 +1055,9 @@ impl InvokerCtx {
                 // the private queue.
                 pool.sweep(Instant::now(), &self.actions);
                 ops_since_sweep = 0;
+                if let Some((t, _)) = &self.telem {
+                    t.publish_pool_delta(&mut last_pool, pool.stats());
+                }
                 if let Some(env) = self.handle.queue.pop_timeout(self.park) {
                     batch.push(env);
                 }
@@ -941,6 +1076,9 @@ impl InvokerCtx {
                 if ops_since_sweep >= self.sweep_every_ops {
                     pool.sweep(t, &self.actions);
                     ops_since_sweep = 0;
+                    if let Some((gt, _)) = &self.telem {
+                        gt.publish_pool_delta(&mut last_pool, pool.stats());
+                    }
                 }
             }
         }
@@ -971,15 +1109,39 @@ impl InvokerCtx {
         // in-flight caps for the rest of the batch and shed traffic
         // the unbatched plane would have admitted.
         self.actions.release(env.req.action);
+        let cold = placement == Placement::Cold;
+        let queue_wait = start.saturating_duration_since(env.produced_at);
+        let total = end.saturating_duration_since(env.produced_at);
+        if let Some((_, slot)) = &self.telem {
+            // Single-writer shard: plain load+store on lines only this
+            // thread dirties, two histogram records per completion.
+            let a = env.req.action.0 as usize;
+            slot.completed.add_owned(a, 1);
+            if cold {
+                slot.cold.add_owned(a, 1);
+            }
+            slot.lat_total.record_owned(total.as_nanos() as u64);
+            slot.lat_queue_wait
+                .record_owned(queue_wait.as_nanos() as u64);
+        }
+        flight::record(
+            if cold {
+                EventKind::ColdStart
+            } else {
+                EventKind::WarmHit
+            },
+            env.req.action.0 as u64,
+            self.handle.id,
+        );
         done.push(Completion {
             id: env.req.id,
             action: env.req.action,
             invoker: self.handle.id,
             value,
-            cold: placement == Placement::Cold,
-            queue_wait: start.saturating_duration_since(env.produced_at),
+            cold,
+            queue_wait,
             service: end.saturating_duration_since(start),
-            total: end.saturating_duration_since(env.produced_at),
+            total,
         });
         end
     }

@@ -1,7 +1,7 @@
 //! The closed-loop load harness: replays a `workload` arrival stream
 //! (Poisson, diurnal, or the paper's constant-rate process) against a
 //! live [`Gateway`](crate::Gateway) and folds per-request latencies
-//! into `metrics` CDFs.
+//! into fixed-footprint log-linear histograms.
 //!
 //! The loop is *closed* through an in-flight window: arrivals are
 //! released on their (scaled) schedule, but never more than
@@ -10,13 +10,21 @@
 //! queueing unboundedly inside the harness. With `speedup == 0` the
 //! schedule collapses and the harness drives the plane flat out (the
 //! throughput-probe mode).
+//!
+//! When the gateway records telemetry (the default), the report is
+//! built **from** two [`Registry`](telemetry::Registry) snapshots — one
+//! at the start, one at the end of the replay — so the harness numbers
+//! and the Prometheus exposition can never disagree; the loop itself
+//! does no per-request accounting at all. With telemetry off the
+//! harness falls back to counting locally (and records latencies into
+//! its own histograms), preserving the bare-plane probe.
 
 use crate::action::ActionId;
 use crate::controller::{CapacityController, LeaseStats};
 use crate::gateway::{BurstScratch, Gateway, Shed};
-use metrics::Cdf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
+use telemetry::{HistSnapshot, Histogram, Snapshot};
 use workload::Arrival;
 
 /// How to replay an arrival stream.
@@ -119,10 +127,11 @@ pub struct LoadReport {
     pub cold_starts: u64,
     /// Completed requests per second of wall time.
     pub throughput: f64,
-    /// End-to-end latency (admission → completion), seconds.
-    pub latency: Cdf,
-    /// Queue-wait share of the latency, seconds.
-    pub queue_wait: Cdf,
+    /// End-to-end latency (admission → completion), **nanoseconds** —
+    /// a mergeable log-linear histogram snapshot, not raw samples.
+    pub latency: HistSnapshot,
+    /// Queue-wait share of the latency, nanoseconds.
+    pub queue_wait: HistSnapshot,
     /// The same tallies broken out per action, index-aligned with the
     /// gateway's action registry.
     pub per_action: Vec<ActionLoad>,
@@ -136,17 +145,22 @@ impl LoadReport {
     }
 
     /// Latency quantile in seconds (p in [0, 1]). `NaN` when nothing
-    /// completed (the empty-CDF guard lives in [`Cdf::quantile`]
-    /// itself, so every quantile consumer shares it).
+    /// completed (the empty-histogram guard lives in
+    /// [`HistSnapshot::quantile`] itself, so every quantile consumer
+    /// shares it). Kept `&mut self` for drop-in compatibility with the
+    /// old sample-sorting CDF.
     pub fn latency_quantile(&mut self, p: f64) -> f64 {
-        self.latency.quantile(p)
+        self.latency.quantile(p) / 1e9
     }
 
     /// Human summary: one totals line, then one line per action that
     /// saw traffic, breaking out ok / delayed / shed (by reason) /
     /// lost.
     pub fn summary(&mut self) -> String {
-        let (p50, p99) = (self.latency.quantile(0.5), self.latency.quantile(0.99));
+        let (p50, p99) = (
+            self.latency.quantile(0.5) / 1e9,
+            self.latency.quantile(0.99) / 1e9,
+        );
         let mut s = format!(
             "{} completed / {} accepted ({} delayed) / {} shed in {:.2?}  |  {:.0} ops/s  |  p50 {:.1} µs  p99 {:.1} µs  |  {} cold  |  lost {}",
             self.completed,
@@ -183,6 +197,12 @@ impl LoadReport {
 /// index onto the gateway's action catalogue modulo its size.
 pub fn run_load(gw: &Gateway, arrivals: &[Arrival], cfg: &HarnessConfig) -> LoadReport {
     let n_actions = gw.actions().len() as u32;
+    // Registry mode: a start-of-run snapshot; every tally comes from
+    // the end-of-run diff against it. Legacy mode (telemetry off):
+    // count in the loop and record into local histograms.
+    let s0 = gw.telemetry().map(|t| t.registry().snapshot());
+    let registry_mode = s0.is_some();
+    let local_hists = (!registry_mode).then(|| (Histogram::new(), Histogram::new()));
     let t0 = Instant::now();
     let mut report = LoadReport {
         wall: Duration::ZERO,
@@ -193,8 +213,8 @@ pub fn run_load(gw: &Gateway, arrivals: &[Arrival], cfg: &HarnessConfig) -> Load
         completed: 0,
         cold_starts: 0,
         throughput: 0.0,
-        latency: Cdf::new(),
-        queue_wait: Cdf::new(),
+        latency: HistSnapshot::default(),
+        queue_wait: HistSnapshot::default(),
         per_action: (0..n_actions)
             .map(|i| ActionLoad {
                 name: gw.actions().spec(ActionId(i)).name.clone(),
@@ -225,7 +245,9 @@ pub fn run_load(gw: &Gateway, arrivals: &[Arrival], cfg: &HarnessConfig) -> Load
         if collected > 0 {
             for c in &buf {
                 if inflight > 0 {
-                    record(&mut report, c);
+                    if let Some((lat, wait)) = &local_hists {
+                        record(&mut report, c, lat, wait);
+                    }
                     inflight -= 1;
                 }
             }
@@ -253,7 +275,11 @@ pub fn run_load(gw: &Gateway, arrivals: &[Arrival], cfg: &HarnessConfig) -> Load
                     next += 1;
                     let action = ActionId(a.function as u32 % n_actions);
                     let outcome = gw.invoke_at(action, a.function as u64, now);
-                    inflight += note_submission(&mut report, action, &outcome);
+                    inflight += if registry_mode {
+                        usize::from(outcome.is_ok())
+                    } else {
+                        note_submission(&mut report, action, &outcome)
+                    };
                     continue;
                 }
                 if burst > 0 {
@@ -264,8 +290,12 @@ pub fn run_load(gw: &Gateway, arrivals: &[Arrival], cfg: &HarnessConfig) -> Load
                         burst_reqs.push((action, a.function as u64));
                     }
                     gw.invoke_burst(&burst_reqs, now, &mut burst_out, &mut scratch);
-                    for (outcome, &(action, _)) in burst_out.iter().zip(&burst_reqs) {
-                        inflight += note_submission(&mut report, action, outcome);
+                    if registry_mode {
+                        inflight += burst_out.iter().filter(|o| o.is_ok()).count();
+                    } else {
+                        for (outcome, &(action, _)) in burst_out.iter().zip(&burst_reqs) {
+                            inflight += note_submission(&mut report, action, outcome);
+                        }
                     }
                     next += burst;
                     continue;
@@ -296,8 +326,61 @@ pub fn run_load(gw: &Gateway, arrivals: &[Arrival], cfg: &HarnessConfig) -> Load
         }
     }
     report.wall = t0.elapsed();
+    if let Some(s0) = &s0 {
+        let s1 = gw
+            .telemetry()
+            .expect("telemetry still on")
+            .registry()
+            .snapshot();
+        fill_from_registry(&mut report, s0, &s1);
+    } else if let Some((lat, wait)) = &local_hists {
+        report.latency = lat.snapshot();
+        report.queue_wait = wait.snapshot();
+    }
     report.throughput = report.completed as f64 / report.wall.as_secs_f64().max(1e-9);
     report
+}
+
+/// Fill every tally of `report` from the diff of two registry
+/// snapshots bracketing the run. Uses absolute counter diffs (not the
+/// scrape-to-scrape `counter_delta`) so an interleaved scrape by
+/// another observer — a metrics exporter running mid-load — cannot
+/// steal this run's counts.
+fn fill_from_registry(report: &mut LoadReport, s0: &Snapshot, s1: &Snapshot) {
+    const FAM: &str = "gateway_requests_total";
+    let diff = |action: &str, outcome: &str| -> u64 {
+        let lbls = [("action", action), ("outcome", outcome)];
+        s1.counter(FAM, &lbls)
+            .unwrap_or(0)
+            .saturating_sub(s0.counter(FAM, &lbls).unwrap_or(0))
+    };
+    (report.submitted, report.accepted, report.delayed) = (0, 0, 0);
+    (report.shed, report.completed, report.cold_starts) = (0, 0, 0);
+    for row in report.per_action.iter_mut() {
+        let name = row.name.clone();
+        row.accepted = diff(&name, "accepted");
+        row.delayed = diff(&name, "delayed");
+        row.shed_queue_full = diff(&name, "shed_queue_full");
+        row.shed_action_saturated = diff(&name, "shed_action_saturated");
+        row.shed_no_invoker = diff(&name, "shed_no_invoker");
+        row.shed_delay_budget = diff(&name, "shed_delay_budget");
+        row.completed = diff(&name, "completed");
+        row.cold_starts = diff(&name, "cold");
+        row.submitted = row.accepted + row.shed();
+        report.submitted += row.submitted;
+        report.accepted += row.accepted;
+        report.delayed += row.delayed;
+        report.shed += row.shed();
+        report.completed += row.completed;
+        report.cold_starts += row.cold_starts;
+    }
+    let hist = |s: &Snapshot, kind: &str| -> HistSnapshot {
+        s.histogram("gateway_latency_ns", &[("kind", kind)])
+            .cloned()
+            .unwrap_or_default()
+    };
+    report.latency = hist(s1, "total").since(&hist(s0, "total"));
+    report.queue_wait = hist(s1, "queue_wait").since(&hist(s0, "queue_wait"));
 }
 
 /// Drive `arrivals` through `gw` while `ctl` replays its lease plan on
@@ -355,7 +438,12 @@ fn note_submission(
     }
 }
 
-fn record(report: &mut LoadReport, c: &crate::gateway::Completion) {
+fn record(
+    report: &mut LoadReport,
+    c: &crate::gateway::Completion,
+    lat: &Histogram,
+    wait: &Histogram,
+) {
     report.completed += 1;
     let row = &mut report.per_action[c.action.0 as usize];
     row.completed += 1;
@@ -363,8 +451,8 @@ fn record(report: &mut LoadReport, c: &crate::gateway::Completion) {
         report.cold_starts += 1;
         row.cold_starts += 1;
     }
-    report.latency.add(c.total.as_secs_f64());
-    report.queue_wait.add(c.queue_wait.as_secs_f64());
+    lat.record_owned(c.total.as_nanos() as u64);
+    wait.record_owned(c.queue_wait.as_nanos() as u64);
 }
 
 #[cfg(test)]

@@ -38,8 +38,13 @@
 //!   invoker lifecycle that replaces hand-rolled start/sigterm/join;
 //! * [`harness`] — the closed-loop load harness replaying
 //!   `crates/workload` arrival processes (Poisson, diurnal) into
-//!   `crates/metrics` latency CDFs, with per-action
-//!   admitted/delayed/shed/lost accounting.
+//!   log-linear latency histograms, with per-action
+//!   admitted/delayed/shed/lost accounting built *from* the telemetry
+//!   registry when the gateway records one;
+//! * [`telem`] — the gateway's telemetry plane: a
+//!   `telemetry::Registry` of sharded counters, gauges and latency
+//!   histograms covering every admission outcome, lease transition,
+//!   pool event and queue high-water, scrapeable as Prometheus text.
 //!
 //! The drain guarantee, stated once and tested in
 //! `tests/drain_stress.rs` (hand-churned) and by the `elasticity`
@@ -57,6 +62,7 @@ pub mod lease;
 pub mod pool;
 pub mod queue;
 pub mod route;
+pub mod telem;
 
 pub use action::{ActionBody, ActionId, ActionRegistry, ActionSpec};
 pub use admission::{AdmissionPolicy, TokenBucketCfg};
@@ -69,3 +75,4 @@ pub use lease::{ChurnCfg, LeaseEvent, LeaseEventKind, LeasePlan};
 pub use pool::{Placement, PoolStats, WarmPool};
 pub use queue::{Envelope, Produce, ProduceBatch, Request, WorkQueue};
 pub use route::Router;
+pub use telem::{GatewayTelemetry, SlotTelem};

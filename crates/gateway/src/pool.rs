@@ -11,6 +11,7 @@
 use crate::action::{ActionId, ActionRegistry};
 use std::collections::VecDeque;
 use std::time::Instant;
+use telemetry::flight::{self, EventKind};
 
 /// How an invocation was placed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -121,6 +122,7 @@ impl WarmPool {
                     q.pop_front();
                     self.idle_total -= 1;
                     evicted += 1;
+                    flight::record(EventKind::Evict, a as u64, 1);
                 } else {
                     break;
                 }
@@ -141,6 +143,7 @@ impl WarmPool {
             self.warm[a].pop_front();
             self.idle_total -= 1;
             self.stats.lru_evictions += 1;
+            flight::record(EventKind::Evict, a as u64, 0);
         }
         // No idle container to evict means every slot is genuinely busy;
         // with one request in flight per invoker thread that cannot
@@ -155,7 +158,10 @@ impl WarmPool {
     pub fn retire_all(&mut self) -> usize {
         debug_assert_eq!(self.busy, 0, "drain with a container checked out");
         let retired = self.idle_total;
-        for q in &mut self.warm {
+        for (a, q) in self.warm.iter_mut().enumerate() {
+            if !q.is_empty() {
+                flight::record(EventKind::Evict, a as u64, 2);
+            }
             q.clear();
         }
         self.idle_total = 0;

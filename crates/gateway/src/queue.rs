@@ -19,8 +19,10 @@
 
 use crate::action::ActionId;
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
+use telemetry::flight::{self, EventKind};
+use telemetry::Gauge;
 
 /// One invocation request as admitted by the controller.
 #[derive(Debug, Clone, Copy)]
@@ -79,6 +81,21 @@ struct Inner {
     /// parked — under load the consumer never blocks, so the hot path
     /// pays zero futex wakes.
     waiting: usize,
+    /// Deepest backlog ever observed (updated under the lock a produce
+    /// already holds: one compare per produce, no extra atomics until
+    /// a new high-water is actually set).
+    highwater: usize,
+    /// Next depth at which a flight-recorder high-water event fires
+    /// (doubles from 16 so a deepening queue logs O(log depth) events).
+    hw_report: usize,
+}
+
+/// Optional telemetry hookup of one queue: the shared plane-wide
+/// high-water gauge plus the tag (invoker id; `u64::MAX` = fast lane)
+/// used in flight-recorder events.
+struct QueueTelem {
+    gauge: Arc<Gauge>,
+    tag: u64,
 }
 
 /// An ordered, offset-stamped, closable work queue (Mutex + Condvar;
@@ -87,6 +104,7 @@ struct Inner {
 pub struct WorkQueue {
     inner: Mutex<Inner>,
     ready: Condvar,
+    telem: Option<QueueTelem>,
 }
 
 impl Default for WorkQueue {
@@ -104,13 +122,45 @@ impl WorkQueue {
                 next_offset: 0,
                 closed: false,
                 waiting: 0,
+                highwater: 0,
+                hw_report: 16,
             }),
             ready: Condvar::new(),
+            telem: None,
         }
+    }
+
+    /// An empty queue that reports its depth high-water to the shared
+    /// `gauge` and tags its flight-recorder events with `tag`.
+    pub fn with_telem(gauge: Arc<Gauge>, tag: u64) -> Self {
+        let mut q = Self::new();
+        q.telem = Some(QueueTelem { gauge, tag });
+        q
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
         self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// High-water bookkeeping after a produce grew the queue: one
+    /// compare on the common path; gauge raise + flight event only when
+    /// a new per-queue maximum is set (O(log depth) over a queue's
+    /// life, not O(produces)).
+    #[inline]
+    fn note_depth(&self, g: &mut Inner) {
+        let len = g.q.len();
+        if len > g.highwater {
+            g.highwater = len;
+            if let Some(t) = &self.telem {
+                t.gauge.raise(len as i64);
+                if len >= g.hw_report {
+                    flight::record(EventKind::QueueHighWater, t.tag, len as u64);
+                    while g.hw_report <= len {
+                        g.hw_report *= 2;
+                    }
+                }
+            }
+        }
     }
 
     /// Produce a fresh request, refusing beyond `capacity` pending
@@ -131,6 +181,7 @@ impl WorkQueue {
             produced_at,
             req,
         });
+        self.note_depth(&mut g);
         let wake = g.waiting > 0;
         drop(g);
         if wake {
@@ -168,6 +219,7 @@ impl WorkQueue {
                 req: *req,
             });
         }
+        self.note_depth(&mut g);
         let wake = room > 0 && g.waiting > 0;
         drop(g);
         if wake {
@@ -187,6 +239,7 @@ impl WorkQueue {
         let offset = g.next_offset;
         g.next_offset += 1;
         g.q.push_back(Envelope { offset, ..env });
+        self.note_depth(&mut g);
         let wake = g.waiting > 0;
         drop(g);
         if wake {
@@ -276,6 +329,11 @@ impl WorkQueue {
     /// True iff the queue has been closed.
     pub fn is_closed(&self) -> bool {
         self.lock().closed
+    }
+
+    /// Deepest backlog this queue ever held.
+    pub fn highwater(&self) -> usize {
+        self.lock().highwater
     }
 }
 

@@ -14,6 +14,11 @@
 //!   plots (Figs. 5b, 6b);
 //! * [`OnlineStats`] — streaming mean/variance/min/max;
 //! * [`Table`] — ASCII table rendering for paper-shaped reports.
+//!
+//! The always-on serving-plane telemetry (sharded counters, log-linear
+//! histograms, Prometheus exposition, flight recorder) lives in the
+//! [`telemetry`] crate and is re-exported here so consumers take one
+//! metrics dependency.
 
 pub mod cdf;
 pub mod summary;
@@ -24,3 +29,6 @@ pub use cdf::Cdf;
 pub use summary::OnlineStats;
 pub use table::Table;
 pub use timeseries::{MinuteBins, StepSeries};
+
+pub use telemetry;
+pub use telemetry::{HistSnapshot, Histogram, Registry};

@@ -1,0 +1,169 @@
+//! Property tests for the log-linear histogram: quantiles stay within
+//! the documented ~2% relative bucket error of the exact sample
+//! quantile, snapshot merging is commutative and associative, and a
+//! registry scraped concurrently with recorders observes monotone,
+//! conserved counts.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use telemetry::{labels, one_series, Collected, HistSnapshot, Histogram, MetricKind, Registry};
+
+/// Exact nearest-rank quantile, mirroring `HistSnapshot::quantile`'s
+/// rank convention over the raw samples.
+fn exact_quantile(sorted: &[u64], p: f64) -> u64 {
+    let n = sorted.len() as f64;
+    let rank = ((p.clamp(0.0, 1.0) * n).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn snap_of(values: &[u64]) -> HistSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record_owned(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The histogram's nearest-rank quantile lands within 2% relative
+    /// error of the exact sample quantile (values below 64 are exact).
+    #[test]
+    fn quantile_within_two_percent_of_exact(
+        values in collection::vec(0u64..(1 << 40), 1..200),
+        ps in collection::vec(0.0f64..1.0001, 1..6),
+    ) {
+        let snap = snap_of(&values);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for p in ps {
+            let exact = exact_quantile(&sorted, p);
+            let approx = snap.quantile(p);
+            prop_assert!(approx.is_finite());
+            if exact == 0 {
+                prop_assert_eq!(approx, 0.0, "zero is bucketed exactly");
+            } else {
+                let rel = (approx - exact as f64).abs() / exact as f64;
+                prop_assert!(
+                    rel <= 0.02,
+                    "p={p}: exact {exact}, approx {approx}, rel err {rel}"
+                );
+            }
+        }
+    }
+
+    /// Merging snapshots is commutative and associative on the bucket
+    /// table and total count (the midpoint sum is float-order
+    /// sensitive, so it gets a relative tolerance).
+    #[test]
+    fn merge_is_commutative_and_associative(
+        a in collection::vec(0u64..(1 << 32), 0..100),
+        b in collection::vec(0u64..(1 << 32), 0..100),
+        c in collection::vec(0u64..(1 << 32), 0..100),
+    ) {
+        let (sa, sb, sc) = (snap_of(&a), snap_of(&b), snap_of(&c));
+
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        prop_assert_eq!(&ab.buckets, &ba.buckets);
+        prop_assert_eq!(ab.count, ba.count);
+
+        let mut ab_c = ab.clone();
+        ab_c.merge(&sc);
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut a_bc = sa.clone();
+        a_bc.merge(&bc);
+        prop_assert_eq!(&ab_c.buckets, &a_bc.buckets);
+        prop_assert_eq!(ab_c.count, a_bc.count);
+        let scale = ab_c.sum.abs().max(1.0);
+        prop_assert!((ab_c.sum - a_bc.sum).abs() / scale < 1e-9);
+    }
+
+    /// `since` inverts `merge`: the diff of a later cumulative snapshot
+    /// against an earlier one is exactly the in-between recordings.
+    #[test]
+    fn since_recovers_the_delta(
+        early in collection::vec(0u64..(1 << 32), 0..100),
+        late in collection::vec(0u64..(1 << 32), 0..100),
+    ) {
+        let h = Histogram::new();
+        for &v in &early {
+            h.record_owned(v);
+        }
+        let s0 = h.snapshot();
+        for &v in &late {
+            h.record_owned(v);
+        }
+        let s1 = h.snapshot();
+        let delta = s1.since(&s0);
+        let expect = snap_of(&late);
+        prop_assert_eq!(&delta.buckets, &expect.buckets);
+        prop_assert_eq!(delta.count, late.len() as u64);
+    }
+}
+
+/// Concurrent recorders vs. a scraping registry: every snapshot taken
+/// mid-flight sees a monotone epoch and a histogram count that never
+/// exceeds what was recorded; at quiescence the books balance exactly
+/// (no sample lost or double-counted across the atomic bucket adds).
+#[test]
+fn concurrent_recording_conserves_counts_across_snapshots() {
+    const THREADS: usize = 4;
+    const PER_THREAD: u64 = 20_000;
+
+    let hist = Arc::new(Histogram::new());
+    let registry = Arc::new(Registry::new());
+    let h = hist.clone();
+    registry.register(
+        "stress_latency_ns",
+        "stress histogram",
+        MetricKind::Histogram,
+        Box::new(move || vec![(labels(&[]), Collected::Hist(h.snapshot()))]),
+    );
+    let h = hist.clone();
+    registry.register(
+        "stress_recorded_total",
+        "stress recorded count",
+        MetricKind::Counter,
+        Box::new(move || one_series(Collected::Counter(h.count()))),
+    );
+
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let hist = hist.clone();
+            s.spawn(move || {
+                for i in 0..PER_THREAD {
+                    // Spread across octaves so merging touches many buckets.
+                    hist.record((i + 1) << (t * 7));
+                }
+            });
+        }
+        let mut last_count = 0u64;
+        let mut last_epoch = 0u64;
+        for _ in 0..50 {
+            let snap = registry.snapshot();
+            assert!(snap.epoch > last_epoch, "scrape epoch must advance");
+            last_epoch = snap.epoch;
+            let h = snap
+                .histogram("stress_latency_ns", &[])
+                .expect("registered");
+            let bucket_total: u64 = h.buckets.iter().map(|&(_, c)| c).sum();
+            assert_eq!(h.count, bucket_total, "count is the bucket sum");
+            assert!(h.count <= THREADS as u64 * PER_THREAD);
+            assert!(h.count >= last_count, "snapshots are monotone");
+            last_count = h.count;
+        }
+    });
+
+    let fin = registry.snapshot();
+    let h = fin.histogram("stress_latency_ns", &[]).expect("registered");
+    assert_eq!(h.count, THREADS as u64 * PER_THREAD, "conservation");
+    assert_eq!(
+        fin.counter("stress_recorded_total", &[]),
+        Some(THREADS as u64 * PER_THREAD)
+    );
+}
