@@ -32,7 +32,9 @@ use gateway::{
     GatewayConfig, HarnessConfig, LeaseEvent, LeaseEventKind, LeasePlan,
 };
 use hpcwhisk_core::offline::{simulate, OfflineConfig};
-use hpcwhisk_core::{lengths, run_days, DayConfig, FibManager, PilotManager};
+use hpcwhisk_core::{
+    lengths, run_days, DayConfig, DesLeaseSource, DesSourceCfg, FibManager, PilotManager, SizerCfg,
+};
 use mq::Broker;
 use simcore::{Engine, EventQueue, Outbox, SimDuration, SimTime};
 use std::hint::black_box;
@@ -271,6 +273,75 @@ fn gateway_churn_run(samples: usize) -> (f64, f64) {
     (best_ns, best_p99)
 }
 
+/// One closed-loop measurement: the same flat-out drive as
+/// [`gateway_churn_run`], but the capacity controller runs a live
+/// [`DesLeaseSource`] instead of a compiled plan — the 8 base invokers
+/// are the source's pinned floor, the cluster DES steps to the wall
+/// clock in the background, feedback windows flow every 20 ms, and the
+/// pilots the load-sized manager places churn grants/revokes on top.
+/// What's measured is the serving plane's throughput while paying for
+/// the whole closed loop. Lossless, and the DES must actually grant.
+fn gateway_closed_loop_run(samples: usize) -> f64 {
+    let mut best_ns = f64::MAX;
+    let arrivals = PoissonLoadGen::new(1_000.0, 16).arrivals(SimDuration::from_secs(400), 42);
+    for _ in 0..samples {
+        let gw = Gateway::new(
+            GatewayConfig::default(),
+            (0..16)
+                .map(|i| ActionSpec::noop(&format!("fn-{i}")))
+                .collect(),
+        );
+        let src = DesLeaseSource::new(DesSourceCfg {
+            n_nodes: 8,
+            seed: 7,
+            speedup: 1_200.0,
+            horizon: SimDuration::from_hours(1), // 3 s wall: outlives the run
+            max_leases: 4,
+            floor: GATEWAY_PROBE_INVOKERS,
+            drain: SimDuration::from_secs(2),
+            warmup: None,
+            hpc_churn: false,
+            sizer: SizerCfg {
+                rate_per_invoker: 100_000.0,
+                headroom: 1.0,
+                backlog_per_invoker: 1e12,
+                min_invokers: 1,
+                max_invokers: 4,
+                alpha: 0.5,
+            },
+            pilot_len: SimDuration::from_mins(10), // 0.5 s wall: churns mid-run
+            ..Default::default()
+        });
+        let ctl = CapacityController::from_source(
+            &gw,
+            Box::new(src),
+            ControllerConfig {
+                feedback_every: Some(std::time::Duration::from_millis(20)),
+                ..Default::default()
+            },
+            Instant::now(),
+        );
+        let (report, stats) = run_load_with_controller(
+            &gw,
+            ctl,
+            &arrivals,
+            &HarnessConfig {
+                speedup: 0.0,
+                max_inflight: 1_024,
+                ..Default::default()
+            },
+        );
+        assert!(
+            stats.grants > GATEWAY_PROBE_INVOKERS as u64,
+            "the DES never granted a pilot lease on top of the floor"
+        );
+        assert_eq!(report.lost(), 0, "closed-loop probe must be lossless");
+        best_ns = best_ns.min(1e9 / report.throughput);
+        gw.shutdown();
+    }
+    best_ns
+}
+
 /// The serving-plane probes: the historical unbatched shape (drain and
 /// submit batch 1 — comparable across PRs to the pre-batching
 /// baseline), the batched hot path bare *and* instrumented (telemetry
@@ -303,6 +374,7 @@ fn gateway_probes(samples: usize, probes: &mut Vec<Probe>) -> (f64, f64) {
         )
     };
     let (churn_ns, churn_p99) = gateway_churn_run(samples);
+    let closed_loop_ns = gateway_closed_loop_run(samples);
     for (name, ns) in [
         ("gateway/throughput_8inv_noop", ns),
         ("gateway/latency_p50_8inv_noop", p50),
@@ -314,6 +386,7 @@ fn gateway_probes(samples: usize, probes: &mut Vec<Probe>) -> (f64, f64) {
         ),
         ("gateway/throughput_churn_8inv_noop", churn_ns),
         ("gateway/latency_p99_churn_8inv_noop", churn_p99),
+        ("gateway/throughput_closed_loop_8inv_noop", closed_loop_ns),
     ] {
         eprintln!("{name:<36} {:>12.0} ns/op  ({:>10.1} ops/s)", ns, 1e9 / ns);
         probes.push(Probe {
@@ -747,8 +820,13 @@ fn main() {
                         p.name, old, p.ns_per_op, ratio
                     );
                     // The CI gate: >25% slower than the checked-in
-                    // trajectory fails the run.
-                    if p.ns_per_op > old * 1.25 {
+                    // trajectory fails the run. Latency-quantile probes
+                    // are exempt: a p99 is a single tail observation
+                    // from the best-throughput run, and swings several
+                    // x between idle-box runs — it is trajectory data,
+                    // not a gateable contract (the throughput minima
+                    // gate the same code paths stably).
+                    if p.ns_per_op > old * 1.25 && !p.name.contains("/latency_") {
                         regressions.push((p.name, *old, p.ns_per_op));
                     }
                 }

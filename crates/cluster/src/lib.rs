@@ -34,7 +34,7 @@ pub mod sim;
 pub mod timeline;
 pub mod trace;
 
-pub use capacity::{CapacityEvent, CapacityEventKind, CapacityTrace};
+pub use capacity::{CapacityEvent, CapacityEventKind, CapacityLog, CapacityTrace};
 pub use config::SlurmConfig;
 pub use events::{ClusterEvent, ClusterNote, PollSample, SigtermReason};
 pub use ids::{JobId, NodeId, NodeList};

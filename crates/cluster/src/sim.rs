@@ -485,6 +485,20 @@ impl ClusterSim {
             .count()
     }
 
+    /// Ids of pending jobs matching a predicate, in submission order —
+    /// what a manager needs to *shrink* its queue (pick victims, then
+    /// [`cancel_pending`](ClusterSim::cancel_pending) each).
+    pub fn pending_ids_matching(&self, pred: impl Fn(&Job) -> bool) -> Vec<JobId> {
+        self.pending
+            .iter()
+            .copied()
+            .filter(|id| {
+                let j = &self.jobs[id.0 as usize];
+                j.is_pending() && pred(j)
+            })
+            .collect()
+    }
+
     /// Pending *pilot* jobs per declared limit in minutes (fib manager).
     pub fn pending_pilots_by_limit(&self) -> HashMap<u64, usize> {
         let mut m = HashMap::new();

@@ -20,11 +20,17 @@
 //! * [`experiment`] — the end-to-end day harness composing the cluster
 //!   simulator, the FaaS platform, a manager and the client load into
 //!   one deterministic run ([`experiment::run_day`]);
+//! * [`live`] — the closed loop against the *real* gateway: a
+//!   [`DesLeaseSource`] steps the cluster DES to the wall clock,
+//!   streams pilot placements/evictions as live lease events, and feeds
+//!   observed gateway load back into a [`LoadSizedManager`]'s pilot
+//!   sizing (the paper's §IV cycle end-to-end);
 //! * [`report`] — paper-shaped table rendering.
 
 pub mod coverage;
 pub mod experiment;
 pub mod lengths;
+pub mod live;
 pub mod manager;
 pub mod offline;
 pub mod pilot;
@@ -36,7 +42,11 @@ pub use experiment::{
     run_day, run_days, run_replications, run_week_sweep, DayConfig, DayReport, ManagerKind,
     SweepCluster, SweepConfig, SweepDay, SysEvent,
 };
-pub use manager::{FibManager, PilotManager, VarManager, QUEUE_CAP, REPLENISH_EVERY};
+pub use live::{DesLeaseSource, DesSourceCfg, PilotStats};
+pub use manager::{
+    FibManager, LoadSizedManager, PilotManager, PilotPlan, SizerCfg, VarManager, QUEUE_CAP,
+    REPLENISH_EVERY,
+};
 pub use offline::{simulate, OfflineConfig, OfflineReport};
 pub use pilot::{PilotPhase, PilotTable, WarmupModel};
 pub use wrapper::{CommercialBackend, FallbackWrapper, Target};

@@ -157,6 +157,162 @@ impl PilotManager for VarManager {
     }
 }
 
+/// Tuning for [`LoadSizedManager`].
+#[derive(Debug, Clone, Copy)]
+pub struct SizerCfg {
+    /// Requests per second one invoker is expected to absorb (used to
+    /// convert the observed arrival rate into an invoker target).
+    pub rate_per_invoker: f64,
+    /// Safety margin multiplied onto the load-implied target (1.2 =
+    /// 20% spare capacity for arrival burstiness and warm-up lag).
+    pub headroom: f64,
+    /// Outstanding requests one invoker is allowed to have queued
+    /// before the backlog term asks for another invoker.
+    pub backlog_per_invoker: f64,
+    /// Never target fewer invokers than this (the serving floor).
+    pub min_invokers: usize,
+    /// Never target more invokers than this (the paper's invasiveness
+    /// cap: pilots must stay guests on the cluster).
+    pub max_invokers: usize,
+    /// EWMA smoothing factor per feedback window in `(0, 1]`; higher
+    /// follows the load faster, lower rides out noise.
+    pub alpha: f64,
+}
+
+impl Default for SizerCfg {
+    fn default() -> Self {
+        SizerCfg {
+            rate_per_invoker: 100.0,
+            headroom: 1.2,
+            backlog_per_invoker: 32.0,
+            min_invokers: 1,
+            max_invokers: 16,
+            alpha: 0.4,
+        }
+    }
+}
+
+/// What a [`LoadSizedManager`] wants done with the pilot queue this
+/// replenishment: jobs to submit, pending victims to cancel.
+#[derive(Debug, Default)]
+pub struct PilotPlan {
+    /// New pilots to submit.
+    pub submit: Vec<JobSpec>,
+    /// Pending pilots to cancel (shrink path; running pilots are left
+    /// to their deadlines — the scheduler reclaims them anyway).
+    pub cancel: Vec<cluster::JobId>,
+}
+
+/// The **closed-loop** pilot manager: sizes its pilot supply against
+/// the *observed* FaaS load instead of keeping a fixed bag of jobs.
+///
+/// Each feedback window the serving plane reports arrivals, sheds and
+/// queue depth ([`gateway::LoadFeedback`]); the manager folds the
+/// arrival rate into an EWMA and converts it to an invoker target:
+///
+/// ```text
+/// target = clamp( ceil(ewma_rate / rate_per_invoker * headroom
+///                      + outstanding / backlog_per_invoker),
+///                 min_invokers, max_invokers )
+/// ```
+///
+/// [`plan`](LoadSizedManager::plan) then tops the pilot queue up to
+/// `target − (serving + pending)` or cancels pending pilots when the
+/// target shrank — running pilots are never killed by the manager (the
+/// batch scheduler owns reclaims; shrinking by attrition keeps the
+/// manager non-invasive, §II's guest discipline).
+#[derive(Debug, Clone)]
+pub struct LoadSizedManager {
+    /// Tuning.
+    pub cfg: SizerCfg,
+    /// Declared pilot wall-time limit.
+    pub pilot_len: SimDuration,
+    /// Slurm priority for the pilots.
+    pub priority: u64,
+    ewma_rate: f64,
+    outstanding: u64,
+    /// Feedback windows folded in so far.
+    windows: u64,
+}
+
+impl LoadSizedManager {
+    /// A manager starting from a zero-load estimate.
+    pub fn new(cfg: SizerCfg, pilot_len: SimDuration, priority: u64) -> Self {
+        assert!(cfg.rate_per_invoker > 0.0);
+        assert!(cfg.max_invokers >= cfg.min_invokers);
+        assert!(cfg.alpha > 0.0 && cfg.alpha <= 1.0);
+        LoadSizedManager {
+            cfg,
+            pilot_len,
+            priority,
+            ewma_rate: 0.0,
+            outstanding: 0,
+            windows: 0,
+        }
+    }
+
+    /// Fold one observed-load window into the rate estimate.
+    pub fn observe(&mut self, fb: &gateway::LoadFeedback) {
+        let rate = fb.arrival_rate();
+        self.ewma_rate = if self.windows == 0 {
+            rate
+        } else {
+            self.cfg.alpha * rate + (1.0 - self.cfg.alpha) * self.ewma_rate
+        };
+        self.outstanding = fb.outstanding;
+        self.windows += 1;
+    }
+
+    /// The invoker target implied by the current load estimate.
+    pub fn target(&self) -> usize {
+        let demand = (self.ewma_rate / self.cfg.rate_per_invoker * self.cfg.headroom
+            + self.outstanding as f64 / self.cfg.backlog_per_invoker)
+            .ceil() as usize;
+        demand.clamp(self.cfg.min_invokers, self.cfg.max_invokers)
+    }
+
+    /// Smoothed arrival rate (requests/s).
+    pub fn ewma_rate(&self) -> f64 {
+        self.ewma_rate
+    }
+
+    /// Decide this round's submissions and cancellations. `serving` is
+    /// the number of pilots currently holding nodes (the live supply
+    /// the pending queue tops up).
+    pub fn plan(&mut self, cluster: &ClusterSim, serving: usize) -> PilotPlan {
+        let pending_ids = cluster.pending_ids_matching(|j| j.spec.kind == cluster::JobKind::Pilot);
+        let supply = serving + pending_ids.len();
+        let target = self.target();
+        let mut plan = PilotPlan::default();
+        if target > supply {
+            let want = (target - supply).min(QUEUE_CAP.saturating_sub(pending_ids.len()));
+            for _ in 0..want {
+                plan.submit
+                    .push(JobSpec::pilot_fixed(self.pilot_len, self.priority));
+            }
+        } else if supply > target {
+            // Shrink by cancelling *pending* pilots only, newest first
+            // (they would start last anyway).
+            let excess = (supply - target).min(pending_ids.len());
+            plan.cancel
+                .extend(pending_ids.iter().rev().take(excess).copied());
+        }
+        plan
+    }
+}
+
+impl PilotManager for LoadSizedManager {
+    fn replenish(&mut self, cluster: &ClusterSim) -> Vec<JobSpec> {
+        // Trait-shaped entry point: top-up only (the trait cannot
+        // cancel). The live DES source calls `plan` directly.
+        self.plan(cluster, cluster.n_pilot_nodes()).submit
+    }
+
+    fn name(&self) -> &'static str {
+        "load-sized"
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -264,5 +420,95 @@ mod tests {
     fn names() {
         assert_eq!(FibManager::paper(vec![2]).name(), "fib");
         assert_eq!(VarManager::paper().name(), "var");
+        assert_eq!(
+            LoadSizedManager::new(SizerCfg::default(), SimDuration::from_mins(10), 10).name(),
+            "load-sized"
+        );
+    }
+
+    fn fb(window_s: u64, arrivals: u64, outstanding: u64) -> gateway::LoadFeedback {
+        gateway::LoadFeedback {
+            window: std::time::Duration::from_secs(window_s),
+            arrivals,
+            sheds: 0,
+            outstanding,
+            routable: 0,
+        }
+    }
+
+    #[test]
+    fn sizer_target_follows_observed_load() {
+        let cfg = SizerCfg {
+            rate_per_invoker: 100.0,
+            headroom: 1.0,
+            backlog_per_invoker: 1e12, // neutralize the backlog term
+            min_invokers: 1,
+            max_invokers: 8,
+            alpha: 1.0, // no smoothing: target == last window
+        };
+        let mut m = LoadSizedManager::new(cfg, SimDuration::from_mins(10), 10);
+        assert_eq!(m.target(), 1, "no observations → floor");
+        m.observe(&fb(1, 350, 0));
+        assert_eq!(m.target(), 4, "350 req/s at 100/invoker → 4");
+        m.observe(&fb(1, 2_000, 0));
+        assert_eq!(m.target(), 8, "capped at max_invokers");
+        m.observe(&fb(1, 0, 0));
+        assert_eq!(m.target(), 1, "starved feedback → floor");
+    }
+
+    #[test]
+    fn sizer_backlog_term_adds_capacity() {
+        let cfg = SizerCfg {
+            rate_per_invoker: 100.0,
+            headroom: 1.0,
+            backlog_per_invoker: 10.0,
+            min_invokers: 1,
+            max_invokers: 16,
+            alpha: 1.0,
+        };
+        let mut m = LoadSizedManager::new(cfg, SimDuration::from_mins(10), 10);
+        m.observe(&fb(1, 100, 45));
+        // 1 invoker of rate + ceil(45/10) of backlog pressure.
+        assert_eq!(m.target(), 6);
+    }
+
+    #[test]
+    fn plan_tops_up_then_shrinks_by_cancelling_pending() {
+        let mut cluster = ClusterSim::new(SlurmConfig::default(), 1, 1);
+        let mut out = Outbox::new(SimTime::ZERO);
+        let cfg = SizerCfg {
+            rate_per_invoker: 100.0,
+            headroom: 1.0,
+            backlog_per_invoker: 1e12,
+            min_invokers: 1,
+            max_invokers: 8,
+            alpha: 1.0,
+        };
+        let mut m = LoadSizedManager::new(cfg, SimDuration::from_mins(10), 10);
+        m.observe(&fb(1, 500, 0));
+        let p = m.plan(&cluster, 0);
+        assert_eq!(p.submit.len(), 5);
+        assert!(p.cancel.is_empty());
+        // Queue them (no scheduler pass runs: they stay pending).
+        for spec in p.submit {
+            cluster.submit(SimTime::ZERO, spec, &mut out);
+        }
+        // Supply now matches the target: nothing to do.
+        let p = m.plan(&cluster, 0);
+        assert!(p.submit.is_empty() && p.cancel.is_empty());
+        // Load vanishes: the plan cancels pending pilots down to the
+        // floor, newest first.
+        m.observe(&fb(1, 0, 0));
+        let p = m.plan(&cluster, 0);
+        assert!(p.submit.is_empty());
+        assert_eq!(p.cancel.len(), 4, "5 pending − floor 1");
+        for id in &p.cancel {
+            assert!(cluster.cancel_pending(SimTime::ZERO, *id));
+        }
+        assert_eq!(
+            cluster.pending_ids_matching(|j| j.spec.kind == cluster::JobKind::Pilot),
+            vec![cluster::JobId(0)],
+            "the oldest pilot survives"
+        );
     }
 }

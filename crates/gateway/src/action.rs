@@ -19,6 +19,10 @@ pub enum ActionBody {
     /// Busy-spin for a fixed duration (a calibrated "sleep function",
     /// §V-C style, without yielding the core).
     Spin(Duration),
+    /// Block for a fixed duration, yielding the core — an I/O-bound
+    /// body whose aggregate capacity scales with the invoker count even
+    /// on a single CPU (what capacity benches need on small runners).
+    Sleep(Duration),
     /// A real SeBS kernel over a shared input graph (§V-D bodies).
     Kernel(Kernel, Arc<Graph>),
 }
@@ -37,6 +41,10 @@ impl ActionBody {
                 }
                 spins
             }
+            ActionBody::Sleep(d) => {
+                std::thread::sleep(*d);
+                d.as_nanos() as u64
+            }
             ActionBody::Kernel(k, g) => k.run(g) as u64,
         }
     }
@@ -47,6 +55,7 @@ impl std::fmt::Debug for ActionBody {
         match self {
             ActionBody::Noop => f.write_str("Noop"),
             ActionBody::Spin(d) => write!(f, "Spin({d:?})"),
+            ActionBody::Sleep(d) => write!(f, "Sleep({d:?})"),
             ActionBody::Kernel(k, g) => write!(f, "Kernel({}, |V|={})", k.name(), g.n),
         }
     }
@@ -230,6 +239,7 @@ mod tests {
     fn bodies_run() {
         assert_eq!(ActionBody::Noop.run(), 0);
         assert!(ActionBody::Spin(Duration::from_micros(50)).run() > 0);
+        assert!(ActionBody::Sleep(Duration::from_micros(50)).run() > 0);
         let g = Arc::new(Graph::barabasi_albert(200, 2, 1));
         assert!(ActionBody::Kernel(Kernel::Bfs, g).run() > 0);
     }

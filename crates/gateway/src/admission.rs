@@ -79,7 +79,16 @@ impl Default for TokenBucketCfg {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum Shape {
     /// Admit, charging this much virtual delay (zero inside the burst).
-    Admit(Duration),
+    Admit {
+        /// Virtual delay charged (zero inside the burst).
+        delay: Duration,
+        /// The bucket debt this admission added to `tat`, in
+        /// nanoseconds — what [`AdmissionShaper::refund`] must subtract
+        /// if the request is later refused structurally. Captured at
+        /// admit time so a capacity change landing in between cannot
+        /// skew the refund.
+        cost: u64,
+    },
     /// Delay budget exhausted: shed.
     Shed,
 }
@@ -140,7 +149,10 @@ impl AdmissionShaper {
     /// over the theoretical arrival time.
     pub(crate) fn admit(&self, now: Instant) -> Shape {
         let Some(cfg) = &self.cfg else {
-            return Shape::Admit(Duration::ZERO);
+            return Shape::Admit {
+                delay: Duration::ZERO,
+                cost: 0,
+            };
         };
         let now_ns = duration_ns(now.saturating_duration_since(self.t0));
         let cost = self.cost_ns.load(Ordering::Relaxed);
@@ -162,7 +174,10 @@ impl AdmissionShaper {
                     if over > 0 {
                         self.charged_ns.add(over);
                     }
-                    return Shape::Admit(Duration::from_nanos(over));
+                    return Shape::Admit {
+                        delay: Duration::from_nanos(over),
+                        cost,
+                    };
                 }
                 Err(seen) => tat = seen,
             }
@@ -173,21 +188,25 @@ impl AdmissionShaper {
     /// the shaper is then refused structurally (no routable invoker,
     /// queue bound, closed fast lane) and never entered a queue. The
     /// refund keeps phantom debt from accumulating while the plane
-    /// sheds. It subtracts the *current* cost, which can differ from
-    /// the cost charged if a capacity change landed in between (e.g. a
-    /// revoke wave between a burst's admit pass and its produce pass) —
-    /// so the subtraction saturates at zero rather than trusting the
-    /// match to be exact: an over-refund then only forgets debt (a
-    /// bounded burst of free admissions), it can never wrap `tat` into
-    /// a permanently-shedding state.
-    pub(crate) fn refund(&self) {
-        if self.cfg.is_none() {
+    /// sheds. `charged` is the exact cost the matching [`admit`] added
+    /// to `tat` (carried in [`Shape::Admit`]), so the refund stays
+    /// exact even when a capacity change lands between a burst's admit
+    /// pass and its produce pass — the historical bug was refunding the
+    /// *current* cost, over- or under-refunding across the change. The
+    /// subtraction still saturates at zero as a backstop: other
+    /// admissions' debt may legitimately sit below `tat` after real
+    /// time passed, and saturating means a stale refund can at worst
+    /// forget debt (a bounded burst of free admissions), never wrap
+    /// `tat` into a permanently-shedding state.
+    ///
+    /// [`admit`]: AdmissionShaper::admit
+    pub(crate) fn refund(&self, charged: u64) {
+        if self.cfg.is_none() || charged == 0 {
             return;
         }
-        let cost = self.cost_ns.load(Ordering::Relaxed);
         let mut tat = self.tat.load(Ordering::Relaxed);
         loop {
-            let new_tat = tat.saturating_sub(cost);
+            let new_tat = tat.saturating_sub(charged);
             match self
                 .tat
                 .compare_exchange_weak(tat, new_tat, Ordering::Relaxed, Ordering::Relaxed)
@@ -196,6 +215,13 @@ impl AdmissionShaper {
                 Err(seen) => tat = seen,
             }
         }
+    }
+
+    /// Current theoretical-arrival-time debt in nanoseconds since `t0`
+    /// (test-only: exactness assertions for the refund path).
+    #[cfg(test)]
+    pub(crate) fn tat_ns(&self) -> u64 {
+        self.tat.load(Ordering::Relaxed)
     }
 
     /// True when a token-bucket policy is active.
@@ -236,7 +262,13 @@ mod tests {
         let s = AdmissionShaper::new(&AdmissionPolicy::HardShed, Instant::now());
         assert!(!s.shaping());
         for _ in 0..10_000 {
-            assert_eq!(s.admit(Instant::now()), Shape::Admit(Duration::ZERO));
+            assert_eq!(
+                s.admit(Instant::now()),
+                Shape::Admit {
+                    delay: Duration::ZERO,
+                    cost: 0
+                }
+            );
         }
     }
 
@@ -250,8 +282,8 @@ mod tests {
         let mut shed_at = None;
         for i in 0..200 {
             match s.admit(t0) {
-                Shape::Admit(d) if d.is_zero() => free += 1,
-                Shape::Admit(d) => {
+                Shape::Admit { delay: d, .. } if d.is_zero() => free += 1,
+                Shape::Admit { delay: d, .. } => {
                     assert!(d >= last_delay, "delay is monotone under a frozen clock");
                     assert!(d <= Duration::from_millis(50), "delay bounded by budget");
                     last_delay = d;
@@ -271,7 +303,10 @@ mod tests {
         // Shedding leaves state untouched: still shedding…
         assert_eq!(s.admit(t0), Shape::Shed);
         // …until real time passes and the bucket drains.
-        assert!(matches!(s.admit(t0 + Duration::from_secs(1)), Shape::Admit(d) if d.is_zero()));
+        assert!(matches!(
+            s.admit(t0 + Duration::from_secs(1)),
+            Shape::Admit { delay, .. } if delay.is_zero()
+        ));
     }
 
     #[test]
@@ -279,11 +314,11 @@ mod tests {
         let (s, t0) = shaper(1_000.0, 0.0, Duration::from_millis(100));
         s.set_capacity(4); // 4000 req/s → 0.25 ms per admission
         for _ in 0..8 {
-            assert!(matches!(s.admit(t0), Shape::Admit(_)));
+            assert!(matches!(s.admit(t0), Shape::Admit { .. }));
         }
         // 8 admissions at 0.25 ms = 2 ms of debt.
         match s.admit(t0) {
-            Shape::Admit(d) => assert!(
+            Shape::Admit { delay: d, .. } => assert!(
                 (Duration::from_micros(1_900)..=Duration::from_micros(2_100)).contains(&d),
                 "debt after 8 admits at 4x capacity: {d:?}"
             ),
@@ -292,27 +327,66 @@ mod tests {
         // A capacity dip steepens the charge for the *next* admission.
         s.set_capacity(1);
         match s.admit(t0) {
-            Shape::Admit(d) => assert!(d >= Duration::from_micros(2_150), "dip steepens: {d:?}"),
+            Shape::Admit { delay: d, .. } => {
+                assert!(d >= Duration::from_micros(2_150), "dip steepens: {d:?}")
+            }
             Shape::Shed => panic!("within budget"),
         }
     }
 
     #[test]
-    fn refund_saturates_across_capacity_changes() {
-        // Regression: a refund at a higher per-admission cost than was
-        // charged (capacity dropped in between) must saturate at zero,
-        // not wrap `tat` to u64::MAX and shed forever.
+    fn refund_is_exact_across_capacity_changes() {
+        // Regression: the refund must subtract the cost *charged at
+        // admit time*, not the current cost. A capacity drop landing
+        // between a burst's admit pass and its produce pass used to
+        // over-refund (current cost 8x the charge), silently forgetting
+        // other requests' debt.
         let (s, t0) = shaper(1_000.0, 0.0, Duration::from_millis(100));
-        s.set_capacity(8); // cheap admissions
+        s.set_capacity(8); // 8000 req/s → 125 µs per admission
+        let mut charges = Vec::new();
         for _ in 0..4 {
-            assert!(matches!(s.admit(t0), Shape::Admit(_)));
+            match s.admit(t0) {
+                Shape::Admit { cost, .. } => charges.push(cost),
+                Shape::Shed => panic!("within budget"),
+            }
         }
-        s.set_capacity(1); // each refund now "worth" 8x the charge
-        for _ in 0..4 {
-            s.refund();
+        let before = s.tat_ns();
+        s.set_capacity(1); // current cost is now 8x what was charged
+                           // Two of the four admissions are refused structurally and
+                           // refunded: `tat` must land exactly two charges lower.
+        s.refund(charges[3]);
+        s.refund(charges[2]);
+        assert_eq!(
+            s.tat_ns(),
+            before - charges[2] - charges[3],
+            "refund is exact, not at the current cost"
+        );
+        // The two requests still in flight keep their debt: the next
+        // admission is charged exactly the remaining two costs.
+        match s.admit(t0) {
+            Shape::Admit { delay, .. } => {
+                assert_eq!(delay, Duration::from_nanos(charges[0] + charges[1]));
+            }
+            Shape::Shed => panic!("within budget"),
         }
-        // The bucket at worst forgot its debt; it must still admit.
-        assert_eq!(s.admit(t0), Shape::Admit(Duration::ZERO));
+    }
+
+    #[test]
+    fn refund_saturates_at_zero() {
+        // The backstop: a refund larger than the remaining debt (real
+        // time drained the bucket in between) clamps to zero rather
+        // than wrapping `tat` into a permanently-shedding state.
+        let (s, t0) = shaper(1_000.0, 0.0, Duration::from_millis(100));
+        let charge = match s.admit(t0) {
+            Shape::Admit { cost, .. } => cost,
+            Shape::Shed => panic!("within budget"),
+        };
+        s.refund(charge * 100);
+        assert_eq!(s.tat_ns(), 0, "saturated, not wrapped");
+        assert!(matches!(
+            s.admit(t0),
+            Shape::Admit { delay, .. } if delay.is_zero()
+        ));
     }
 
     #[test]
@@ -322,7 +396,10 @@ mod tests {
         // accumulates.
         for i in 0..100u64 {
             let at = t0 + Duration::from_millis(2 * i);
-            assert_eq!(s.admit(at), Shape::Admit(Duration::ZERO), "arrival {i}");
+            assert!(
+                matches!(s.admit(at), Shape::Admit { delay, .. } if delay.is_zero()),
+                "arrival {i}"
+            );
         }
     }
 }

@@ -1,10 +1,19 @@
-//! The capacity controller: executes a [`LeasePlan`] against a live
-//! [`Gateway`], owning the whole invoker lifecycle — the one place in
-//! the codebase that calls `start_invoker` / `sigterm` / `join_invoker`
-//! in anger.
+//! The capacity controller: executes a stream of lease events against
+//! a live [`Gateway`], owning the whole invoker lifecycle — the one
+//! place in the codebase that calls `start_invoker` / `sigterm` /
+//! `join_invoker` in anger.
+//!
+//! Events come from a [`LeaseSource`]: a precompiled [`LeasePlan`]
+//! replay ([`PlanSource`]), or a live discrete-event simulation of the
+//! HPC scheduler streaming pilot placements and evictions as they
+//! happen (`core::DesLeaseSource`). The controller closes the loop the
+//! other way too: each `feedback_every` it diffs the gateway's request
+//! counters into a [`LoadFeedback`] and hands it to the source, so a
+//! pilot manager can size its supply against *observed* load — the
+//! paper's §IV cycle.
 //!
 //! The controller is a poll-driven state machine: [`poll`] applies
-//! every due plan event and deadline check at a caller-supplied `now`,
+//! every due lease event and deadline check at a caller-supplied `now`,
 //! so it can run on a background thread against the real clock
 //! ([`run`]) *or* be stepped deterministically with a virtual clock
 //! (the drain-stress matrix advances `now` per submitted request).
@@ -14,7 +23,10 @@
 //! `deadline - drain_headroom` it sigterms the invoker — atomically
 //! unrouting it (and steepening the admission shaper) while the revoke
 //! is still in the future — which gives the backlog the grace window to
-//! drain through the fast lane *before* the node is reclaimed. An early
+//! drain through the fast lane *before* the node is reclaimed. A grant
+//! whose remaining lease is already shorter than the headroom drains
+//! immediately (its headroom point is in the past; the arithmetic is
+//! checked, never panicking on the `Instant` underflow). An early
 //! revoke (preemption) still works: it is simply a drain with no
 //! headroom. A routable floor is respected: the controller never
 //! headroom-drains the plane below `min_routable`; only an explicit
@@ -25,6 +37,7 @@
 
 use crate::gateway::{Gateway, InvokerToken};
 use crate::lease::{LeaseEvent, LeaseEventKind, LeasePlan};
+use crate::source::{LeaseSource, LoadFeedback, PlanSource};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 use telemetry::flight::{self, EventKind};
@@ -40,6 +53,11 @@ pub struct ControllerConfig {
     pub min_routable: usize,
     /// Upper bound on the background loop's sleep between polls.
     pub poll_interval: Duration,
+    /// How often observed load is diffed into a [`LoadFeedback`] and
+    /// fed to the source (the live analogue of the scheduler's
+    /// `bf_interval`). `None` disables the feedback channel — the
+    /// default, and a no-op for plan replays anyway.
+    pub feedback_every: Option<Duration>,
 }
 
 impl Default for ControllerConfig {
@@ -48,6 +66,7 @@ impl Default for ControllerConfig {
             drain_headroom: Duration::from_millis(2),
             min_routable: 1,
             poll_interval: Duration::from_millis(1),
+            feedback_every: None,
         }
     }
 }
@@ -59,13 +78,16 @@ pub struct LeaseStats {
     pub grants: u64,
     /// Deadlines extended on a live (non-draining) lease.
     pub extends: u64,
-    /// Revokes executed (invokers reaped on plan events).
+    /// Revokes executed (invokers reaped on lease events).
     pub revokes: u64,
     /// Drains started *ahead* of the revoke by the deadline-headroom
     /// logic — the §III-C early-warning path.
     pub deadline_drains: u64,
-    /// Revokes that arrived with no drain in progress (preemption
-    /// without warning, or headroom larger than the remaining lease).
+    /// Revokes that arrived **before the announced deadline** with no
+    /// drain in progress: preemption without warning. A revoke at or
+    /// after a deadline the controller knew about (but whose drain was
+    /// floor-deferred, or whose headroom point predates the grant) is
+    /// not a surprise — the deadline was announced.
     pub surprise_revokes: u64,
     /// Renewals that arrived after the drain had already begun: the old
     /// invoker is reaped and a fresh one started on the node.
@@ -75,6 +97,8 @@ pub struct LeaseStats {
     /// Leases still active when [`finish`](CapacityController::finish)
     /// reaped them.
     pub reaped_at_finish: u64,
+    /// Feedback windows delivered to the source.
+    pub feedbacks: u64,
 }
 
 struct ActiveLease {
@@ -90,30 +114,54 @@ struct ActiveLease {
     deferred: bool,
 }
 
-/// Replays a [`LeasePlan`] against a gateway. See the module docs.
+/// Executes a [`LeaseSource`]'s event stream against a gateway. See the
+/// module docs.
 pub struct CapacityController<'g> {
     gw: &'g Gateway,
-    events: Vec<LeaseEvent>,
-    next_event: usize,
-    /// The plan epoch: event offsets and deadlines are relative to it.
+    source: Box<dyn LeaseSource + 'g>,
+    /// Scratch for the events a source poll returned (capacity reused
+    /// across polls).
+    due: Vec<LeaseEvent>,
+    /// The epoch: event offsets and deadlines are relative to it.
     t0: Instant,
     cfg: ControllerConfig,
     active: Vec<ActiveLease>,
     stats: LeaseStats,
+    /// Offset of the next feedback tick (feedback enabled only).
+    next_feedback: Duration,
+    /// Offset the last delivered window ended at.
+    last_feedback: Duration,
+    prev_arrivals: u64,
+    prev_sheds: u64,
 }
 
 impl<'g> CapacityController<'g> {
     /// A controller that will replay `plan` with offsets measured from
     /// `epoch` (pass `Instant::now()` to start immediately).
     pub fn new(gw: &'g Gateway, plan: LeasePlan, cfg: ControllerConfig, epoch: Instant) -> Self {
+        Self::from_source(gw, Box::new(PlanSource::new(plan)), cfg, epoch)
+    }
+
+    /// A controller drawing events from an arbitrary source — a live
+    /// DES, a remote scheduler feed, or a wrapped plan.
+    pub fn from_source(
+        gw: &'g Gateway,
+        source: Box<dyn LeaseSource + 'g>,
+        cfg: ControllerConfig,
+        epoch: Instant,
+    ) -> Self {
         CapacityController {
             gw,
-            events: plan.events,
-            next_event: 0,
+            source,
+            due: Vec::new(),
             t0: epoch,
             cfg,
             active: Vec::new(),
             stats: LeaseStats::default(),
+            next_feedback: cfg.feedback_every.unwrap_or(Duration::ZERO),
+            last_feedback: Duration::ZERO,
+            prev_arrivals: 0,
+            prev_sheds: 0,
         }
     }
 
@@ -132,27 +180,69 @@ impl<'g> CapacityController<'g> {
         self.stats
     }
 
-    /// True once every plan event has been applied.
+    /// True once the source has no further events to deliver.
     pub fn plan_done(&self) -> bool {
-        self.next_event >= self.events.len()
+        self.source.exhausted()
+    }
+
+    /// The source, for post-run inspection (e.g. a DES source's pilot
+    /// statistics).
+    pub fn source(&self) -> &dyn LeaseSource {
+        self.source.as_ref()
+    }
+
+    /// Diff the gateway's cumulative request counters since the last
+    /// window into a [`LoadFeedback`].
+    fn collect_feedback(&mut self, offset: Duration) -> LoadFeedback {
+        // The plain counters are the registry families' own source (the
+        // telemetry vecs mirror them), so one read serves both the
+        // instrumented and the bare plane.
+        let c = self.gw.counters();
+        let accepted = c.accepted.load(Ordering::Relaxed);
+        let sheds = c.shed_total();
+        let arrivals = accepted + sheds;
+        let fb = LoadFeedback {
+            window: offset.saturating_sub(self.last_feedback),
+            arrivals: arrivals.saturating_sub(self.prev_arrivals),
+            sheds: sheds.saturating_sub(self.prev_sheds),
+            outstanding: c.outstanding(),
+            routable: self.n_routable(),
+        };
+        self.prev_arrivals = arrivals;
+        self.prev_sheds = sheds;
+        self.last_feedback = offset;
+        fb
     }
 
     /// Apply every event due at `now` and run the deadline-headroom
     /// scan. Returns the next instant at which something is scheduled
-    /// to happen (`None` when the plan is exhausted and no live lease
+    /// to happen (`None` when the source is exhausted and no live lease
     /// has a pending deadline drain).
     pub fn poll(&mut self, now: Instant) -> Option<Instant> {
-        while self.next_event < self.events.len() {
-            let ev = self.events[self.next_event];
-            if self.t0 + ev.at > now {
-                break;
+        let offset = now.saturating_duration_since(self.t0);
+        // Feedback first: the source sees the load of the closing
+        // window before deciding what this poll's events should be.
+        if let Some(every) = self.cfg.feedback_every {
+            if offset >= self.next_feedback {
+                let fb = self.collect_feedback(offset);
+                self.source.observe(&fb);
+                self.stats.feedbacks += 1;
+                self.next_feedback = offset + every;
             }
-            self.next_event += 1;
-            self.apply(ev);
         }
+        let hint = self.source.poll(offset, &mut self.due);
+        let due = std::mem::take(&mut self.due);
+        for ev in &due {
+            debug_assert!(ev.at <= offset, "source emitted a future event");
+            self.apply(*ev);
+        }
+        self.due = due;
+        self.due.clear();
         // Deadline-aware drains: unroute ahead of the revoke, but never
         // below the routable floor. Scanning in deadline order makes
-        // the floor deterministic when several deadlines are due.
+        // the floor deterministic when several deadlines are due. A
+        // lease granted with less remaining than the headroom is picked
+        // up here in the same poll — it drains immediately.
         let mut routable = self.n_routable();
         loop {
             let due = self
@@ -177,23 +267,36 @@ impl<'g> CapacityController<'g> {
             let drained = self.gw.sigterm(lease.token);
             debug_assert!(drained, "controller-held token must be live");
         }
-        // Next wake: the earlier of the next plan event and the next
-        // *future* headroom point of a live lease. Floor-deferred
-        // leases' headroom points are already in the past — returning
-        // them would make `run` busy-poll; they get another chance at
+        // Next wake: the earliest of the source's hint, the next
+        // *future* headroom point of a live lease, and the next
+        // feedback tick. `checked_sub` guards the headroom subtraction:
+        // a deadline closer than the headroom (or an `Instant` with no
+        // representable past) has no future headroom point — it either
+        // already drained above or sits floor-deferred, and a deferred
+        // lease's past headroom point must not be offered as a wake
+        // time (it would busy-spin `run`); it gets another chance at
         // whatever poll follows the next transition.
-        let next_ev = self.events.get(self.next_event).map(|e| self.t0 + e.at);
+        let next_src = if self.source.exhausted() {
+            None
+        } else {
+            hint.map(|h| self.t0 + h.max(offset))
+        };
         let next_deadline = self
             .active
             .iter()
             .filter(|l| !l.draining)
-            .map(|l| l.deadline - self.cfg.drain_headroom)
+            .filter_map(|l| l.deadline.checked_sub(self.cfg.drain_headroom))
             .filter(|&t| t > now)
             .min();
-        match (next_ev, next_deadline) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            (a, b) => a.or(b),
-        }
+        let next_fb = self
+            .cfg
+            .feedback_every
+            .map(|_| self.t0 + self.next_feedback)
+            .filter(|&t| t > now);
+        [next_src, next_deadline, next_fb]
+            .into_iter()
+            .flatten()
+            .min()
     }
 
     fn apply(&mut self, ev: LeaseEvent) {
@@ -243,8 +346,15 @@ impl<'g> CapacityController<'g> {
                 };
                 let lease = self.active.remove(i);
                 if !lease.draining {
-                    self.stats.surprise_revokes += 1;
-                    flight::record(EventKind::LeaseRevoke, ev.node as u64, 1);
+                    // A revoke at or past the announced deadline is not
+                    // a surprise even though no drain ran: the drain
+                    // was floor-deferred (or the headroom point predated
+                    // the grant and the floor blocked the immediate
+                    // drain). Only an early reclaim counts.
+                    if self.t0 + ev.at < lease.deadline {
+                        self.stats.surprise_revokes += 1;
+                        flight::record(EventKind::LeaseRevoke, ev.node as u64, 1);
+                    }
                     self.gw.sigterm(lease.token);
                 }
                 self.gw.join_invoker(lease.token);
@@ -253,7 +363,7 @@ impl<'g> CapacityController<'g> {
         }
     }
 
-    /// Drive the plan against the real clock until `stop` is set.
+    /// Drive the source against the real clock until `stop` is set.
     /// Sleeps until the next scheduled transition, capped by
     /// `poll_interval` so a raised `stop` is noticed promptly.
     pub fn run(&mut self, stop: &AtomicBool) {
@@ -274,7 +384,7 @@ impl<'g> CapacityController<'g> {
 
     /// Reap every lease still held (finishing any in-progress drains)
     /// and return the final stats. The gateway survives — a caller can
-    /// hand it to a new controller with a new plan.
+    /// hand it to a new controller with a new source.
     pub fn finish(mut self) -> LeaseStats {
         for lease in &self.active {
             if !lease.draining {
@@ -295,7 +405,7 @@ mod tests {
     use super::*;
     use crate::action::{ActionId, ActionSpec};
     use crate::gateway::GatewayConfig;
-    use crate::lease::{ChurnCfg, LeasePlan};
+    use crate::lease::LeasePlan;
 
     fn ms(n: u64) -> Duration {
         Duration::from_millis(n)
@@ -431,13 +541,81 @@ mod tests {
                 "deferred headroom point must not be offered as a wake time"
             );
         }
-        // The revoke executes regardless (the scheduler owns the node).
+        // The revoke executes regardless (the scheduler owns the node),
+        // but it is not a *surprise*: the deadline had been announced
+        // and passed — the drain was merely floor-deferred.
         ctl.poll(t0 + ms(40));
         assert_eq!(ctl.n_active(), 0);
         assert_eq!(gw.n_healthy(), 0);
         let s = ctl.finish();
         assert_eq!(s.revokes, 1);
-        assert_eq!(s.surprise_revokes, 1, "the drain had been deferred");
+        assert_eq!(
+            s.surprise_revokes, 0,
+            "a post-deadline revoke after a deferred drain was announced"
+        );
+    }
+
+    #[test]
+    fn short_deadline_grant_drains_immediately_not_as_surprise() {
+        // A grant whose remaining lease is shorter than the headroom:
+        // its headroom point is in the past at grant time. It must
+        // drain in the same poll (checked arithmetic, no Instant
+        // underflow panic), count once as a deadline drain, and its
+        // deadline revoke must not be a surprise.
+        let gw = gw();
+        let t0 = Instant::now();
+        let p = plan(vec![grant(0, 0, 1), revoke(1, 0)]);
+        let mut ctl = CapacityController::new(
+            &gw,
+            p,
+            ControllerConfig {
+                drain_headroom: ms(50),
+                min_routable: 0,
+                ..Default::default()
+            },
+            t0,
+        );
+        let wake = ctl.poll(t0);
+        assert_eq!(ctl.n_active(), 1);
+        assert_eq!(ctl.n_routable(), 0, "drained in the granting poll");
+        assert_eq!(ctl.stats().deadline_drains, 1);
+        if let Some(t) = wake {
+            assert!(t > t0, "no past wake from the drained lease");
+        }
+        ctl.poll(t0 + ms(1));
+        assert_eq!(ctl.n_active(), 0);
+        let s = ctl.finish();
+        assert_eq!(s.deadline_drains, 1, "counted once");
+        assert_eq!(s.surprise_revokes, 0, "the deadline was announced");
+        assert_eq!(s.revokes, 1);
+    }
+
+    #[test]
+    fn short_deadline_grant_under_floor_still_not_surprise() {
+        // Same shape but the floor blocks the immediate drain: the
+        // revoke at the (announced, passed) deadline is still not a
+        // surprise, and the episode counts once as a floor deferral.
+        let gw = gw();
+        let t0 = Instant::now();
+        let p = plan(vec![grant(0, 0, 1), revoke(2, 0)]);
+        let mut ctl = CapacityController::new(
+            &gw,
+            p,
+            ControllerConfig {
+                drain_headroom: ms(50),
+                min_routable: 1,
+                ..Default::default()
+            },
+            t0,
+        );
+        ctl.poll(t0);
+        assert_eq!(ctl.n_routable(), 1, "floor kept it routable");
+        assert_eq!(ctl.stats().floor_deferrals, 1);
+        ctl.poll(t0 + ms(2));
+        let s = ctl.finish();
+        assert_eq!(s.revokes, 1);
+        assert_eq!(s.surprise_revokes, 0);
+        assert_eq!(s.deadline_drains, 0);
     }
 
     #[test]
@@ -476,38 +654,49 @@ mod tests {
     }
 
     #[test]
-    fn finish_reaps_everything_and_requests_complete() {
-        let gw = gw();
-        let t0 = Instant::now();
-        let p = LeasePlan::synthetic_churn(
-            &ChurnCfg {
-                min_active: 1,
-                ..Default::default()
-            },
-            11,
-        );
-        let mut ctl = CapacityController::new(&gw, p, ControllerConfig::default(), t0);
-        ctl.poll(t0);
-        assert!(gw.n_healthy() >= 1);
-        let mut accepted = 0;
-        for i in 0..200u64 {
-            ctl.poll(t0 + Duration::from_micros(300 * i));
-            if gw.invoke(ActionId(0), i).is_ok() {
-                accepted += 1;
+    fn feedback_windows_reach_the_source() {
+        // A recording source: captures every LoadFeedback it is handed.
+        struct Recorder {
+            seen: Vec<LoadFeedback>,
+            done: bool,
+        }
+        impl LeaseSource for Recorder {
+            fn poll(&mut self, _now: Duration, _out: &mut Vec<LeaseEvent>) -> Option<Duration> {
+                None
+            }
+            fn observe(&mut self, fb: &LoadFeedback) {
+                self.seen.push(*fb);
+            }
+            fn exhausted(&self) -> bool {
+                self.done
             }
         }
-        let mut done = 0;
-        while done < accepted {
-            assert!(
-                gw.recv_timeout(Duration::from_secs(10)).is_some(),
-                "lost {} of {accepted}",
-                accepted - done
-            );
-            done += 1;
+        let gw = gw();
+        let t0 = Instant::now();
+        let mut ctl = CapacityController::from_source(
+            &gw,
+            Box::new(Recorder {
+                seen: Vec::new(),
+                done: false,
+            }),
+            ControllerConfig {
+                feedback_every: Some(ms(10)),
+                ..Default::default()
+            },
+            t0,
+        );
+        // First tick is scheduled at one interval, not the epoch.
+        let wake = ctl.poll(t0);
+        assert_eq!(wake, Some(t0 + ms(10)), "next wake is the feedback tick");
+        ctl.poll(t0 + ms(10));
+        // Drive some traffic (no invokers: every submit sheds) and
+        // check the next window counts it.
+        for i in 0..7u64 {
+            let _ = gw.invoke(ActionId(0), i);
         }
-        let s = ctl.finish();
-        assert!(s.grants >= 1);
-        assert_eq!(gw.shutdown(), 0);
-        assert_eq!(gw.counters().outstanding(), 0);
+        ctl.poll(t0 + ms(20));
+        let s = ctl.stats();
+        assert_eq!(s.feedbacks, 2);
+        ctl.finish();
     }
 }

@@ -279,6 +279,10 @@ struct Bucket {
     target: Option<Arc<InvokerHandle>>,
     reqs: Vec<Request>,
     idx: Vec<usize>,
+    /// Per-request shaper charge (index-aligned with `reqs`), so a
+    /// produce-pass refusal refunds exactly what the admit pass charged
+    /// even if a capacity change landed in between.
+    costs: Vec<u64>,
 }
 
 impl BurstScratch {
@@ -309,6 +313,7 @@ impl BurstScratch {
             bucket.target = None;
             bucket.reqs.clear();
             bucket.idx.clear();
+            bucket.costs.clear();
         }
         self.used = 0;
     }
@@ -617,8 +622,8 @@ impl Gateway {
             }
             return Err(Shed::ActionSaturated);
         }
-        let delay = match self.shaper.admit(produced_at) {
-            Shape::Admit(delay) => delay,
+        let (delay, charged) = match self.shaper.admit(produced_at) {
+            Shape::Admit { delay, cost } => (delay, cost),
             Shape::Shed => {
                 self.actions.release(action);
                 self.counters
@@ -646,7 +651,7 @@ impl Gateway {
             // charge, or a plane shedding NoInvoker/QueueFull would
             // accumulate phantom bucket debt for work that never
             // entered a queue.
-            self.shaper.refund();
+            self.shaper.refund(charged);
             self.actions.release(action);
             self.counters
                 .shed_no_invoker
@@ -659,7 +664,7 @@ impl Gateway {
         match produced {
             Produce::Ok(_) => {}
             Produce::Full(_) => {
-                self.shaper.refund();
+                self.shaper.refund(charged);
                 self.actions.release(action);
                 self.counters
                     .shed_queue_full
@@ -680,7 +685,7 @@ impl Gateway {
                     req,
                 };
                 if self.fast.produce_moved(env).is_err() {
-                    self.shaper.refund();
+                    self.shaper.refund(charged);
                     self.actions.release(action);
                     self.counters
                         .shed_no_invoker
@@ -762,8 +767,8 @@ impl Gateway {
                 out.push(Err(Shed::ActionSaturated));
                 continue;
             }
-            let delay = match self.shaper.admit(produced_at) {
-                Shape::Admit(delay) => delay,
+            let (delay, charged) = match self.shaper.admit(produced_at) {
+                Shape::Admit { delay, cost } => (delay, cost),
                 Shape::Shed => {
                     self.actions.release(action);
                     self.counters
@@ -777,7 +782,7 @@ impl Gateway {
                 }
             };
             let Some(target) = self.router.pick(key) else {
-                self.shaper.refund();
+                self.shaper.refund(charged);
                 self.actions.release(action);
                 self.counters
                     .shed_no_invoker
@@ -792,6 +797,7 @@ impl Gateway {
             let bucket = scratch.bucket_for(&target);
             bucket.reqs.push(Request { id, action, key });
             bucket.idx.push(i);
+            bucket.costs.push(charged);
             if telem.is_some() {
                 scratch.counts.note(action.0 as usize);
             }
@@ -813,8 +819,8 @@ impl Gateway {
             {
                 ProduceBatch::Admitted(n) => {
                     accepted += n as u64;
-                    for &i in &bucket.idx[n..] {
-                        self.shaper.refund();
+                    for (&i, &charged) in bucket.idx[n..].iter().zip(&bucket.costs[n..]) {
+                        self.shaper.refund(charged);
                         self.actions.release(reqs[i].0);
                         self.counters
                             .shed_queue_full
@@ -829,7 +835,9 @@ impl Gateway {
                 ProduceBatch::Closed => {
                     // The target started draining after the pick: the
                     // whole group takes the fast-lane fallback.
-                    for (req, &i) in bucket.reqs.iter().zip(&bucket.idx) {
+                    for ((req, &i), &charged) in
+                        bucket.reqs.iter().zip(&bucket.idx).zip(&bucket.costs)
+                    {
                         let env = Envelope {
                             offset: 0,
                             produced_at,
@@ -842,7 +850,7 @@ impl Gateway {
                                 t.fastlane_moves.inc();
                             }
                         } else {
-                            self.shaper.refund();
+                            self.shaper.refund(charged);
                             self.actions.release(req.action);
                             self.counters
                                 .shed_no_invoker

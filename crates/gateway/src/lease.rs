@@ -22,6 +22,10 @@ use cluster::{CapacityEventKind, CapacityTrace};
 use simcore::SimRng;
 use std::time::Duration;
 
+/// Minimum wall-clock separation enforced between one node's events
+/// when time scaling collapses them (see `from_capacity_trace`).
+const NODE_TICK: Duration = Duration::from_nanos(1);
+
 /// What happens to one node's lease, in wall-clock offsets from the
 /// plan's epoch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,6 +42,19 @@ pub enum LeaseEventKind {
     },
     /// The node is reclaimed: drain (if not already draining) and join.
     Revoke,
+}
+
+impl LeaseEventKind {
+    /// Tie-break rank for events at the same instant: revokes before
+    /// extends before grants, so a reused node is freed before it is
+    /// re-granted and an extend always targets a live lease.
+    pub fn rank(&self) -> u8 {
+        match self {
+            LeaseEventKind::Revoke => 0,
+            LeaseEventKind::Extend { .. } => 1,
+            LeaseEventKind::Grant { .. } => 2,
+        }
+    }
 }
 
 /// One scheduled capacity event.
@@ -128,6 +145,19 @@ impl LeasePlan {
         // Nodes whose grant was dropped at the cap: their extends and
         // revokes are dropped too, until the revoke clears the mark.
         let mut capped: Vec<bool> = vec![false; trace.n_nodes];
+        // A node's events must stay *strictly* ordered after scaling:
+        // a large speedup can collapse distinct simulation times onto
+        // the same wall-clock nanosecond, and the kind-ranked tie sort
+        // (revokes first) would then reorder a node's grant→revoke into
+        // revoke→grant. Bump by 1 ns to preserve causality.
+        let mut last_at: Vec<Duration> = vec![Duration::ZERO; trace.n_nodes];
+        let mut stamp = |node: u32, at: Duration, seen: bool| -> Duration {
+            let last = &mut last_at[node as usize];
+            let at = if seen { at.max(*last + NODE_TICK) } else { at };
+            *last = at;
+            at
+        };
+        let mut seen: Vec<bool> = vec![false; trace.n_nodes];
         let mut active = 0usize;
         let mut capped_grants = 0usize;
         for e in &trace.events {
@@ -140,11 +170,15 @@ impl LeasePlan {
                         continue;
                     }
                     active += 1;
+                    let at = stamp(node, scale(e.at), seen[node as usize]);
+                    seen[node as usize] = true;
                     events.push(LeaseEvent {
-                        at: scale(e.at),
+                        at,
                         node,
                         kind: LeaseEventKind::Grant {
-                            deadline: scale(deadline),
+                            // A lease ends after it starts, even when
+                            // scaling collapses the two instants.
+                            deadline: scale(deadline).max(at + NODE_TICK),
                         },
                     });
                 }
@@ -152,11 +186,12 @@ impl LeasePlan {
                     if capped[node as usize] {
                         continue;
                     }
+                    let at = stamp(node, scale(e.at), true);
                     events.push(LeaseEvent {
-                        at: scale(e.at),
+                        at,
                         node,
                         kind: LeaseEventKind::Extend {
-                            deadline: scale(deadline),
+                            deadline: scale(deadline).max(at + NODE_TICK),
                         },
                     });
                 }
@@ -167,7 +202,7 @@ impl LeasePlan {
                     }
                     active -= 1;
                     events.push(LeaseEvent {
-                        at: scale(e.at),
+                        at: stamp(node, scale(e.at), true),
                         node,
                         kind: LeaseEventKind::Revoke,
                     });
@@ -228,8 +263,15 @@ impl LeasePlan {
             } else {
                 deadline
             };
+            // Causality is decided on the *converted* wall-clock
+            // offsets, not the f64 draws: nanosecond rounding can land
+            // two distinct draws on the same Duration, and the
+            // kind-ranked tie sort would then put the revoke ahead of
+            // this lease's own grant or extend.
+            let grant_dur = Duration::from_secs_f64(t);
+            let mut revoke_dur = Duration::from_secs_f64(revoke_at).max(grant_dur + NODE_TICK);
             events.push(LeaseEvent {
-                at: Duration::from_secs_f64(t),
+                at: grant_dur,
                 node,
                 // The grant announces the pre-extend deadline; the
                 // extend (if scheduled) raises it later.
@@ -239,21 +281,25 @@ impl LeasePlan {
             });
             // An early revoke can land before the renewal would have
             // fired; the renewal is then moot and is not scheduled.
-            if let Some(at) = extend_at.filter(|&at| at < revoke_at) {
-                events.push(LeaseEvent {
-                    at: Duration::from_secs_f64(at),
-                    node,
-                    kind: LeaseEventKind::Extend {
-                        deadline: Duration::from_secs_f64(deadline),
-                    },
-                });
+            if let Some(at) = extend_at {
+                let at = Duration::from_secs_f64(at).max(grant_dur + NODE_TICK);
+                if at < revoke_dur {
+                    events.push(LeaseEvent {
+                        at,
+                        node,
+                        kind: LeaseEventKind::Extend {
+                            deadline: Duration::from_secs_f64(deadline),
+                        },
+                    });
+                    revoke_dur = revoke_dur.max(at + NODE_TICK);
+                }
             }
             events.push(LeaseEvent {
-                at: Duration::from_secs_f64(revoke_at),
+                at: revoke_dur,
                 node,
                 kind: LeaseEventKind::Revoke,
             });
-            active.push((node, revoke_at));
+            active.push((node, revoke_dur.as_secs_f64()));
         }
         let horizon = cfg.horizon;
         Self::assemble(events, horizon, capped_grants, next_node, cfg.min_active)
@@ -278,7 +324,12 @@ impl LeasePlan {
                 },
             });
         }
-        events.sort_by_key(|e| (e.at, !matches!(e.kind, LeaseEventKind::Revoke)));
+        // Explicit total order — no reliance on sort stability: on an
+        // equal `at`, revokes run first (freeing a reused node before
+        // its next grant), extends next (they target a lease that must
+        // still be live), grants last. `node` breaks remaining ties so
+        // the plan is a deterministic function of its inputs.
+        events.sort_by_key(|e| (e.at, e.kind.rank(), e.node));
         LeasePlan {
             events,
             horizon,
@@ -461,5 +512,115 @@ mod tests {
         }
         assert!(early > 0, "preemption-shaped revokes present");
         assert!(graceful > 0, "deadline revokes present");
+    }
+
+    /// Replay a plan through the controller's apply rules: every grant
+    /// lands on a free node, every extend and revoke on a live one.
+    /// Panics on the first causality violation.
+    fn assert_causally_valid(plan: &LeasePlan) {
+        use std::collections::HashSet;
+        let mut live: HashSet<u32> = HashSet::new();
+        for w in plan.events.windows(2) {
+            let ka = (w[0].at, w[0].kind.rank(), w[0].node);
+            let kb = (w[1].at, w[1].kind.rank(), w[1].node);
+            assert!(ka <= kb, "total order violated: {:?} then {:?}", w[0], w[1]);
+        }
+        for e in &plan.events {
+            match e.kind {
+                LeaseEventKind::Grant { deadline } => {
+                    assert!(
+                        live.insert(e.node),
+                        "grant over a live lease on node {} at {:?}",
+                        e.node,
+                        e.at
+                    );
+                    assert!(
+                        deadline > e.at,
+                        "deadline not after grant on node {}: at={:?} deadline={:?}",
+                        e.node,
+                        e.at,
+                        deadline
+                    );
+                }
+                LeaseEventKind::Extend { .. } => {
+                    assert!(
+                        live.contains(&e.node),
+                        "extend without a lease on node {} at {:?}",
+                        e.node,
+                        e.at
+                    );
+                }
+                LeaseEventKind::Revoke => {
+                    assert!(
+                        live.remove(&e.node),
+                        "revoke without a lease on node {} at {:?}",
+                        e.node,
+                        e.at
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn synthetic_churn_is_causally_valid_over_many_seeds() {
+        // Property test: whatever the seed, the compiled plan obeys the
+        // controller's apply rules — including when f64 draws round to
+        // the same nanosecond and the kind-ranked tie sort kicks in.
+        // Tight holds + heavy extend/early-revoke traffic maximize tie
+        // pressure.
+        let cfg = ChurnCfg {
+            horizon: Duration::from_millis(80),
+            mean_hold: Duration::from_micros(300),
+            target_active: 8,
+            max_active: 12,
+            min_active: 2,
+            early_revoke_frac: 0.6,
+            extend_frac: 0.6,
+        };
+        for seed in 0..200u64 {
+            let plan = LeasePlan::synthetic_churn(&cfg, seed);
+            assert_causally_valid(&plan);
+        }
+    }
+
+    #[test]
+    fn floor_grants_order_deterministically_with_epoch_events() {
+        // A trace lease that starts at the trace epoch ties with the
+        // floor grants at Duration::ZERO: grants sort after nothing
+        // else is due, in node order, with no stability dependence.
+        let cap = cap_trace(vec![vec![(t(0), t(100))]]);
+        let plan = LeasePlan::from_capacity_trace(&cap, 10.0, 4, 2);
+        let epoch: Vec<_> = plan
+            .events
+            .iter()
+            .filter(|e| e.at == Duration::ZERO)
+            .collect();
+        assert_eq!(epoch.len(), 3, "trace grant + 2 floor grants at epoch");
+        let nodes: Vec<u32> = epoch.iter().map(|e| e.node).collect();
+        let mut sorted = nodes.clone();
+        sorted.sort_unstable();
+        assert_eq!(nodes, sorted, "epoch ties break by node id");
+        assert_causally_valid(&plan);
+    }
+
+    #[test]
+    fn extreme_speedup_keeps_per_node_causality() {
+        // A speedup so large every scaled time collapses toward zero:
+        // the per-node 1 ns bump must keep each node's grant → extend →
+        // revoke strictly ordered (and the plan causally valid) even
+        // though distinct simulation times now share wall nanoseconds.
+        let avail = AvailabilityTrace::from_intervals(
+            t(0),
+            t(1_000),
+            vec![
+                vec![(t(100), t(300)), (t(400), t(600))],
+                vec![(t(150), t(500))],
+                vec![(t(0), t(1_000))],
+            ],
+        );
+        let cap = CapacityTrace::from_availability(&avail, SimDuration::from_secs(50));
+        let plan = LeasePlan::from_capacity_trace(&cap, 1e12, 8, 1);
+        assert_causally_valid(&plan);
     }
 }

@@ -62,6 +62,7 @@ pub mod lease;
 pub mod pool;
 pub mod queue;
 pub mod route;
+pub mod source;
 pub mod telem;
 
 pub use action::{ActionBody, ActionId, ActionRegistry, ActionSpec};
@@ -75,4 +76,5 @@ pub use lease::{ChurnCfg, LeaseEvent, LeaseEventKind, LeasePlan};
 pub use pool::{Placement, PoolStats, WarmPool};
 pub use queue::{Envelope, Produce, ProduceBatch, Request, WorkQueue};
 pub use route::Router;
+pub use source::{LeaseSource, LoadFeedback, PlanSource};
 pub use telem::{GatewayTelemetry, SlotTelem};

@@ -172,6 +172,15 @@ impl<E> Engine<E> {
         self.queue.len()
     }
 
+    /// Timestamp of the earliest pending event, if any — what the next
+    /// [`run_until`](Engine::run_until) segment would dispatch first.
+    /// Lets an incremental driver (a live lease source stepping the
+    /// simulation against a wall clock) sleep until something is
+    /// actually due instead of polling blind.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
     /// Total events processed so far.
     pub fn steps(&self) -> u64 {
         self.queue.total_popped()
