@@ -158,6 +158,7 @@ fn gateway_run(
     drain_batch: usize,
     submit_batch: usize,
     telemetry: bool,
+    submitters: usize,
 ) -> (f64, f64, f64) {
     let mut best_ns = f64::MAX;
     let mut best_p50 = f64::MAX;
@@ -184,6 +185,7 @@ fn gateway_run(
                 speedup: 0.0, // flat out: measure the plane, not the schedule
                 max_inflight: 1_024,
                 submit_batch,
+                submitters,
                 ..Default::default()
             },
         );
@@ -281,7 +283,7 @@ fn gateway_churn_run(samples: usize) -> (f64, f64) {
 /// pilots the load-sized manager places churn grants/revokes on top.
 /// What's measured is the serving plane's throughput while paying for
 /// the whole closed loop. Lossless, and the DES must actually grant.
-fn gateway_closed_loop_run(samples: usize) -> f64 {
+fn gateway_closed_loop_run(samples: usize, submitters: usize) -> f64 {
     let mut best_ns = f64::MAX;
     let arrivals = PoissonLoadGen::new(1_000.0, 16).arrivals(SimDuration::from_secs(400), 42);
     for _ in 0..samples {
@@ -328,6 +330,7 @@ fn gateway_closed_loop_run(samples: usize) -> f64 {
             &HarnessConfig {
                 speedup: 0.0,
                 max_inflight: 1_024,
+                submitters,
                 ..Default::default()
             },
         );
@@ -358,23 +361,23 @@ fn gateway_closed_loop_run(samples: usize) -> f64 {
 fn gateway_probes(samples: usize, probes: &mut Vec<Probe>) -> (f64, f64) {
     let drain_batch = GatewayConfig::default().drain_batch;
     let submit_batch = HarnessConfig::default().submit_batch;
-    let (ns, p50, p99) = gateway_run(samples, 1, 1, false);
+    let (ns, p50, p99) = gateway_run(samples, 1, 1, false, 1);
     let (batched_ns, instrumented_ns) = if CHECK_MODE.load(std::sync::atomic::Ordering::Relaxed) {
         let mut bare = f64::MAX;
         let mut inst = f64::MAX;
         for _ in 0..samples {
-            bare = bare.min(gateway_run(1, drain_batch, submit_batch, false).0);
-            inst = inst.min(gateway_run(1, drain_batch, submit_batch, true).0);
+            bare = bare.min(gateway_run(1, drain_batch, submit_batch, false, 1).0);
+            inst = inst.min(gateway_run(1, drain_batch, submit_batch, true, 1).0);
         }
         (bare, inst)
     } else {
         (
-            gateway_run(samples, drain_batch, submit_batch, false).0,
-            gateway_run(samples, drain_batch, submit_batch, true).0,
+            gateway_run(samples, drain_batch, submit_batch, false, 1).0,
+            gateway_run(samples, drain_batch, submit_batch, true, 1).0,
         )
     };
     let (churn_ns, churn_p99) = gateway_churn_run(samples);
-    let closed_loop_ns = gateway_closed_loop_run(samples);
+    let closed_loop_ns = gateway_closed_loop_run(samples, 1);
     for (name, ns) in [
         ("gateway/throughput_8inv_noop", ns),
         ("gateway/latency_p50_8inv_noop", p50),
@@ -395,6 +398,46 @@ fn gateway_probes(samples: usize, probes: &mut Vec<Probe>) -> (f64, f64) {
         });
     }
     (batched_ns, instrumented_ns)
+}
+
+/// The gateway cores→ops/s curve (ISSUE 9): the batched flat-out shape
+/// at 1, 2 and 4 parallel submitters (the submit-bound contention
+/// probe — admission CAS lines, router shards and queue locks under
+/// real multi-thread pressure), plus the closed-loop DES-fed shape at 2
+/// submitters (both submitters also collect, so the claim-swept shard
+/// table runs contended). Each probe is gated on its **own** name, so
+/// `--filter gateway/throughput_batched_8inv_noop_` runs exactly the
+/// curve without the rest of the gateway family. On a single-CPU runner
+/// the curve is flat (the threads time-share one core); the point of
+/// tracking it is the trajectory on wider machines and catching
+/// contention regressions that make N submitters *slower* than one.
+fn gateway_submitter_probes(samples: usize, probes: &mut Vec<Probe>, filter: &Option<String>) {
+    let drain_batch = GatewayConfig::default().drain_batch;
+    let submit_batch = HarnessConfig::default().submit_batch;
+    for (n_sub, name) in [
+        (1usize, "gateway/throughput_batched_8inv_noop_1sub"),
+        (2, "gateway/throughput_batched_8inv_noop_2sub"),
+        (4, "gateway/throughput_batched_8inv_noop_4sub"),
+    ] {
+        if !want(filter, name) {
+            continue;
+        }
+        let ns = gateway_run(samples, drain_batch, submit_batch, false, n_sub).0;
+        eprintln!("{name:<36} {:>12.0} ns/op  ({:>10.1} ops/s)", ns, 1e9 / ns);
+        probes.push(Probe {
+            name,
+            ns_per_op: ns,
+        });
+    }
+    let name = "gateway/throughput_closed_loop_8inv_noop_2sub";
+    if want(filter, name) {
+        let ns = gateway_closed_loop_run(samples, 2);
+        eprintln!("{name:<36} {:>12.0} ns/op  ({:>10.1} ops/s)", ns, 1e9 / ns);
+        probes.push(Probe {
+            name,
+            ns_per_op: ns,
+        });
+    }
 }
 
 /// The scheduler bench fixture: a 2,239-node cluster, ~95% occupied by
@@ -779,6 +822,7 @@ fn main() {
     if want(&filter, "gateway/") {
         telem_pair = Some(gateway_probes(5, &mut probes));
     }
+    gateway_submitter_probes(5, &mut probes, &filter);
     scaling_probes(3, &mut probes, &filter);
 
     if probes.is_empty() {

@@ -3,7 +3,7 @@
 //! lifecycle parameters the warm pools enforce.
 
 use sebs::{Graph, Kernel};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -126,6 +126,11 @@ struct Entry {
 /// admission control is a single atomic on the hot path.
 pub struct ActionRegistry {
     entries: Vec<Entry>,
+    /// Lost [`try_admit`](ActionRegistry::try_admit) CAS rounds:
+    /// submitters racing on one action's in-flight line. Zero with a
+    /// single submitter; exposed as
+    /// `gateway_submit_contention_total{source="admit_cas"}`.
+    cas_retries: AtomicU64,
 }
 
 impl ActionRegistry {
@@ -140,7 +145,14 @@ impl ActionRegistry {
                     inflight: AtomicUsize::new(0),
                 })
                 .collect(),
+            cas_retries: AtomicU64::new(0),
         })
+    }
+
+    /// Total admission CAS retries across every action (a contention
+    /// probe, not a correctness counter).
+    pub fn admit_cas_retries(&self) -> u64 {
+        self.cas_retries.load(Ordering::Relaxed)
     }
 
     /// Number of registered actions.
@@ -180,7 +192,13 @@ impl ActionRegistry {
                 Ordering::Relaxed,
             ) {
                 Ok(_) => return true,
-                Err(seen) => cur = seen,
+                Err(seen) => {
+                    // A racing submitter moved the count first: retry.
+                    // Counted (relaxed, off the uncontended path) so
+                    // multi-submitter contention shows up in telemetry.
+                    self.cas_retries.fetch_add(1, Ordering::Relaxed);
+                    cur = seen;
+                }
             }
         }
     }

@@ -107,6 +107,10 @@ pub(crate) struct AdmissionShaper {
     /// Cumulative virtual delay charged to admitted requests, in
     /// nanoseconds (exposed as `gateway_shaper_charged_delay_ns_total`).
     charged_ns: Arc<Counter>,
+    /// Lost CAS rounds on `tat` (admit + refund): submitters racing on
+    /// the bucket under real contention. Exposed as
+    /// `gateway_submit_contention_total{source="shaper_cas"}`.
+    cas_retries: Arc<Counter>,
 }
 
 impl AdmissionShaper {
@@ -128,6 +132,7 @@ impl AdmissionShaper {
                 c.max_delay.as_nanos().min(u128::from(u64::MAX)) as u64
             }),
             charged_ns: Arc::new(Counter::new()),
+            cas_retries: Arc::new(Counter::new()),
         };
         shaper.set_capacity(1);
         shaper
@@ -179,7 +184,10 @@ impl AdmissionShaper {
                         cost,
                     };
                 }
-                Err(seen) => tat = seen,
+                Err(seen) => {
+                    self.cas_retries.inc();
+                    tat = seen;
+                }
             }
         }
     }
@@ -212,7 +220,10 @@ impl AdmissionShaper {
                 .compare_exchange_weak(tat, new_tat, Ordering::Relaxed, Ordering::Relaxed)
             {
                 Ok(_) => return,
-                Err(seen) => tat = seen,
+                Err(seen) => {
+                    self.cas_retries.inc();
+                    tat = seen;
+                }
             }
         }
     }
@@ -233,6 +244,12 @@ impl AdmissionShaper {
     /// registration by the gateway's telemetry plane.
     pub(crate) fn charged_counter(&self) -> Arc<Counter> {
         self.charged_ns.clone()
+    }
+
+    /// Handle to the CAS-retry contention counter (see
+    /// `gateway_submit_contention_total{source="shaper_cas"}`).
+    pub(crate) fn cas_retry_counter(&self) -> Arc<Counter> {
+        self.cas_retries.clone()
     }
 }
 

@@ -37,8 +37,8 @@ use crate::queue::{Envelope, Produce, ProduceBatch, Request, WorkQueue};
 use crate::route::{mix64, Router};
 use crate::telem::{BurstCounts, GatewayTelemetry, SlotTelem};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use telemetry::flight::{self, EventKind};
@@ -228,36 +228,303 @@ struct Slot {
     join: Option<JoinHandle<PoolStats>>,
 }
 
-/// One invoker slot's completion buffer. Exactly **one** producer at a
-/// time (the invoker thread occupying the slot — slots are only reused
-/// after the previous thread joined), so the mutex is contended only by
-/// the collector's periodic swap-out, never producer-vs-producer. The
-/// buffer outlives its invoker: completions published just before a
-/// drain remain collectible after the thread is reaped.
-#[derive(Default)]
+/// One published batch of completions, a node in a shard's lock-free
+/// segment stack.
+struct Segment {
+    batch: Vec<Completion>,
+    next: *mut Segment,
+}
+
+/// The claim tag used by the shared-cursor collection API
+/// ([`Gateway::collect_completions`] / the `recv` convenience calls);
+/// dedicated [`Collector`] handles get tags ≥ 2.
+const ANON_COLLECTOR: u32 = 1;
+
+/// One invoker slot's completion buffer: a **lock-free** Treiber stack
+/// of batch segments. Exactly one producer at a time (the invoker
+/// thread occupying the slot — slots are only reused after the previous
+/// thread joined) pushes whole batches; any number of collectors race
+/// to `swap` the entire chain out, so the structure is push-only and
+/// swap-all — no pop-one, hence no ABA window. The buffer outlives its
+/// invoker: completions published just before a drain remain
+/// collectible after the thread is reaped.
+///
+/// Cache-line-aligned so two collectors hammering adjacent shard heads
+/// never false-share (the expected first profile hit under multi-core
+/// collection). `claim` lets N collectors split the shard space: a
+/// sweep skips shards another collector is already draining instead of
+/// contending on their heads.
+#[repr(align(128))]
 struct CompletionShard {
-    buf: Mutex<Vec<Completion>>,
+    head: AtomicPtr<Segment>,
+    claim: AtomicU32,
 }
 
 impl CompletionShard {
-    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<Completion>> {
-        self.buf.lock().unwrap_or_else(|e| e.into_inner())
+    fn new() -> Self {
+        CompletionShard {
+            head: AtomicPtr::new(std::ptr::null_mut()),
+            claim: AtomicU32::new(0),
+        }
     }
 
-    /// Publish a batch under one lock; `done` is left empty with its
-    /// capacity intact for reuse.
+    /// Publish a batch: one boxed segment pushed with a CAS (the only
+    /// contender is a collector's swap). `done` is left empty with its
+    /// capacity intact for reuse, preserving the old contract.
     fn publish(&self, done: &mut Vec<Completion>) {
-        self.lock().append(done);
+        if done.is_empty() {
+            return;
+        }
+        let cap = done.capacity();
+        let batch = std::mem::replace(done, Vec::with_capacity(cap));
+        let seg = Box::into_raw(Box::new(Segment {
+            batch,
+            next: std::ptr::null_mut(),
+        }));
+        let mut head = self.head.load(Ordering::Relaxed);
+        loop {
+            // Safety: `seg` is not yet published, this thread owns it.
+            unsafe { (*seg).next = head };
+            match self
+                .head
+                .compare_exchange_weak(head, seg, Ordering::Release, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => head = seen,
+            }
+        }
     }
 
-    /// Move everything pending into `out`; returns how many.
+    /// Move everything pending into `out` (oldest batch first); returns
+    /// how many. Lock-free: one `swap` detaches the whole chain, which
+    /// this collector then owns exclusively.
     fn drain_into(&self, out: &mut Vec<Completion>) -> usize {
-        let mut g = self.lock();
-        let n = g.len();
-        out.append(&mut g);
+        let mut p = self.head.swap(std::ptr::null_mut(), Ordering::Acquire);
+        if p.is_null() {
+            return 0;
+        }
+        // The chain is newest-first; reverse in place for FIFO.
+        let mut prev: *mut Segment = std::ptr::null_mut();
+        while !p.is_null() {
+            // Safety: the swap transferred ownership of the chain.
+            let next = unsafe { (*p).next };
+            unsafe { (*p).next = prev };
+            prev = p;
+            p = next;
+        }
+        let mut n = 0;
+        let mut p = prev;
+        while !p.is_null() {
+            // Safety: exclusively owned since the swap; freed here.
+            let seg = unsafe { Box::from_raw(p) };
+            n += seg.batch.len();
+            out.extend_from_slice(&seg.batch);
+            p = seg.next;
+        }
         n
     }
+
+    /// Try to claim this shard for one collector's sweep; collectors
+    /// that lose skip the shard instead of contending on its head.
+    fn try_claim(&self, tag: u32) -> bool {
+        self.claim
+            .compare_exchange(0, tag, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    fn release_claim(&self) {
+        self.claim.store(0, Ordering::Release);
+    }
 }
+
+impl Drop for CompletionShard {
+    fn drop(&mut self) {
+        let mut p = *self.head.get_mut();
+        while !p.is_null() {
+            // Safety: `&mut self` — no concurrent producer/collector.
+            let seg = unsafe { Box::from_raw(p) };
+            p = seg.next;
+        }
+    }
+}
+
+/// Chunk 0 of the shard table holds this many shards; chunk `k` holds
+/// `CHUNK_BASE << k`, so 24 chunks cover ~134M invoker slots without
+/// ever moving a published entry.
+const CHUNK_BASE: usize = 8;
+const N_CHUNKS: usize = 24;
+
+/// The epoch-published completion-shard list: an append-only chunked
+/// table replacing the old `Mutex<Vec<Arc<CompletionShard>>>`. Shards
+/// are only ever *added* (slot reuse reuses the same shard), so the
+/// table never moves an entry: readers locate a shard through one
+/// `Acquire` load of the published length plus one of the owning chunk
+/// pointer — `collect_completions` holds no lock at all. Writers
+/// (`Gateway::start_invoker`) are already serialized by the slots
+/// mutex; they allocate whole chunks of initialized shards and then
+/// publish the new length with a `Release` store, so any index below
+/// the length a reader observes is fully initialized.
+struct ShardTable {
+    len: AtomicUsize,
+    chunks: [AtomicPtr<Arc<CompletionShard>>; N_CHUNKS],
+}
+
+impl ShardTable {
+    fn new() -> Self {
+        ShardTable {
+            len: AtomicUsize::new(0),
+            chunks: std::array::from_fn(|_| AtomicPtr::new(std::ptr::null_mut())),
+        }
+    }
+
+    /// Chunk index and offset of shard `i`.
+    #[inline]
+    fn locate(i: usize) -> (usize, usize) {
+        let k = ((i / CHUNK_BASE) + 1).ilog2() as usize;
+        (k, i - CHUNK_BASE * ((1 << k) - 1))
+    }
+
+    /// Published shard count (the list's epoch, in ArcSwap terms).
+    #[inline]
+    fn len(&self) -> usize {
+        self.len.load(Ordering::Acquire)
+    }
+
+    /// Grow the published prefix to at least `n` shards. Callers are
+    /// serialized by the gateway's slots lock; concurrent readers stay
+    /// lock-free throughout.
+    fn ensure(&self, n: usize) {
+        if n == 0 || n <= self.len.load(Ordering::Relaxed) {
+            return;
+        }
+        let (last_k, _) = Self::locate(n - 1);
+        for k in 0..=last_k {
+            if self.chunks[k].load(Ordering::Relaxed).is_null() {
+                let cap = CHUNK_BASE << k;
+                let chunk: Box<[Arc<CompletionShard>]> =
+                    (0..cap).map(|_| Arc::new(CompletionShard::new())).collect();
+                self.chunks[k].store(
+                    Box::into_raw(chunk) as *mut Arc<CompletionShard>,
+                    Ordering::Release,
+                );
+            }
+        }
+        self.len.store(n, Ordering::Release);
+    }
+
+    /// The shard at `i`; caller guarantees `i < self.len()`.
+    #[inline]
+    fn get(&self, i: usize) -> &CompletionShard {
+        let (k, off) = Self::locate(i);
+        let chunk = self.chunks[k].load(Ordering::Acquire);
+        debug_assert!(!chunk.is_null(), "index below published len");
+        // Safety: chunks are published before `len` covers them and are
+        // never freed or moved until the table drops.
+        unsafe { &*chunk.add(off) }.as_ref()
+    }
+
+    /// Arc handle to the shard at `i` (for the owning invoker thread).
+    fn get_arc(&self, i: usize) -> Arc<CompletionShard> {
+        let (k, off) = Self::locate(i);
+        let chunk = self.chunks[k].load(Ordering::Acquire);
+        debug_assert!(!chunk.is_null(), "index below published len");
+        // Safety: as in `get`.
+        unsafe { &*chunk.add(off) }.clone()
+    }
+}
+
+impl Drop for ShardTable {
+    fn drop(&mut self) {
+        for k in 0..N_CHUNKS {
+            let p = *self.chunks[k].get_mut();
+            if !p.is_null() {
+                let cap = CHUNK_BASE << k;
+                // Safety: reconstructs the boxed slice allocated in
+                // `ensure`; `&mut self` excludes readers.
+                unsafe {
+                    drop(Box::from_raw(std::ptr::slice_from_raw_parts_mut(p, cap)));
+                }
+            }
+        }
+    }
+}
+
+/// The completion-wait gate: `seq` bumps on every shard publish and
+/// `waiters` counts parked collectors, so producers skip the condvar
+/// (and its futex) entirely while every collector is busy — the same
+/// waiter-counted-wake discipline as [`WorkQueue::pop_timeout`]. This
+/// replaces the old fixed 100 µs poll in [`Gateway::recv_timeout`] and
+/// the harness's completion-wait sleep: idle collectors park until a
+/// publish actually happens instead of burning a core each.
+struct CompletionGate {
+    seq: AtomicU64,
+    waiters: AtomicUsize,
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+impl CompletionGate {
+    fn new() -> Self {
+        CompletionGate {
+            seq: AtomicU64::new(0),
+            waiters: AtomicUsize::new(0),
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
+        }
+    }
+
+    #[inline]
+    fn epoch(&self) -> u64 {
+        self.seq.load(Ordering::SeqCst)
+    }
+
+    /// Producer side: called after a publish. SeqCst on the bump and
+    /// the waiter check pairs with the consumer's register-then-recheck
+    /// so no wakeup is lost; the common (no waiter) case is one RMW +
+    /// one load per *batch*, never a lock.
+    #[inline]
+    fn publish_wake(&self) {
+        self.seq.fetch_add(1, Ordering::SeqCst);
+        if self.waiters.load(Ordering::SeqCst) > 0 {
+            let _g = self.lock.lock().unwrap_or_else(|e| e.into_inner());
+            self.cv.notify_all();
+        }
+    }
+
+    /// Consumer side: park until the epoch moves past `seen` or
+    /// `timeout` elapses. `seen` must have been read *before* the
+    /// caller's (empty) sweep: a publish that raced the sweep moved the
+    /// epoch, so the wait returns immediately and the caller re-sweeps.
+    fn wait(&self, seen: u64, timeout: Duration) {
+        self.waiters.fetch_add(1, Ordering::SeqCst);
+        {
+            let g = self.lock.lock().unwrap_or_else(|e| e.into_inner());
+            if self.seq.load(Ordering::SeqCst) == seen {
+                let _ = self.cv.wait_timeout(g, timeout);
+            }
+        }
+        self.waiters.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// A per-collector cursor + claim tag for the sharded completion path:
+/// create one per collecting thread with [`Gateway::collector`] and
+/// sweep through [`Gateway::collect_completions_with`] /
+/// [`Gateway::collect_wait`]. Each collector rotates its own start
+/// shard and skips shards another collector has claimed, so N
+/// collectors split the shard space instead of serializing — and the
+/// cursor lives in the collector's own cache line (the struct is
+/// line-aligned), not on a shared one.
+#[repr(align(128))]
+#[derive(Debug)]
+pub struct Collector {
+    cursor: usize,
+    tag: u32,
+}
+
+/// The shared round-robin cursor on its own cache line.
+#[repr(align(128))]
+struct SharedCursor(AtomicUsize);
 
 /// Caller-held scratch for [`Gateway::invoke_burst`]: the per-target
 /// buckets of a burst, kept across calls so their backing allocations
@@ -326,19 +593,32 @@ pub struct Gateway {
     router: Router<Arc<InvokerHandle>>,
     slots: Mutex<Vec<Slot>>,
     fast: Arc<WorkQueue>,
-    /// Per-slot completion buffers, index-aligned with `slots` (lock
-    /// order: `slots` before `completion_shards`; the collector only
-    /// ever takes the latter).
-    completion_shards: Mutex<Vec<Arc<CompletionShard>>>,
-    /// Rotates the shard a collection sweep starts at, so no invoker's
-    /// completions are systematically served first.
-    collect_cursor: AtomicUsize,
+    /// Per-slot completion buffers, index-aligned with `slots`: the
+    /// append-only epoch-published table — collectors never take a lock
+    /// (growth is serialized by the `slots` mutex).
+    completion_shards: ShardTable,
+    /// Rotates the shard the *shared-cursor* collection sweep starts
+    /// at, so no invoker's completions are systematically served first.
+    /// Line-aligned: concurrent anonymous collectors bump it without
+    /// dirtying neighbouring fields. Dedicated [`Collector`] handles
+    /// carry their own cursor instead.
+    collect_cursor: SharedCursor,
+    /// Completion-publish wake gate (waiter-counted; see
+    /// [`CompletionGate`]). Shared with every invoker thread.
+    gate: Arc<CompletionGate>,
+    /// Next tag handed to a [`Collector`] (tags ≥ 2; 1 is the
+    /// shared-cursor API, 0 means unclaimed).
+    next_collector: AtomicU32,
     /// Overflow for the one-at-a-time [`recv_timeout`]/[`try_recv`]
     /// convenience API (a sweep can return more than one completion).
+    /// `spill_len` mirrors the queue length so the batch collection
+    /// paths skip the mutex entirely while the spill is empty — the
+    /// common case whenever the one-at-a-time API is not in use.
     ///
     /// [`recv_timeout`]: Gateway::recv_timeout
     /// [`try_recv`]: Gateway::try_recv
     spill: Mutex<VecDeque<Completion>>,
+    spill_len: AtomicUsize,
     counters: Arc<Counters>,
     /// The token-bucket admission shaper (inert under `HardShed`);
     /// capacity is re-fed on every router rebuild.
@@ -357,28 +637,34 @@ impl Gateway {
     pub fn new(cfg: GatewayConfig, actions: Vec<ActionSpec>) -> Self {
         let shards = cfg.shards;
         let shaper = AdmissionShaper::new(&cfg.admission, Instant::now());
+        let action_names: Vec<String> = actions.iter().map(|a| a.name.clone()).collect();
+        let actions = ActionRegistry::new(actions);
         let telem = cfg.telemetry.then(|| {
-            let t = Arc::new(GatewayTelemetry::new(
-                actions.iter().map(|a| a.name.clone()).collect(),
-            ));
+            let t = Arc::new(GatewayTelemetry::new(action_names));
             t.register_shaper(shaper.charged_counter());
+            t.register_contention(shaper.cas_retry_counter(), actions.clone());
             t
         });
         let fast = match &telem {
             // The fast lane reports its high-water under the shared
             // gauge; tag u64::MAX marks it in flight-recorder events.
-            Some(t) => WorkQueue::with_telem(t.queue_highwater.clone(), u64::MAX),
+            Some(t) => {
+                WorkQueue::with_telem(t.queue_highwater.clone(), t.queue_wakes.clone(), u64::MAX)
+            }
             None => WorkQueue::new(),
         };
         Gateway {
             cfg,
-            actions: ActionRegistry::new(actions),
+            actions,
             router: Router::new(shards),
             slots: Mutex::new(Vec::new()),
             fast: Arc::new(fast),
-            completion_shards: Mutex::new(Vec::new()),
-            collect_cursor: AtomicUsize::new(0),
+            completion_shards: ShardTable::new(),
+            collect_cursor: SharedCursor(AtomicUsize::new(0)),
+            gate: Arc::new(CompletionGate::new()),
+            next_collector: AtomicU32::new(2),
             spill: Mutex::new(VecDeque::new()),
+            spill_len: AtomicUsize::new(0),
             counters: Arc::new(Counters::default()),
             shaper,
             next_request: AtomicU64::new(0),
@@ -440,7 +726,7 @@ impl Gateway {
     pub fn start_invoker(&self) -> InvokerToken {
         let id = self.next_invoker.fetch_add(1, Ordering::Relaxed);
         let queue = match &self.telem {
-            Some(t) => WorkQueue::with_telem(t.queue_highwater.clone(), id),
+            Some(t) => WorkQueue::with_telem(t.queue_highwater.clone(), t.queue_wakes.clone(), id),
             None => WorkQueue::new(),
         };
         let handle = Arc::new(InvokerHandle {
@@ -467,16 +753,10 @@ impl Gateway {
                 slots.len() - 1
             }
         };
-        let shard = {
-            let mut shards = self
-                .completion_shards
-                .lock()
-                .unwrap_or_else(|e| e.into_inner());
-            while shards.len() <= index {
-                shards.push(Arc::new(CompletionShard::default()));
-            }
-            shards[index].clone()
-        };
+        // Still under the slots lock, which serializes table growth;
+        // collectors read the table lock-free throughout.
+        self.completion_shards.ensure(index + 1);
+        let shard = self.completion_shards.get_arc(index);
         // A lease granted: the invoker lifecycle *is* the lease
         // lifecycle, so grants − revokes = live leases by construction
         // no matter which driver (controller, test, bin) starts it.
@@ -489,6 +769,7 @@ impl Gateway {
             handle,
             fast: self.fast.clone(),
             completions: shard,
+            gate: self.gate.clone(),
             actions: self.actions.clone(),
             counters: self.counters.clone(),
             telem: self.telem.as_ref().map(|t| (t.clone(), t.new_slot())),
@@ -515,56 +796,170 @@ impl Gateway {
     /// Sweep every completion shard once, round-robin from a rotating
     /// start, moving everything published so far into `out`. Returns
     /// how many completions were collected. This is the consumer half
-    /// of the sharded completion path: each shard has a single
-    /// producer, so the only cross-thread synchronization per sweep is
-    /// one uncontended-in-the-common-case lock per shard.
+    /// of the sharded completion path and it holds **no mutex**: the
+    /// shard list is epoch-published, each shard is a lock-free segment
+    /// stack, and the spill buffer is skipped through an atomic length
+    /// unless the one-at-a-time API actually left something there.
+    /// Concurrent callers share one rotating cursor and skip shards a
+    /// racing collector has claimed; threads collecting continuously
+    /// should prefer a dedicated [`Collector`] handle
+    /// ([`Gateway::collector`] + [`Gateway::collect_completions_with`]).
     pub fn collect_completions(&self, out: &mut Vec<Completion>) -> usize {
-        let mut n = 0;
-        {
-            let mut spill = self.spill.lock().unwrap_or_else(|e| e.into_inner());
-            while let Some(c) = spill.pop_front() {
-                out.push(c);
-                n += 1;
-            }
+        let n = self.drain_spill(out);
+        let len = self.completion_shards.len();
+        if len == 0 {
+            return n;
         }
-        n + self.drain_shards(out)
+        let start = self.collect_cursor.0.fetch_add(1, Ordering::Relaxed) % len;
+        n + self.drain_shards(out, start, ANON_COLLECTOR)
     }
 
-    /// One round-robin sweep over the shards only (no spill).
-    fn drain_shards(&self, out: &mut Vec<Completion>) -> usize {
-        let shards = self
-            .completion_shards
-            .lock()
-            .unwrap_or_else(|e| e.into_inner());
-        let len = shards.len();
+    /// A dedicated collector handle: its own round-robin cursor (on its
+    /// own cache line) and a unique shard-claim tag.
+    pub fn collector(&self) -> Collector {
+        let tag = self.next_collector.fetch_add(1, Ordering::Relaxed);
+        Collector {
+            cursor: tag as usize,
+            tag,
+        }
+    }
+
+    /// [`collect_completions`](Gateway::collect_completions) through a
+    /// dedicated [`Collector`]: no shared-cursor traffic, and shards
+    /// claimed by other collectors are skipped, so N collectors split
+    /// the shard space instead of serializing on it.
+    pub fn collect_completions_with(
+        &self,
+        col: &mut Collector,
+        out: &mut Vec<Completion>,
+    ) -> usize {
+        let n = self.drain_spill(out);
+        let len = self.completion_shards.len();
+        if len == 0 {
+            return n;
+        }
+        let start = col.cursor % len;
+        col.cursor = col.cursor.wrapping_add(1);
+        n + self.drain_shards(out, start, col.tag)
+    }
+
+    /// Blocking collect: sweep, and if nothing is pending park on the
+    /// completion gate (waiter-counted — a publish wakes the collector,
+    /// idle waits burn no CPU) until something lands or `timeout`
+    /// elapses. Returns how many completions were moved into `out`
+    /// (0 on timeout).
+    pub fn collect_wait(
+        &self,
+        col: &mut Collector,
+        out: &mut Vec<Completion>,
+        timeout: Duration,
+    ) -> usize {
+        let deadline = Instant::now().checked_add(timeout);
+        loop {
+            let seen = self.gate.epoch();
+            let n = self.collect_completions_with(col, out);
+            if n > 0 {
+                return n;
+            }
+            let remaining = match deadline {
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        return 0;
+                    }
+                    d - now
+                }
+                None => Duration::MAX,
+            };
+            self.gate.wait(seen, remaining);
+        }
+    }
+
+    /// The completion-publish epoch: bumps every time an invoker
+    /// publishes a batch. Pair with
+    /// [`wait_completions`](Gateway::wait_completions): read the epoch,
+    /// sweep, and if the sweep came up empty wait for the epoch to
+    /// move — a publish racing the sweep makes the wait return
+    /// immediately.
+    pub fn completion_epoch(&self) -> u64 {
+        self.gate.epoch()
+    }
+
+    /// Park until the completion epoch moves past `seen` or `timeout`
+    /// elapses (waiter-counted: producers skip the wake entirely while
+    /// nobody waits). See
+    /// [`completion_epoch`](Gateway::completion_epoch).
+    pub fn wait_completions(&self, seen: u64, timeout: Duration) {
+        self.gate.wait(seen, timeout);
+    }
+
+    /// Drain the one-at-a-time API's spill into `out`; the atomic
+    /// length check keeps the batch paths off the mutex while the spill
+    /// is empty.
+    fn drain_spill(&self, out: &mut Vec<Completion>) -> usize {
+        if self.spill_len.load(Ordering::Acquire) == 0 {
+            return 0;
+        }
+        let mut spill = self.spill.lock().unwrap_or_else(|e| e.into_inner());
+        let n = spill.len();
+        out.extend(spill.drain(..));
+        self.spill_len.store(0, Ordering::Release);
+        n
+    }
+
+    /// One round-robin sweep over the shards only (no spill), starting
+    /// at `start`, claiming each shard under `tag`. Lock-free.
+    fn drain_shards(&self, out: &mut Vec<Completion>, start: usize, tag: u32) -> usize {
+        let len = self.completion_shards.len();
         if len == 0 {
             return 0;
         }
         let mut n = 0;
-        let start = self.collect_cursor.fetch_add(1, Ordering::Relaxed) % len;
+        let mut skipped = 0u64;
         for i in 0..len {
-            n += shards[(start + i) % len].drain_into(out);
+            let shard = self.completion_shards.get((start + i) % len);
+            if !shard.try_claim(tag) {
+                // Another collector owns this shard right now; its
+                // sweep takes whatever is pending. Contend on nothing.
+                skipped += 1;
+                continue;
+            }
+            n += shard.drain_into(out);
+            shard.release_claim();
+        }
+        if skipped > 0 {
+            if let Some(t) = &self.telem {
+                t.collect_claim_skips.add(skipped);
+            }
         }
         n
     }
 
-    /// Pop one completion, sweeping the shards and parking briefly in
-    /// between, until `timeout` elapses. Extra completions a sweep
-    /// returns are spilled for the next call, so no completion is ever
-    /// dropped by the one-at-a-time API. A timeout too large to
-    /// represent as a deadline (e.g. `Duration::MAX`) waits forever,
-    /// matching the channel API this replaced.
+    /// Pop one completion, sweeping the shards and parking on the
+    /// completion gate in between, until `timeout` elapses. Extra
+    /// completions a sweep returns are spilled for the next call, so no
+    /// completion is ever dropped by the one-at-a-time API. A timeout
+    /// too large to represent as a deadline (e.g. `Duration::MAX`)
+    /// waits forever, matching the channel API this replaced.
     pub fn recv_timeout(&self, timeout: Duration) -> Option<Completion> {
         let deadline = Instant::now().checked_add(timeout);
         let mut swept = Vec::new();
         loop {
+            let seen = self.gate.epoch();
             if let Some(c) = self.try_recv_swept(&mut swept) {
                 return Some(c);
             }
-            if deadline.is_some_and(|d| Instant::now() >= d) {
-                return None;
-            }
-            std::thread::park_timeout(Duration::from_micros(100));
+            let remaining = match deadline {
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        return None;
+                    }
+                    d - now
+                }
+                None => Duration::MAX,
+            };
+            self.gate.wait(seen, remaining);
         }
     }
 
@@ -577,21 +972,27 @@ impl Gateway {
     fn try_recv_swept(&self, swept: &mut Vec<Completion>) -> Option<Completion> {
         // Serve from the spill first — popping one element, not
         // round-tripping the whole backlog through `swept` (sequential
-        // one-at-a-time consumption stays O(1) per pop).
+        // one-at-a-time consumption stays O(1) per pop). The spill is
+        // shared state behind a mutex, with `spill_len` maintained
+        // under that same lock, so completions one caller spilled are
+        // visible to every other collector — batch sweeps included.
         {
             let mut spill = self.spill.lock().unwrap_or_else(|e| e.into_inner());
             if let Some(c) = spill.pop_front() {
+                self.spill_len.store(spill.len(), Ordering::Release);
                 return Some(c);
             }
         }
         swept.clear();
-        if self.drain_shards(swept) == 0 {
+        let start = self.collect_cursor.0.fetch_add(1, Ordering::Relaxed);
+        if self.drain_shards(swept, start, ANON_COLLECTOR) == 0 {
             return None;
         }
         let mut it = swept.drain(..);
         let first = it.next();
         let mut spill = self.spill.lock().unwrap_or_else(|e| e.into_inner());
         spill.extend(it);
+        self.spill_len.store(spill.len(), Ordering::Release);
         first
     }
 
@@ -1003,6 +1404,7 @@ struct InvokerCtx {
     handle: Arc<InvokerHandle>,
     fast: Arc<WorkQueue>,
     completions: Arc<CompletionShard>,
+    gate: Arc<CompletionGate>,
     actions: Arc<ActionRegistry>,
     counters: Arc<Counters>,
     /// The plane's families plus this invoker's private single-writer
@@ -1166,6 +1568,10 @@ impl InvokerCtx {
             .completed
             .fetch_add(done.len() as u64, Ordering::Relaxed);
         self.completions.publish(done);
+        // Wake parked collectors — after the publish, so a woken
+        // collector's sweep finds the batch. One RMW per batch when
+        // nobody waits; the condvar is touched only when someone does.
+        self.gate.publish_wake();
     }
 }
 

@@ -22,7 +22,8 @@
 use crate::action::ActionId;
 use crate::controller::{CapacityController, LeaseStats};
 use crate::gateway::{BurstScratch, Gateway, Shed};
-use std::sync::atomic::{AtomicBool, Ordering};
+use crate::route::mix64;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 use telemetry::{HistSnapshot, Histogram, Snapshot};
 use workload::Arrival;
@@ -43,6 +44,19 @@ pub struct HarnessConfig {
     /// admitted per burst with **one** clock read shared as their
     /// admission timestamp. 1 reproduces the per-arrival submit loop.
     pub submit_batch: usize,
+    /// Parallel submitter threads. 1 (the default) is the historical
+    /// single-threaded loop, byte-for-byte. N > 1 partitions the
+    /// arrival stream **by action hash** across N scoped threads — all
+    /// invocations of one action go through one submitter, so per-action
+    /// ordering and per-action row sums match the single-threaded
+    /// replay exactly. Each submitter owns its own [`BurstScratch`],
+    /// clock reads and [`Collector`](crate::gateway::Collector) cursor,
+    /// and doubles as a completion collector; per-thread reports are
+    /// merged at the end (or, with telemetry on, the whole run is read
+    /// from one registry-snapshot diff). The closed-loop window is a
+    /// shared atomic; concurrent submitters may transiently overshoot
+    /// it by at most `submitters * submit_batch`.
+    pub submitters: usize,
 }
 
 impl Default for HarnessConfig {
@@ -52,6 +66,7 @@ impl Default for HarnessConfig {
             max_inflight: 512,
             stall_timeout: Duration::from_secs(10),
             submit_batch: 64,
+            submitters: 1,
         }
     }
 }
@@ -194,17 +209,20 @@ impl LoadReport {
 }
 
 /// Replay `arrivals` against `gw`, mapping each arrival's function
-/// index onto the gateway's action catalogue modulo its size.
+/// index onto the gateway's action catalogue modulo its size. With
+/// [`HarnessConfig::submitters`] > 1 the stream is partitioned by
+/// action hash across that many scoped submitter threads.
 pub fn run_load(gw: &Gateway, arrivals: &[Arrival], cfg: &HarnessConfig) -> LoadReport {
-    let n_actions = gw.actions().len() as u32;
-    // Registry mode: a start-of-run snapshot; every tally comes from
-    // the end-of-run diff against it. Legacy mode (telemetry off):
-    // count in the loop and record into local histograms.
-    let s0 = gw.telemetry().map(|t| t.registry().snapshot());
-    let registry_mode = s0.is_some();
-    let local_hists = (!registry_mode).then(|| (Histogram::new(), Histogram::new()));
-    let t0 = Instant::now();
-    let mut report = LoadReport {
+    if cfg.submitters > 1 {
+        run_load_multi(gw, arrivals, cfg)
+    } else {
+        run_load_single(gw, arrivals, cfg)
+    }
+}
+
+/// A zeroed report with the per-action rows named from the catalogue.
+fn empty_report(gw: &Gateway, n_actions: u32) -> LoadReport {
+    LoadReport {
         wall: Duration::ZERO,
         submitted: 0,
         accepted: 0,
@@ -221,7 +239,20 @@ pub fn run_load(gw: &Gateway, arrivals: &[Arrival], cfg: &HarnessConfig) -> Load
                 ..Default::default()
             })
             .collect(),
-    };
+    }
+}
+
+/// The historical single-threaded submit/collect loop.
+fn run_load_single(gw: &Gateway, arrivals: &[Arrival], cfg: &HarnessConfig) -> LoadReport {
+    let n_actions = gw.actions().len() as u32;
+    // Registry mode: a start-of-run snapshot; every tally comes from
+    // the end-of-run diff against it. Legacy mode (telemetry off):
+    // count in the loop and record into local histograms.
+    let s0 = gw.telemetry().map(|t| t.registry().snapshot());
+    let registry_mode = s0.is_some();
+    let local_hists = (!registry_mode).then(|| (Histogram::new(), Histogram::new()));
+    let t0 = Instant::now();
+    let mut report = empty_report(gw, n_actions);
     let submit_batch = cfg.submit_batch.max(1);
     let mut inflight = 0usize;
     let mut next = 0usize;
@@ -241,6 +272,10 @@ pub fn run_load(gw: &Gateway, arrivals: &[Arrival], cfg: &HarnessConfig) -> Load
         // gateway directly and did not collect its completions); it is
         // discarded rather than corrupting this run's accounting.
         buf.clear();
+        // Gate epoch *before* the sweep: a completion published while we
+        // sweep bumps the epoch, so the park below returns immediately
+        // instead of sleeping through it.
+        let epoch = gw.completion_epoch();
         let collected = gw.collect_completions(&mut buf);
         if collected > 0 {
             for c in &buf {
@@ -311,7 +346,19 @@ pub fn run_load(gw: &Gateway, arrivals: &[Arrival], cfg: &HarnessConfig) -> Load
                 if last_progress.elapsed() > cfg.stall_timeout {
                     break; // lost requests; report.lost() will be nonzero
                 }
-                std::thread::sleep(Duration::from_micros(100));
+                // Park on the completion gate instead of poll-sleeping:
+                // an invoker flush wakes us the moment work lands, and
+                // the cap (shrunk to the next due arrival) keeps the
+                // schedule honest when completions are slow.
+                let mut park = Duration::from_millis(1);
+                if next < arrivals.len() && cfg.speedup > 0.0 {
+                    let due_in =
+                        arrivals[next].at.as_secs_f64() / cfg.speedup - t0.elapsed().as_secs_f64();
+                    if due_in > 0.0 {
+                        park = park.min(Duration::from_secs_f64(due_in));
+                    }
+                }
+                gw.wait_completions(epoch, park);
             }
         } else {
             // Ahead of the schedule (speedup > 0 here, or we'd have
@@ -338,6 +385,248 @@ pub fn run_load(gw: &Gateway, arrivals: &[Arrival], cfg: &HarnessConfig) -> Load
         report.queue_wait = wait.snapshot();
     }
     report.throughput = report.completed as f64 / report.wall.as_secs_f64().max(1e-9);
+    report
+}
+
+/// Run-wide state shared by every submitter thread of a multi-submitter
+/// replay. The closed-loop window lives in `inflight`; `submitting`
+/// counts partitions still replaying so the last collector knows when
+/// the run is over; `progress_ns` is a watermark of the latest wall
+/// offset at which *any* thread made progress (stall detection must be
+/// global — one thread idling while another drains is healthy).
+struct MultiShared {
+    inflight: AtomicUsize,
+    submitting: AtomicUsize,
+    stop: AtomicBool,
+    progress_ns: AtomicU64,
+}
+
+/// Decrement `n` by `by`, clamping at zero — stray completions from
+/// traffic predating the run must not underflow the shared window.
+fn dec_clamped(n: &AtomicUsize, by: usize) {
+    let mut cur = n.load(Ordering::Relaxed);
+    loop {
+        match n.compare_exchange_weak(
+            cur,
+            cur.saturating_sub(by),
+            Ordering::AcqRel,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+/// Fold a per-thread report into the run total: plain sums everywhere,
+/// bucket-wise merges for the histograms.
+fn merge_report(into: &mut LoadReport, part: &LoadReport) {
+    into.submitted += part.submitted;
+    into.accepted += part.accepted;
+    into.delayed += part.delayed;
+    into.shed += part.shed;
+    into.completed += part.completed;
+    into.cold_starts += part.cold_starts;
+    into.latency.merge(&part.latency);
+    into.queue_wait.merge(&part.queue_wait);
+    for (a, b) in into.per_action.iter_mut().zip(&part.per_action) {
+        a.submitted += b.submitted;
+        a.accepted += b.accepted;
+        a.delayed += b.delayed;
+        a.completed += b.completed;
+        a.cold_starts += b.cold_starts;
+        a.shed_queue_full += b.shed_queue_full;
+        a.shed_action_saturated += b.shed_action_saturated;
+        a.shed_no_invoker += b.shed_no_invoker;
+        a.shed_delay_budget += b.shed_delay_budget;
+    }
+}
+
+/// Multi-submitter replay: the arrival stream is partitioned **by
+/// action hash** across `cfg.submitters` scoped threads, each running
+/// the same submit/collect loop as [`run_load_single`] against the
+/// shared window. Any submitter may collect any completion (the shard
+/// table is claim-swept), so per-thread completion rows are partial —
+/// they only become the run's truth after [`merge_report`] (bare mode)
+/// or the registry-snapshot diff (telemetry mode).
+fn run_load_multi(gw: &Gateway, arrivals: &[Arrival], cfg: &HarnessConfig) -> LoadReport {
+    let n_actions = gw.actions().len() as u32;
+    let n_sub = cfg.submitters;
+    let s0 = gw.telemetry().map(|t| t.registry().snapshot());
+    let registry_mode = s0.is_some();
+    // All invocations of one action go through one submitter: per-action
+    // submission order and row sums match the single-threaded replay.
+    let mut parts: Vec<Vec<Arrival>> = vec![Vec::new(); n_sub];
+    for a in arrivals {
+        let action = a.function as u32 % n_actions;
+        parts[(mix64(action as u64 + 1) % n_sub as u64) as usize].push(*a);
+    }
+    let shared = MultiShared {
+        inflight: AtomicUsize::new(0),
+        submitting: AtomicUsize::new(n_sub),
+        stop: AtomicBool::new(false),
+        progress_ns: AtomicU64::new(0),
+    };
+    let t0 = Instant::now();
+    let thread_reports: Vec<LoadReport> = std::thread::scope(|scope| {
+        let handles: Vec<_> = parts
+            .iter()
+            .map(|part| {
+                let shared = &shared;
+                scope.spawn(move || {
+                    submitter_loop(gw, part, cfg, shared, t0, n_actions, registry_mode)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("submitter thread"))
+            .collect()
+    });
+    let mut report = empty_report(gw, n_actions);
+    report.wall = t0.elapsed();
+    if let Some(s0) = &s0 {
+        let s1 = gw
+            .telemetry()
+            .expect("telemetry still on")
+            .registry()
+            .snapshot();
+        fill_from_registry(&mut report, s0, &s1);
+    } else {
+        for part in &thread_reports {
+            merge_report(&mut report, part);
+        }
+    }
+    report.throughput = report.completed as f64 / report.wall.as_secs_f64().max(1e-9);
+    report
+}
+
+/// One submitter thread's loop: its own [`Collector`] cursor,
+/// [`BurstScratch`], clock reads and (bare mode) histograms, sharing
+/// only the atomic window and the stop/progress flags.
+///
+/// [`Collector`]: crate::gateway::Collector
+fn submitter_loop(
+    gw: &Gateway,
+    part: &[Arrival],
+    cfg: &HarnessConfig,
+    shared: &MultiShared,
+    t0: Instant,
+    n_actions: u32,
+    registry_mode: bool,
+) -> LoadReport {
+    let mut report = empty_report(gw, n_actions);
+    let local_hists = (!registry_mode).then(|| (Histogram::new(), Histogram::new()));
+    let mut col = gw.collector();
+    let submit_batch = cfg.submit_batch.max(1);
+    let mut next = 0usize;
+    let mut announced_done = false;
+    let mut buf: Vec<crate::gateway::Completion> = Vec::with_capacity(submit_batch.max(64));
+    let mut burst_reqs: Vec<(ActionId, u64)> = Vec::with_capacity(submit_batch);
+    let mut burst_out: Vec<Result<crate::gateway::Admit, Shed>> = Vec::with_capacity(submit_batch);
+    let mut scratch = BurstScratch::default();
+    loop {
+        buf.clear();
+        let epoch = gw.completion_epoch();
+        let collected = gw.collect_completions_with(&mut col, &mut buf);
+        if collected > 0 {
+            if let Some((lat, wait)) = &local_hists {
+                for c in &buf {
+                    record(&mut report, c, lat, wait);
+                }
+            }
+            dec_clamped(&shared.inflight, collected);
+            shared
+                .progress_ns
+                .fetch_max(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        }
+        if shared.stop.load(Ordering::Relaxed) {
+            break;
+        }
+        if next < part.len() {
+            let window = cfg
+                .max_inflight
+                .saturating_sub(shared.inflight.load(Ordering::Acquire));
+            if window > 0 {
+                let now = Instant::now();
+                let due = if cfg.speedup <= 0.0 {
+                    part.len() - next
+                } else {
+                    let sim_now = now.duration_since(t0).as_secs_f64() * cfg.speedup;
+                    part[next..].partition_point(|a| a.at.as_secs_f64() <= sim_now)
+                };
+                let burst = due.min(window).min(submit_batch);
+                if burst > 0 {
+                    burst_reqs.clear();
+                    burst_out.clear();
+                    for a in &part[next..next + burst] {
+                        let action = ActionId(a.function as u32 % n_actions);
+                        burst_reqs.push((action, a.function as u64));
+                    }
+                    // Charge the window for the whole burst *before*
+                    // submitting: an invoker can execute a request and a
+                    // sibling collector decrement it before this thread
+                    // even returns from `invoke_burst` — charging after
+                    // the fact would leak those early decrements (they
+                    // clamp at zero) and jam the window shut. Sheds are
+                    // refunded below; they never complete.
+                    shared.inflight.fetch_add(burst, Ordering::AcqRel);
+                    gw.invoke_burst(&burst_reqs, now, &mut burst_out, &mut scratch);
+                    let ok = if registry_mode {
+                        burst_out.iter().filter(|o| o.is_ok()).count()
+                    } else {
+                        let mut ok = 0;
+                        for (outcome, &(action, _)) in burst_out.iter().zip(&burst_reqs) {
+                            ok += note_submission(&mut report, action, outcome);
+                        }
+                        ok
+                    };
+                    if ok < burst {
+                        dec_clamped(&shared.inflight, burst - ok);
+                    }
+                    next += burst;
+                    shared
+                        .progress_ns
+                        .fetch_max(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    continue;
+                }
+            }
+        } else {
+            if !announced_done {
+                announced_done = true;
+                shared.submitting.fetch_sub(1, Ordering::AcqRel);
+            }
+            if shared.inflight.load(Ordering::Acquire) == 0
+                && shared.submitting.load(Ordering::Acquire) == 0
+            {
+                break;
+            }
+        }
+        if collected == 0 {
+            // Global stall check: any thread's progress resets the
+            // clock for all of them.
+            let idle = t0
+                .elapsed()
+                .as_nanos()
+                .saturating_sub(shared.progress_ns.load(Ordering::Relaxed) as u128);
+            if idle > cfg.stall_timeout.as_nanos() {
+                shared.stop.store(true, Ordering::Release);
+                break;
+            }
+            let mut park = Duration::from_millis(1);
+            if next < part.len() && cfg.speedup > 0.0 {
+                let due_in = part[next].at.as_secs_f64() / cfg.speedup - t0.elapsed().as_secs_f64();
+                if due_in > 0.0 {
+                    park = park.min(Duration::from_secs_f64(due_in));
+                }
+            }
+            gw.wait_completions(epoch, park);
+        }
+    }
+    if let Some((lat, wait)) = &local_hists {
+        report.latency = lat.snapshot();
+        report.queue_wait = wait.snapshot();
+    }
     report
 }
 
@@ -557,6 +846,81 @@ mod tests {
         assert_eq!(r.lost(), 0, "{}", r.summary());
         assert_eq!(r.submitted, arrivals.len() as u64);
         assert_eq!(r.accepted, r.completed);
+        assert_eq!(gw.shutdown(), 0);
+    }
+
+    #[test]
+    fn multi_submitter_replay_is_lossless() {
+        // 2 and 4 submitters over the same stream: conservation holds
+        // (submitted = accepted + shed, lost == 0) and the per-action
+        // rows equal the single-threaded reference exactly — the
+        // action-hash partition keeps every action on one submitter.
+        let arrivals = PoissonLoadGen::new(6_000.0, 8).arrivals(SimDuration::from_millis(150), 17);
+        let reference = {
+            let gw = plane(2, 8);
+            let r = run_load(
+                &gw,
+                &arrivals,
+                &HarnessConfig {
+                    speedup: 0.0,
+                    ..Default::default()
+                },
+            );
+            gw.shutdown();
+            r
+        };
+        for submitters in [2usize, 4] {
+            let gw = plane(2, 8);
+            let mut r = run_load(
+                &gw,
+                &arrivals,
+                &HarnessConfig {
+                    speedup: 0.0,
+                    submitters,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(r.lost(), 0, "submitters={submitters}: {}", r.summary());
+            assert_eq!(r.submitted, arrivals.len() as u64);
+            assert_eq!(r.submitted, r.accepted + r.shed);
+            for (a, b) in r.per_action.iter().zip(&reference.per_action) {
+                assert_eq!(a.submitted, b.submitted, "row {} submitted", a.name);
+                assert_eq!(a.completed, b.completed, "row {} completed", a.name);
+            }
+            assert_eq!(gw.shutdown(), 0);
+        }
+    }
+
+    #[test]
+    fn multi_submitter_bare_mode_merges_thread_reports() {
+        // Telemetry off: tallies come from the per-thread reports merged
+        // at the end, and must still conserve every arrival.
+        let gw = Gateway::new(
+            GatewayConfig {
+                telemetry: false,
+                ..Default::default()
+            },
+            (0..4)
+                .map(|i| ActionSpec::noop(&format!("fn-{i}")))
+                .collect(),
+        );
+        gw.start_invoker();
+        gw.start_invoker();
+        let arrivals = PoissonLoadGen::new(5_000.0, 4).arrivals(SimDuration::from_millis(120), 23);
+        let mut r = run_load(
+            &gw,
+            &arrivals,
+            &HarnessConfig {
+                speedup: 0.0,
+                submitters: 3,
+                ..Default::default()
+            },
+        );
+        assert_eq!(r.lost(), 0, "{}", r.summary());
+        assert_eq!(r.submitted, arrivals.len() as u64);
+        assert_eq!(r.completed, r.accepted);
+        // The merged histograms saw every completion.
+        assert!(r.latency_quantile(0.5) >= 0.0);
         assert_eq!(gw.shutdown(), 0);
     }
 

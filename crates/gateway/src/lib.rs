@@ -25,9 +25,10 @@
 //! * [`gateway`] — admission control, the invoker threads with the
 //!   paper's §III-C fast-lane-first drain protocol (draining up to
 //!   `drain_batch` envelopes per lock), per-invoker **completion
-//!   shards** (single-producer buffers swept round-robin — no shared
-//!   multi-producer point on the completion path), and graceful
-//!   sigterm/join lifecycle;
+//!   shards** (single-producer lock-free segment stacks behind an
+//!   epoch-published shard table, swept round-robin by any number of
+//!   concurrent collectors without a mutex), and graceful sigterm/join
+//!   lifecycle;
 //! * [`lease`] — capacity leases: wall-clock [`LeasePlan`]s compiled
 //!   from `cluster::CapacityTrace` availability streams (or generated
 //!   as seeded synthetic churn), with per-lease deadlines, a
@@ -69,7 +70,8 @@ pub use action::{ActionBody, ActionId, ActionRegistry, ActionSpec};
 pub use admission::{AdmissionPolicy, TokenBucketCfg};
 pub use controller::{CapacityController, ControllerConfig, LeaseStats};
 pub use gateway::{
-    Admit, BurstScratch, Completion, Counters, Gateway, GatewayConfig, InvokerToken, Shed,
+    Admit, BurstScratch, Collector, Completion, Counters, Gateway, GatewayConfig, InvokerToken,
+    Shed,
 };
 pub use harness::{run_load, run_load_with_controller, ActionLoad, HarnessConfig, LoadReport};
 pub use lease::{ChurnCfg, LeaseEvent, LeaseEventKind, LeasePlan};

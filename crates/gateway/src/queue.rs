@@ -22,7 +22,7 @@ use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 use telemetry::flight::{self, EventKind};
-use telemetry::Gauge;
+use telemetry::{Counter, Gauge};
 
 /// One invocation request as admitted by the controller.
 #[derive(Debug, Clone, Copy)]
@@ -91,10 +91,14 @@ struct Inner {
 }
 
 /// Optional telemetry hookup of one queue: the shared plane-wide
-/// high-water gauge plus the tag (invoker id; `u64::MAX` = fast lane)
-/// used in flight-recorder events.
+/// high-water gauge, the shared wake counter (each producer-issued
+/// consumer notify is a potential submitter preemption — the
+/// `queue_wake` source of `gateway_submit_contention_total`), plus the
+/// tag (invoker id; `u64::MAX` = fast lane) used in flight-recorder
+/// events.
 struct QueueTelem {
     gauge: Arc<Gauge>,
+    wakes: Arc<Counter>,
     tag: u64,
 }
 
@@ -131,11 +135,21 @@ impl WorkQueue {
     }
 
     /// An empty queue that reports its depth high-water to the shared
-    /// `gauge` and tags its flight-recorder events with `tag`.
-    pub fn with_telem(gauge: Arc<Gauge>, tag: u64) -> Self {
+    /// `gauge`, counts its consumer wakes on the shared `wakes`
+    /// counter, and tags its flight-recorder events with `tag`.
+    pub fn with_telem(gauge: Arc<Gauge>, wakes: Arc<Counter>, tag: u64) -> Self {
         let mut q = Self::new();
-        q.telem = Some(QueueTelem { gauge, tag });
+        q.telem = Some(QueueTelem { gauge, wakes, tag });
         q
+    }
+
+    /// Count one producer-issued consumer wake (off the lock; only
+    /// reached when a consumer was actually parked).
+    #[inline]
+    fn note_wake(&self) {
+        if let Some(t) = &self.telem {
+            t.wakes.inc();
+        }
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
@@ -186,6 +200,7 @@ impl WorkQueue {
         drop(g);
         if wake {
             self.ready.notify_one();
+            self.note_wake();
         }
         Produce::Ok(offset)
     }
@@ -224,6 +239,7 @@ impl WorkQueue {
         drop(g);
         if wake {
             self.ready.notify_one();
+            self.note_wake();
         }
         ProduceBatch::Admitted(room)
     }
@@ -244,6 +260,7 @@ impl WorkQueue {
         drop(g);
         if wake {
             self.ready.notify_one();
+            self.note_wake();
         }
         Ok(offset)
     }

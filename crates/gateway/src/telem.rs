@@ -18,6 +18,7 @@
 //! built *from* these snapshots when telemetry is on, so the harness
 //! and the exposition can never disagree.
 
+use crate::action::ActionRegistry;
 use crate::gateway::Shed;
 use crate::pool::PoolStats;
 use std::sync::{Arc, Mutex};
@@ -70,6 +71,15 @@ pub struct GatewayTelemetry {
     /// Work-queue depth high-water across every queue (fast lane
     /// included), raised by the queues themselves.
     pub queue_highwater: Arc<Gauge>,
+    /// Consumer wakes issued by producers across every work queue —
+    /// each one is a potential submitter preemption on an
+    /// oversubscribed machine (`gateway_submit_contention_total
+    /// {source="queue_wake"}`).
+    pub queue_wakes: Arc<Counter>,
+    /// Shards a collection sweep skipped because another collector had
+    /// them claimed (`source="collect_claim"`): nonzero only when
+    /// collectors actually overlap.
+    pub collect_claim_skips: Arc<Counter>,
     /// Container-pool lifecycle events, published as deltas at sweep /
     /// retire time (zero per-op cost): warm_hit, cold_start, lru_evict,
     /// keepalive_evict, drain_retired.
@@ -113,6 +123,8 @@ impl GatewayTelemetry {
             leases_live: Arc::new(Gauge::new()),
             invokers_routable: Arc::new(Gauge::new()),
             queue_highwater: Arc::new(Gauge::new()),
+            queue_wakes: Arc::new(Counter::new()),
+            collect_claim_skips: Arc::new(Counter::new()),
             pool_events: Arc::new(CounterVec::new(POOL_EVENT_NAMES.len())),
             slots: Arc::new(Mutex::new(Vec::new())),
         };
@@ -255,6 +267,48 @@ impl GatewayTelemetry {
             "Total virtual delay charged by the admission shaper (ns)",
             MetricKind::Counter,
             Box::new(move || telemetry::one_series(Collected::Counter(charged_ns.get()))),
+        );
+    }
+
+    /// Register `gateway_submit_contention_total{source}`: the CAS
+    /// retries of the two lock-free submit-path structures (the GCRA
+    /// bucket's `tat` and the per-action in-flight caps), the consumer
+    /// wakes producers issued on the work queues, and the shard-claim
+    /// skips on the collect side. Every series is zero on an idle or
+    /// single-submitter plane, so a flat spot in the cores→ops/s curve
+    /// is attributable from the exposition alone: which shared line the
+    /// extra cores actually fought over.
+    pub(crate) fn register_contention(
+        &self,
+        shaper_cas: Arc<Counter>,
+        actions: Arc<ActionRegistry>,
+    ) {
+        let queue_wakes = self.queue_wakes.clone();
+        let claim_skips = self.collect_claim_skips.clone();
+        self.registry.register(
+            "gateway_submit_contention_total",
+            "Submit/collect-path contention events (CAS retries, wakes, claim skips)",
+            MetricKind::Counter,
+            Box::new(move || {
+                vec![
+                    (
+                        labels(&[("source", "shaper_cas")]),
+                        Collected::Counter(shaper_cas.get()),
+                    ),
+                    (
+                        labels(&[("source", "admit_cas")]),
+                        Collected::Counter(actions.admit_cas_retries()),
+                    ),
+                    (
+                        labels(&[("source", "queue_wake")]),
+                        Collected::Counter(queue_wakes.get()),
+                    ),
+                    (
+                        labels(&[("source", "collect_claim")]),
+                        Collected::Counter(claim_skips.get()),
+                    ),
+                ]
+            }),
         );
     }
 

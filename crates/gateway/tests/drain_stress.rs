@@ -31,6 +31,7 @@ use gateway::{
 };
 use simcore::SimRng;
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 #[test]
@@ -52,6 +53,217 @@ fn hundred_randomized_drains_exactly_once_batch_32() {
     for iter in 0..100u64 {
         run_iteration(iter, 32);
     }
+}
+
+/// ISSUE 9: the same exactly-once guarantee under **real concurrent
+/// submitters and collectors** racing live lease churn. Every cell of
+/// the {1, 2, 4}-submitter × {1, 2}-collector matrix runs seeded churn
+/// iterations with the controller replaying its plan on its own thread,
+/// and asserts conservation — `submitted = accepted + shed`, the
+/// accepted sets disjoint across submitters, the collected id-sets
+/// disjoint across collectors, and their union exactly the accepted
+/// union (`lost == 0`, nothing duplicated).
+#[test]
+fn submitter_collector_matrix_exactly_once_under_churn() {
+    for n_sub in [1usize, 2, 4] {
+        for n_col in [1usize, 2] {
+            for seed in 0..4u64 {
+                run_matrix_iteration(seed, n_sub, n_col);
+            }
+        }
+    }
+}
+
+fn run_matrix_iteration(seed: u64, n_sub: usize, n_col: usize) {
+    let cell = ((n_sub as u64) << 8) | n_col as u64;
+    let mut rng = SimRng::seed_from_u64(seed ^ 0x9e37_79b9 ^ (cell << 40));
+    let n_requests = 300 + rng.index(200); // 300..=499, split across submitters
+    let gw = Gateway::new(
+        GatewayConfig {
+            queue_capacity: 16,
+            park: Duration::from_micros(200),
+            drain_batch: 8,
+            ..Default::default()
+        },
+        vec![
+            ActionSpec::noop("noop"),
+            ActionSpec::noop("spin").with_body(ActionBody::Spin(Duration::from_micros(
+                20 + rng.range_u64(0, 40),
+            ))),
+        ],
+    );
+    // Wall-clock churn this time: the controller replays the plan on
+    // its own thread while submitters and collectors run flat out, so
+    // grants/drains/revokes land at genuinely arbitrary points in the
+    // submit and sweep races.
+    let horizon = Duration::from_millis(40);
+    let plan = LeasePlan::synthetic_churn(
+        &ChurnCfg {
+            horizon,
+            mean_hold: horizon / 5,
+            target_active: 3,
+            max_active: 6,
+            min_active: 1,
+            early_revoke_frac: 0.4,
+            extend_frac: 0.3,
+        },
+        seed,
+    );
+    let t0 = Instant::now();
+    let mut ctl = CapacityController::new(
+        &gw,
+        plan,
+        ControllerConfig {
+            drain_headroom: Duration::from_millis(2),
+            min_routable: 1,
+            ..Default::default()
+        },
+        t0,
+    );
+    // Epoch grants before traffic so bring-up never races the stream.
+    ctl.poll(t0);
+
+    let stop = AtomicBool::new(false);
+    let submitting = AtomicUsize::new(n_sub);
+    let accepted_total = AtomicUsize::new(0);
+    let collected_total = AtomicUsize::new(0);
+
+    let (accepted_sets, collected_sets, ctl_stats) = std::thread::scope(|s| {
+        let gw = &gw;
+        let stop = &stop;
+        let submitting = &submitting;
+        let accepted_total = &accepted_total;
+        let collected_total = &collected_total;
+        let ctl_handle = s.spawn(move || {
+            ctl.run(stop);
+            ctl.finish()
+        });
+        let sub_handles: Vec<_> = (0..n_sub)
+            .map(|si| {
+                let share = n_requests / n_sub + usize::from(si < n_requests % n_sub);
+                let mut rng = SimRng::seed_from_u64(seed ^ (0xb5ad_4ece + si as u64));
+                s.spawn(move || {
+                    let mut scratch = BurstScratch::default();
+                    let mut accepted = HashSet::new();
+                    let mut shed = 0u64;
+                    let mut submitted = 0usize;
+                    while submitted < share {
+                        if rng.chance(0.25) {
+                            let n = (2 + rng.index(8)).min(share - submitted);
+                            let reqs: Vec<_> = (0..n)
+                                .map(|_| (ActionId(rng.index(2) as u32), rng.next_u64()))
+                                .collect();
+                            let mut outcomes = Vec::new();
+                            gw.invoke_burst(&reqs, Instant::now(), &mut outcomes, &mut scratch);
+                            submitted += n;
+                            for outcome in outcomes {
+                                match outcome {
+                                    Ok(admit) => {
+                                        assert!(accepted.insert(admit.id), "duplicate admit id");
+                                    }
+                                    Err(_) => shed += 1,
+                                }
+                            }
+                        } else {
+                            submitted += 1;
+                            match gw.invoke(ActionId(rng.index(2) as u32), rng.next_u64()) {
+                                Ok(admit) => {
+                                    assert!(accepted.insert(admit.id), "duplicate admit id");
+                                }
+                                Err(_) => shed += 1,
+                            }
+                        }
+                    }
+                    // Conservation on the submit side: every attempt is
+                    // either in the accepted set or counted shed.
+                    assert_eq!(submitted as u64, accepted.len() as u64 + shed);
+                    accepted_total.fetch_add(accepted.len(), Ordering::AcqRel);
+                    submitting.fetch_sub(1, Ordering::AcqRel);
+                    accepted
+                })
+            })
+            .collect();
+        let col_handles: Vec<_> = (0..n_col)
+            .map(|_| {
+                s.spawn(move || {
+                    let mut col = gw.collector();
+                    let mut buf = Vec::new();
+                    let mut ids = Vec::new();
+                    let deadline = Instant::now() + Duration::from_secs(20);
+                    loop {
+                        buf.clear();
+                        let epoch = gw.completion_epoch();
+                        let got = gw.collect_completions_with(&mut col, &mut buf);
+                        if got > 0 {
+                            ids.extend(buf.iter().map(|c| c.id));
+                            collected_total.fetch_add(got, Ordering::AcqRel);
+                            continue;
+                        }
+                        // Submitters done ⇒ accepted_total is final; all
+                        // collectors stop once the union is complete.
+                        if submitting.load(Ordering::Acquire) == 0
+                            && collected_total.load(Ordering::Acquire)
+                                >= accepted_total.load(Ordering::Acquire)
+                        {
+                            break;
+                        }
+                        assert!(
+                            Instant::now() < deadline,
+                            "seed {seed} {n_sub}sub/{n_col}col: lost requests \
+                             ({}/{} collected)",
+                            collected_total.load(Ordering::Relaxed),
+                            accepted_total.load(Ordering::Relaxed),
+                        );
+                        gw.wait_completions(epoch, Duration::from_millis(1));
+                    }
+                    ids
+                })
+            })
+            .collect();
+        let accepted_sets: Vec<HashSet<u64>> = sub_handles
+            .into_iter()
+            .map(|h| h.join().expect("submitter"))
+            .collect();
+        let collected_sets: Vec<Vec<u64>> = col_handles
+            .into_iter()
+            .map(|h| h.join().expect("collector"))
+            .collect();
+        stop.store(true, Ordering::Release);
+        let stats = ctl_handle.join().expect("controller");
+        (accepted_sets, collected_sets, stats)
+    });
+
+    // Accepted ids are globally unique across submitters.
+    let mut accepted = HashSet::new();
+    for set in &accepted_sets {
+        for id in set {
+            assert!(
+                accepted.insert(*id),
+                "seed {seed} {n_sub}sub/{n_col}col: admit id {id} issued twice"
+            );
+        }
+    }
+    // The collectors' id-sets are disjoint and their union is exactly
+    // the accepted set: exactly-once across concurrent collectors.
+    let mut completed = HashSet::new();
+    for ids in &collected_sets {
+        for id in ids {
+            assert!(
+                completed.insert(*id),
+                "seed {seed} {n_sub}sub/{n_col}col: request {id} collected twice"
+            );
+        }
+    }
+    assert_eq!(
+        completed, accepted,
+        "seed {seed} {n_sub}sub/{n_col}col: collected ≠ accepted"
+    );
+    assert!(ctl_stats.grants >= 1, "plan granted nothing: {ctl_stats:?}");
+    assert_eq!(gw.shutdown(), 0, "seed {seed} {n_sub}sub/{n_col}col");
+    assert_eq!(gw.counters().outstanding(), 0);
+    assert!(gw.try_recv().is_none(), "stray completion");
+    let pools = gw.retired_pool_stats();
+    assert!(pools.containers_conserved(), "container leak: {pools:?}");
 }
 
 fn run_iteration(seed: u64, drain_batch: usize) {
