@@ -31,9 +31,10 @@
 //! requests are never lost and never duplicated, at any batch size.
 
 use crate::action::{ActionId, ActionRegistry, ActionSpec};
-use crate::admission::{AdmissionPolicy, AdmissionShaper, Shape};
+use crate::admission::{AdmissionPolicy, AdmissionShaper, Shape, ShardAdmission};
 use crate::pool::{Placement, PoolStats, WarmPool};
 use crate::queue::{Envelope, Produce, ProduceBatch, Request, WorkQueue};
+use crate::ring::RingQueue;
 use crate::route::{mix64, Router};
 use crate::telem::{BurstCounts, GatewayTelemetry, SlotTelem};
 use std::collections::VecDeque;
@@ -42,6 +43,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use telemetry::flight::{self, EventKind};
+use telemetry::Counter;
 
 /// Why a request was refused at admission (the 4xx/5xx path).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -176,6 +178,25 @@ pub struct GatewayConfig {
     /// atomic (or single-writer load+store) plus one array index per
     /// event; the bare leg of the overhead probe turns it off.
     pub telemetry: bool,
+    /// Shards of the token-bucket admission state (clamped to 1..=64).
+    /// Each submitter thread is affine to one shard and the shards
+    /// rebalance debt between themselves, so N submitters stop
+    /// CASing one shared `tat` cache line (see [`crate::admission`]).
+    /// 1 reproduces the single-line shaper exactly.
+    pub admission_shards: usize,
+    /// Drive the token bucket's per-invoker rate from an EWMA of
+    /// *measured* completion throughput instead of the configured
+    /// `rate_per_invoker` (first slice of adaptive admission). The
+    /// EWMA is fed by [`Gateway::observe_service_rate`] — the
+    /// capacity controller calls it on its feedback cadence. Until
+    /// the first observation the configured rate applies.
+    pub adaptive_rate: bool,
+    /// Use the Mutex+Condvar [`WorkQueue`] for the per-invoker home
+    /// queues instead of the lock-free [`RingQueue`] (the pre-ring
+    /// behaviour, kept as the differential/contention baseline). The
+    /// shared fast lane always uses `WorkQueue`: it is MPMC — every
+    /// invoker consumes it — which the MPSC ring does not support.
+    pub legacy_queues: bool,
 }
 
 impl Default for GatewayConfig {
@@ -189,6 +210,9 @@ impl Default for GatewayConfig {
             drain_batch: 32,
             admission: AdmissionPolicy::HardShed,
             telemetry: true,
+            admission_shards: 4,
+            adaptive_rate: false,
+            legacy_queues: false,
         }
     }
 }
@@ -197,12 +221,66 @@ const STATE_HEALTHY: u8 = 0;
 const STATE_DRAINING: u8 = 1;
 const STATE_GONE: u8 = 2;
 
+/// One invoker's home queue: the lock-free MPSC [`RingQueue`] by
+/// default, or the Mutex+Condvar [`WorkQueue`] under
+/// [`GatewayConfig::legacy_queues`] (kept as the differential and
+/// contention baseline). Both speak the same offset/`produced_at`
+/// protocol; the enum adapts the one difference — the ring's admission
+/// bound is fixed at construction while the legacy queue takes it per
+/// call.
+enum HomeQueue {
+    Ring(RingQueue),
+    Legacy(WorkQueue),
+}
+
+impl HomeQueue {
+    fn produce(&self, req: Request, produced_at: Instant, capacity: usize) -> Produce {
+        match self {
+            HomeQueue::Ring(q) => q.produce(req, produced_at),
+            HomeQueue::Legacy(q) => q.produce(req, produced_at, capacity),
+        }
+    }
+
+    fn produce_batch(
+        &self,
+        reqs: &[Request],
+        produced_at: Instant,
+        capacity: usize,
+    ) -> ProduceBatch {
+        match self {
+            HomeQueue::Ring(q) => q.produce_batch(reqs, produced_at),
+            HomeQueue::Legacy(q) => q.produce_batch(reqs, produced_at, capacity),
+        }
+    }
+
+    fn try_pop_batch(&self, out: &mut Vec<Envelope>, max: usize) -> usize {
+        match self {
+            HomeQueue::Ring(q) => q.try_pop_batch(out, max),
+            HomeQueue::Legacy(q) => q.try_pop_batch(out, max),
+        }
+    }
+
+    fn pop_timeout(&self, timeout: Duration) -> Option<Envelope> {
+        match self {
+            HomeQueue::Ring(q) => q.pop_timeout(timeout),
+            HomeQueue::Legacy(q) => q.pop_timeout(timeout),
+        }
+    }
+
+    fn close_and_drain(&self) -> Vec<Envelope> {
+        match self {
+            HomeQueue::Ring(q) => q.close_and_drain(),
+            HomeQueue::Legacy(q) => q.close_and_drain(),
+        }
+    }
+}
+
 /// The shared handle of one invoker: its state flag and its work queue.
 pub struct InvokerHandle {
     /// Stable invoker id (unique per gateway, never reused).
     pub id: u64,
     state: AtomicU8,
-    queue: WorkQueue,
+    queue: HomeQueue,
 }
 
 impl InvokerHandle {
@@ -546,10 +624,11 @@ struct Bucket {
     target: Option<Arc<InvokerHandle>>,
     reqs: Vec<Request>,
     idx: Vec<usize>,
-    /// Per-request shaper charge (index-aligned with `reqs`), so a
-    /// produce-pass refusal refunds exactly what the admit pass charged
-    /// even if a capacity change landed in between.
-    costs: Vec<u64>,
+    /// Per-request shaper charge and the bucket shard it landed on
+    /// (index-aligned with `reqs`), so a produce-pass refusal refunds
+    /// exactly what the admit pass charged, to the shard that carried
+    /// it, even if a capacity change landed in between.
+    costs: Vec<(u32, u64)>,
 }
 
 impl BurstScratch {
@@ -620,9 +699,12 @@ pub struct Gateway {
     spill: Mutex<VecDeque<Completion>>,
     spill_len: AtomicUsize,
     counters: Arc<Counters>,
-    /// The token-bucket admission shaper (inert under `HardShed`);
-    /// capacity is re-fed on every router rebuild.
+    /// The sharded token-bucket admission shaper (inert under
+    /// `HardShed`); capacity is re-fed on every router rebuild.
     shaper: AdmissionShaper,
+    /// Full-ring refusals across every invoker ring (the `ring_full`
+    /// contention source; shared so new rings keep one series).
+    ring_full: Arc<Counter>,
     next_request: AtomicU64,
     next_invoker: AtomicU64,
     /// Pool stats of reaped invokers, folded in at join time.
@@ -636,13 +718,24 @@ impl Gateway {
     /// A gateway serving `actions`, with no invokers yet.
     pub fn new(cfg: GatewayConfig, actions: Vec<ActionSpec>) -> Self {
         let shards = cfg.shards;
-        let shaper = AdmissionShaper::new(&cfg.admission, Instant::now());
+        let shaper = AdmissionShaper::with_shards(
+            &cfg.admission,
+            Instant::now(),
+            cfg.admission_shards,
+            cfg.adaptive_rate,
+        );
+        let ring_full = Arc::new(Counter::new());
         let action_names: Vec<String> = actions.iter().map(|a| a.name.clone()).collect();
         let actions = ActionRegistry::new(actions);
         let telem = cfg.telemetry.then(|| {
             let t = Arc::new(GatewayTelemetry::new(action_names));
             t.register_shaper(shaper.charged_counter());
-            t.register_contention(shaper.cas_retry_counter(), actions.clone());
+            t.register_contention(
+                shaper.cas_retry_counter(),
+                shaper.rebalance_counter(),
+                ring_full.clone(),
+                actions.clone(),
+            );
             t
         });
         let fast = match &telem {
@@ -667,6 +760,7 @@ impl Gateway {
             spill_len: AtomicUsize::new(0),
             counters: Arc::new(Counters::default()),
             shaper,
+            ring_full,
             next_request: AtomicU64::new(0),
             next_invoker: AtomicU64::new(0),
             retired_pools: Mutex::new(PoolStats::default()),
@@ -700,6 +794,34 @@ impl Gateway {
         self.shaper.shaping()
     }
 
+    /// Pin the calling thread's admission-shard affinity to
+    /// `slot % admission_shards`. The harness calls this with the
+    /// submitter index so shard affinity == submitter index; threads
+    /// that never bind get a stable automatically-dealt slot. Affects
+    /// only the calling thread, across every gateway it submits to.
+    pub fn bind_submitter(&self, slot: usize) {
+        AdmissionShaper::bind_thread(slot);
+    }
+
+    /// Per-shard admission outcomes of the token-bucket shaper
+    /// (conservation: each shard's `admitted + delayed + shed` equals
+    /// the arrivals offered to it). Empty semantics under `HardShed`
+    /// (the shards exist but never count).
+    pub fn admission_shard_stats(&self) -> Vec<ShardAdmission> {
+        self.shaper.shard_stats()
+    }
+
+    /// Feed one window of measured completion throughput into the
+    /// adaptive admission rate (no-op unless
+    /// [`GatewayConfig::adaptive_rate`] is set): `completed_delta`
+    /// completions observed over `window` re-aim the token bucket at
+    /// the *measured* per-invoker service rate instead of the
+    /// configured one. The capacity controller calls this on its
+    /// feedback cadence.
+    pub fn observe_service_rate(&self, completed_delta: u64, window: Duration) {
+        self.shaper.observe_service_rate(completed_delta, window);
+    }
+
     /// Pending depth of the shared fast lane.
     pub fn fast_lane_depth(&self) -> usize {
         self.fast.depth()
@@ -725,9 +847,22 @@ impl Gateway {
     /// Start a new invoker thread and make it routable.
     pub fn start_invoker(&self) -> InvokerToken {
         let id = self.next_invoker.fetch_add(1, Ordering::Relaxed);
-        let queue = match &self.telem {
-            Some(t) => WorkQueue::with_telem(t.queue_highwater.clone(), t.queue_wakes.clone(), id),
-            None => WorkQueue::new(),
+        let cap = self.cfg.queue_capacity;
+        let queue = match (self.cfg.legacy_queues, &self.telem) {
+            (false, Some(t)) => HomeQueue::Ring(RingQueue::with_telem(
+                cap,
+                t.queue_highwater.clone(),
+                t.queue_wakes.clone(),
+                self.ring_full.clone(),
+                id,
+            )),
+            (false, None) => HomeQueue::Ring(RingQueue::new(cap)),
+            (true, Some(t)) => HomeQueue::Legacy(WorkQueue::with_telem(
+                t.queue_highwater.clone(),
+                t.queue_wakes.clone(),
+                id,
+            )),
+            (true, None) => HomeQueue::Legacy(WorkQueue::new()),
         };
         let handle = Arc::new(InvokerHandle {
             id,
@@ -1023,8 +1158,8 @@ impl Gateway {
             }
             return Err(Shed::ActionSaturated);
         }
-        let (delay, charged) = match self.shaper.admit(produced_at) {
-            Shape::Admit { delay, cost } => (delay, cost),
+        let (delay, shard, charged) = match self.shaper.admit(produced_at) {
+            Shape::Admit { delay, cost, shard } => (delay, shard, cost),
             Shape::Shed => {
                 self.actions.release(action);
                 self.counters
@@ -1052,7 +1187,7 @@ impl Gateway {
             // charge, or a plane shedding NoInvoker/QueueFull would
             // accumulate phantom bucket debt for work that never
             // entered a queue.
-            self.shaper.refund(charged);
+            self.shaper.refund(shard, charged);
             self.actions.release(action);
             self.counters
                 .shed_no_invoker
@@ -1065,7 +1200,7 @@ impl Gateway {
         match produced {
             Produce::Ok(_) => {}
             Produce::Full(_) => {
-                self.shaper.refund(charged);
+                self.shaper.refund(shard, charged);
                 self.actions.release(action);
                 self.counters
                     .shed_queue_full
@@ -1086,7 +1221,7 @@ impl Gateway {
                     req,
                 };
                 if self.fast.produce_moved(env).is_err() {
-                    self.shaper.refund(charged);
+                    self.shaper.refund(shard, charged);
                     self.actions.release(action);
                     self.counters
                         .shed_no_invoker
@@ -1168,8 +1303,8 @@ impl Gateway {
                 out.push(Err(Shed::ActionSaturated));
                 continue;
             }
-            let (delay, charged) = match self.shaper.admit(produced_at) {
-                Shape::Admit { delay, cost } => (delay, cost),
+            let (delay, shard, charged) = match self.shaper.admit(produced_at) {
+                Shape::Admit { delay, cost, shard } => (delay, shard, cost),
                 Shape::Shed => {
                     self.actions.release(action);
                     self.counters
@@ -1183,7 +1318,7 @@ impl Gateway {
                 }
             };
             let Some(target) = self.router.pick(key) else {
-                self.shaper.refund(charged);
+                self.shaper.refund(shard, charged);
                 self.actions.release(action);
                 self.counters
                     .shed_no_invoker
@@ -1198,7 +1333,7 @@ impl Gateway {
             let bucket = scratch.bucket_for(&target);
             bucket.reqs.push(Request { id, action, key });
             bucket.idx.push(i);
-            bucket.costs.push(charged);
+            bucket.costs.push((shard, charged));
             if telem.is_some() {
                 scratch.counts.note(action.0 as usize);
             }
@@ -1220,8 +1355,8 @@ impl Gateway {
             {
                 ProduceBatch::Admitted(n) => {
                     accepted += n as u64;
-                    for (&i, &charged) in bucket.idx[n..].iter().zip(&bucket.costs[n..]) {
-                        self.shaper.refund(charged);
+                    for (&i, &(shard, charged)) in bucket.idx[n..].iter().zip(&bucket.costs[n..]) {
+                        self.shaper.refund(shard, charged);
                         self.actions.release(reqs[i].0);
                         self.counters
                             .shed_queue_full
@@ -1236,7 +1371,7 @@ impl Gateway {
                 ProduceBatch::Closed => {
                     // The target started draining after the pick: the
                     // whole group takes the fast-lane fallback.
-                    for ((req, &i), &charged) in
+                    for ((req, &i), &(shard, charged)) in
                         bucket.reqs.iter().zip(&bucket.idx).zip(&bucket.costs)
                     {
                         let env = Envelope {
@@ -1251,7 +1386,7 @@ impl Gateway {
                                 t.fastlane_moves.inc();
                             }
                         } else {
-                            self.shaper.refund(charged);
+                            self.shaper.refund(shard, charged);
                             self.actions.release(req.action);
                             self.counters
                                 .shed_no_invoker

@@ -471,9 +471,14 @@ fn run_load_multi(gw: &Gateway, arrivals: &[Arrival], cfg: &HarnessConfig) -> Lo
     let thread_reports: Vec<LoadReport> = std::thread::scope(|scope| {
         let handles: Vec<_> = parts
             .iter()
-            .map(|part| {
+            .enumerate()
+            .map(|(idx, part)| {
                 let shared = &shared;
                 scope.spawn(move || {
+                    // Admission-shard affinity == submitter index: each
+                    // submitter sticks to one bucket shard, so the only
+                    // cross-thread shaper traffic is debt rebalancing.
+                    gw.bind_submitter(idx);
                     submitter_loop(gw, part, cfg, shared, t0, n_actions, registry_mode)
                 })
             })

@@ -62,11 +62,13 @@ pub mod harness;
 pub mod lease;
 pub mod pool;
 pub mod queue;
+pub mod ring;
 pub mod route;
 pub mod source;
 pub mod telem;
 
 pub use action::{ActionBody, ActionId, ActionRegistry, ActionSpec};
+pub use admission::ShardAdmission;
 pub use admission::{AdmissionPolicy, TokenBucketCfg};
 pub use controller::{CapacityController, ControllerConfig, LeaseStats};
 pub use gateway::{
@@ -77,6 +79,7 @@ pub use harness::{run_load, run_load_with_controller, ActionLoad, HarnessConfig,
 pub use lease::{ChurnCfg, LeaseEvent, LeaseEventKind, LeasePlan};
 pub use pool::{Placement, PoolStats, WarmPool};
 pub use queue::{Envelope, Produce, ProduceBatch, Request, WorkQueue};
+pub use ring::RingQueue;
 pub use route::Router;
 pub use source::{LeaseSource, LoadFeedback, PlanSource};
 pub use telem::{GatewayTelemetry, SlotTelem};

@@ -1,0 +1,663 @@
+//! A bounded **lock-free MPSC ring** — the per-invoker work queue for
+//! the de-serialized submit path.
+//!
+//! [`WorkQueue`](crate::queue::WorkQueue) guards every produce with a
+//! `Mutex` + `Condvar`; under N submitter threads the per-queue lock is
+//! (with the GCRA `tat` line) where the submit path serializes. Each
+//! invoker queue is structurally MPSC — many submitters, exactly one
+//! consumer (the owning invoker) — so the lock buys nothing the shape
+//! doesn't already give us. [`RingQueue`] keeps the *protocol* of
+//! `WorkQueue` (itself mirroring `mq::Broker`) and drops the lock:
+//!
+//! * strictly increasing **offsets** assigned at produce time — the
+//!   claimed ring position *is* the offset, so offsets are exactly the
+//!   sequence a `WorkQueue` would assign;
+//! * **`produced_at` preserved** across the fast-lane hop
+//!   (`produce_moved` stamps a fresh offset, keeps the instant);
+//! * **close-and-drain atomic with produce**: closing sets a bit in
+//!   the same word producers claim positions from, so a producer
+//!   either lands its message *before* the close (and the drain
+//!   returns it) or observes the closure and reroutes — no window in
+//!   which a request can vanish;
+//! * the **waiter-counted wake discipline**: producers touch the
+//!   condvar only when the consumer is actually parked, so under load
+//!   the hot path pays zero futex wakes (each wake is counted as the
+//!   `queue_wake` contention source, same as `WorkQueue`).
+//!
+//! The layout is a Vyukov-style bounded ring. `head` is the producer
+//! claim word (position + a CLOSED bit); producers CAS-claim a span of
+//! positions, write their slots, then publish each slot by storing
+//! `pos + 1` into its sequence word. The single consumer owns `tail`
+//! outright: it waits for `seq == tail + 1`, reads, and advances. Slot
+//! sequence words never need resetting — each lap publishes a distinct
+//! value — and the capacity check (`pos - tail < cap`) guarantees a
+//! producer never rewrites a slot the consumer hasn't drained.
+//! A producer that finds the ring at capacity gets the request back
+//! ([`Produce::Full`]) and the encounter is counted as the `ring_full`
+//! contention source: back-pressure that used to show up as lock wait
+//! now shows up as a typed, observable refusal.
+//!
+//! `tests/ring_equiv.rs` drives this ring, the old `WorkQueue`, and
+//! `mq::Broker` through identical schedules (batch sizes {1, 4, 32},
+//! the close-and-move hop, wraparound and full-ring interleavings) and
+//! asserts identical order/offset/outcome behaviour.
+
+use crate::queue::{Envelope, Produce, ProduceBatch, Request};
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+use telemetry::flight::{self, EventKind};
+use telemetry::{Counter, Gauge};
+
+/// Closed flag, folded into the producer claim word so close-and-drain
+/// is atomic with produce.
+const CLOSED: u64 = 1 << 63;
+const POS: u64 = CLOSED - 1;
+
+/// One ring slot: the sequence word publishes the payload. `seq ==
+/// pos + 1` means "position `pos` is written and readable"; any other
+/// value means the slot belongs to a past lap (consumed) or a producer
+/// mid-write.
+struct Slot {
+    seq: AtomicU64,
+    val: UnsafeCell<MaybeUninit<Envelope>>,
+}
+
+/// Telemetry hookup, mirroring `WorkQueue`'s: the shared high-water
+/// gauge, the shared `queue_wake` counter, the shared `ring_full`
+/// counter, and the flight-recorder tag (invoker id).
+struct RingTelem {
+    gauge: Arc<Gauge>,
+    wakes: Arc<Counter>,
+    full: Arc<Counter>,
+    tag: u64,
+}
+
+/// Bounded lock-free MPSC work queue. Many producers; **exactly one
+/// consumer thread** may call the pop/drain side (`try_pop`,
+/// `try_pop_batch`, `pop_timeout`, `close_and_drain`) — in the gateway
+/// that is the owning invoker thread, which also performs the close.
+pub struct RingQueue {
+    buf: Box<[Slot]>,
+    mask: u64,
+    /// Admission bound (exact, may be below the power-of-two buffer).
+    cap: u64,
+    /// Producer claim word: next position to claim, plus [`CLOSED`].
+    head: AtomicU64,
+    /// Next position the consumer will drain. Written only by the
+    /// consumer (Release); producers read it (Acquire) for the bound.
+    tail: AtomicU64,
+    /// Consumers currently parked in [`pop_timeout`](Self::pop_timeout).
+    waiting: AtomicUsize,
+    park: Mutex<()>,
+    ready: Condvar,
+    /// Deepest backlog ever observed (claimed - drained).
+    highwater: AtomicU64,
+    /// Next depth at which a flight-recorder high-water event fires
+    /// (doubles from 16, same cadence as `WorkQueue`).
+    hw_report: AtomicU64,
+    telem: Option<RingTelem>,
+}
+
+// SAFETY: the `UnsafeCell` slots are published hand-over-hand through
+// the per-slot `seq` words (Release store by the claiming producer,
+// Acquire load by the single consumer); a slot is written only by the
+// producer that uniquely claimed its position via the `head` CAS, and
+// read only after its publish. `Envelope` is `Copy`, so abandoned
+// slots need no drop.
+unsafe impl Send for RingQueue {}
+unsafe impl Sync for RingQueue {}
+
+impl RingQueue {
+    /// An empty, open ring admitting up to `capacity` pending messages
+    /// (the same exact bound `WorkQueue::produce` enforces via its
+    /// `capacity` argument).
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.max(1) as u64;
+        let len = cap.next_power_of_two();
+        RingQueue {
+            buf: (0..len)
+                .map(|_| Slot {
+                    seq: AtomicU64::new(0),
+                    val: UnsafeCell::new(MaybeUninit::uninit()),
+                })
+                .collect(),
+            mask: len - 1,
+            cap,
+            head: AtomicU64::new(0),
+            tail: AtomicU64::new(0),
+            waiting: AtomicUsize::new(0),
+            park: Mutex::new(()),
+            ready: Condvar::new(),
+            highwater: AtomicU64::new(0),
+            hw_report: AtomicU64::new(16),
+            telem: None,
+        }
+    }
+
+    /// A ring that reports depth high-water to the shared `gauge`,
+    /// counts consumer wakes on `wakes` and full encounters on `full`,
+    /// and tags flight-recorder events with `tag`.
+    pub fn with_telem(
+        capacity: usize,
+        gauge: Arc<Gauge>,
+        wakes: Arc<Counter>,
+        full: Arc<Counter>,
+        tag: u64,
+    ) -> Self {
+        let mut q = Self::new(capacity);
+        q.telem = Some(RingTelem {
+            gauge,
+            wakes,
+            full,
+            tag,
+        });
+        q
+    }
+
+    /// Claim `want` consecutive positions for producing, bounded by
+    /// room and the closed bit. Returns the first claimed position and
+    /// the claimed count (`0` with the ring full), or `Err(())` when
+    /// closed.
+    fn claim(&self, want: u64) -> Result<(u64, u64), ()> {
+        let mut head = self.head.load(Ordering::Relaxed);
+        loop {
+            if head & CLOSED != 0 {
+                return Err(());
+            }
+            let pos = head & POS;
+            // `tail` only advances, so a stale read under-counts room:
+            // the bound stays exact, never over-admits.
+            let tail = self.tail.load(Ordering::Acquire);
+            let room = self.cap - (pos - tail).min(self.cap);
+            let n = want.min(room);
+            if n == 0 {
+                if let Some(t) = &self.telem {
+                    t.full.inc();
+                }
+                return Ok((pos, 0));
+            }
+            match self.head.compare_exchange_weak(
+                head,
+                head + n,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Ok((pos, n)),
+                Err(seen) => head = seen,
+            }
+        }
+    }
+
+    /// Write and publish one claimed slot.
+    ///
+    /// SAFETY (of the contained writes): `pos` was uniquely claimed by
+    /// this producer via [`claim`](Self::claim), and the capacity
+    /// check guarantees the consumer has drained the previous lap of
+    /// this slot (its advance of `tail` is Release, our room check
+    /// reads it Acquire), so no other thread touches `val` until our
+    /// Release publish of `seq` hands it to the consumer.
+    fn publish(&self, pos: u64, env: Envelope) {
+        let slot = &self.buf[(pos & self.mask) as usize];
+        unsafe { (*slot.val.get()).write(env) };
+        slot.seq.store(pos + 1, Ordering::Release);
+    }
+
+    /// Post-produce bookkeeping: wake a parked consumer (only if one
+    /// is actually parked — the waiter-counted discipline) and track
+    /// the depth high-water.
+    fn after_produce(&self, end_pos: u64) {
+        // Pair with the consumer's register-then-recheck in
+        // `pop_timeout`: our slot publishes (Release) happen before
+        // this fence; its `waiting` increment happens before its
+        // fence. Whichever fence is later in the total order, either
+        // we observe `waiting > 0` here or the consumer's re-check
+        // observes our published slot — a wake is never lost.
+        fence(Ordering::SeqCst);
+        if self.waiting.load(Ordering::Relaxed) > 0 {
+            // Empty critical section: serialize with the consumer's
+            // park so the notify cannot fire between its re-check and
+            // its wait.
+            drop(self.park.lock().unwrap_or_else(|e| e.into_inner()));
+            self.ready.notify_one();
+            if let Some(t) = &self.telem {
+                t.wakes.inc();
+            }
+        }
+        let depth = end_pos - self.tail.load(Ordering::Acquire).min(end_pos);
+        let old = self.highwater.fetch_max(depth, Ordering::Relaxed);
+        if depth > old {
+            if let Some(t) = &self.telem {
+                t.gauge.raise(depth as i64);
+                let mut report = self.hw_report.load(Ordering::Relaxed);
+                if depth >= report {
+                    flight::record(EventKind::QueueHighWater, t.tag, depth);
+                    while report <= depth {
+                        match self.hw_report.compare_exchange_weak(
+                            report,
+                            report * 2,
+                            Ordering::Relaxed,
+                            Ordering::Relaxed,
+                        ) {
+                            Ok(_) => report *= 2,
+                            Err(seen) => report = seen,
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Produce a fresh request. The ring's own capacity is the
+    /// admission bound (exact: checked in the same CAS loop that
+    /// assigns the offset).
+    pub fn produce(&self, req: Request, produced_at: Instant) -> Produce {
+        match self.claim(1) {
+            Err(()) => Produce::Closed(req),
+            Ok((_, 0)) => Produce::Full(req),
+            Ok((pos, _)) => {
+                self.publish(
+                    pos,
+                    Envelope {
+                        offset: pos,
+                        produced_at,
+                        req,
+                    },
+                );
+                self.after_produce(pos + 1);
+                Produce::Ok(pos)
+            }
+        }
+    }
+
+    /// Produce a whole burst share under **one** claim CAS and at most
+    /// **one** consumer wake. Offsets are consecutive in slice order,
+    /// the bound admits up to the remaining room (the caller sheds the
+    /// rest via the count), exactly like `WorkQueue::produce_batch`.
+    pub fn produce_batch(&self, reqs: &[Request], produced_at: Instant) -> ProduceBatch {
+        match self.claim(reqs.len() as u64) {
+            Err(()) => ProduceBatch::Closed,
+            Ok((_, 0)) => ProduceBatch::Admitted(0),
+            Ok((pos, n)) => {
+                for (i, req) in reqs[..n as usize].iter().enumerate() {
+                    self.publish(
+                        pos + i as u64,
+                        Envelope {
+                            offset: pos + i as u64,
+                            produced_at,
+                            req: *req,
+                        },
+                    );
+                }
+                self.after_produce(pos + n);
+                ProduceBatch::Admitted(n as usize)
+            }
+        }
+    }
+
+    /// Re-produce an envelope moved from another queue: fresh offset
+    /// here, original `produced_at` preserved (`mq::Broker::move_all`).
+    /// Errs with the envelope when this ring is closed or full (a full
+    /// ring cannot absorb a drain hop; the caller keeps the envelope).
+    pub fn produce_moved(&self, env: Envelope) -> Result<u64, Envelope> {
+        match self.claim(1) {
+            Err(()) | Ok((_, 0)) => Err(env),
+            Ok((pos, _)) => {
+                self.publish(pos, Envelope { offset: pos, ..env });
+                self.after_produce(pos + 1);
+                Ok(pos)
+            }
+        }
+    }
+
+    /// Read slot `pos`, which the caller has observed as published.
+    ///
+    /// SAFETY: requires `seq == pos + 1` observed with Acquire (the
+    /// payload write happens-before), and that the caller is the
+    /// single consumer (nobody else reads or reuses the slot until
+    /// `tail` advances past `pos`).
+    unsafe fn read(&self, pos: u64) -> Envelope {
+        let slot = &self.buf[(pos & self.mask) as usize];
+        unsafe { (*slot.val.get()).assume_init_read() }
+    }
+
+    /// Non-blocking pop of the oldest pending envelope. Consumer-only.
+    pub fn try_pop(&self) -> Option<Envelope> {
+        let t = self.tail.load(Ordering::Relaxed);
+        let slot = &self.buf[(t & self.mask) as usize];
+        if slot.seq.load(Ordering::Acquire) != t + 1 {
+            return None;
+        }
+        let env = unsafe { self.read(t) };
+        self.tail.store(t + 1, Ordering::Release);
+        Some(env)
+    }
+
+    /// Batched drain: pop up to `max` of the oldest pending envelopes
+    /// into `out`, preserving FIFO order and every envelope's offset
+    /// and `produced_at` stamp; `tail` is published **once** for the
+    /// whole batch. Equivalent to `max` sequential
+    /// [`try_pop`](Self::try_pop) calls. Consumer-only.
+    pub fn try_pop_batch(&self, out: &mut Vec<Envelope>, max: usize) -> usize {
+        let start = self.tail.load(Ordering::Relaxed);
+        let mut t = start;
+        while t - start < max as u64 {
+            let slot = &self.buf[(t & self.mask) as usize];
+            if slot.seq.load(Ordering::Acquire) != t + 1 {
+                break;
+            }
+            out.push(unsafe { self.read(t) });
+            t += 1;
+        }
+        if t != start {
+            self.tail.store(t, Ordering::Release);
+        }
+        (t - start) as usize
+    }
+
+    /// Pop, parking up to `timeout` for work to arrive. Consumer-only.
+    pub fn pop_timeout(&self, timeout: Duration) -> Option<Envelope> {
+        if let Some(env) = self.try_pop() {
+            return Some(env);
+        }
+        let deadline = Instant::now() + timeout;
+        loop {
+            // Brief spin before parking: a producer racing right
+            // behind us saves the whole futex round-trip (and its
+            // `queue_wake` on the producer side).
+            for _ in 0..2 {
+                std::thread::yield_now();
+                if let Some(env) = self.try_pop() {
+                    return Some(env);
+                }
+            }
+            let guard = self.park.lock().unwrap_or_else(|e| e.into_inner());
+            self.waiting.fetch_add(1, Ordering::Relaxed);
+            // Pair with the producer's publish-then-check fence in
+            // `after_produce` — see the comment there.
+            fence(Ordering::SeqCst);
+            if let Some(env) = self.try_pop() {
+                self.waiting.fetch_sub(1, Ordering::Relaxed);
+                return Some(env);
+            }
+            if self.is_closed() {
+                self.waiting.fetch_sub(1, Ordering::Relaxed);
+                return None;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                self.waiting.fetch_sub(1, Ordering::Relaxed);
+                return None;
+            }
+            let (guard, _) = self
+                .ready
+                .wait_timeout(guard, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            self.waiting.fetch_sub(1, Ordering::Relaxed);
+            drop(guard);
+            if let Some(env) = self.try_pop() {
+                return Some(env);
+            }
+            if self.is_closed() || Instant::now() >= deadline {
+                return None;
+            }
+        }
+    }
+
+    /// Atomically close the ring and take every pending envelope (the
+    /// invoker's half of the drain protocol). The CLOSED bit lands in
+    /// the producer claim word, so the close linearizes against every
+    /// produce: positions claimed before it are drained here (waiting
+    /// out any producer mid-publish), claims after it fail with
+    /// [`Produce::Closed`]. Idempotent. Consumer-only: the owning
+    /// invoker thread closes its own ring.
+    pub fn close_and_drain(&self) -> Vec<Envelope> {
+        let end = self.head.fetch_or(CLOSED, Ordering::Relaxed) & POS;
+        let start = self.tail.load(Ordering::Relaxed);
+        let mut drained = Vec::with_capacity((end - start) as usize);
+        for pos in start..end {
+            let slot = &self.buf[(pos & self.mask) as usize];
+            // A producer that claimed before the close may still be
+            // between its claim and its publish; its message is part
+            // of the pre-close state, so wait it out (publish is two
+            // stores away — this spin is bounded by a thread hiccup,
+            // not by any lock).
+            let mut spins = 0u32;
+            while slot.seq.load(Ordering::Acquire) != pos + 1 {
+                spins += 1;
+                if spins > 64 {
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+            drained.push(unsafe { self.read(pos) });
+        }
+        self.tail.store(end, Ordering::Release);
+        drained
+    }
+
+    /// Pending message count (claimed and not yet drained; a producer
+    /// mid-publish counts as pending, exactly as it will be drained).
+    pub fn depth(&self) -> usize {
+        let head = self.head.load(Ordering::Relaxed) & POS;
+        let tail = self.tail.load(Ordering::Relaxed);
+        (head - tail.min(head)) as usize
+    }
+
+    /// Total messages ever produced here (== next offset).
+    pub fn total_produced(&self) -> u64 {
+        self.head.load(Ordering::Relaxed) & POS
+    }
+
+    /// True iff the ring has been closed.
+    pub fn is_closed(&self) -> bool {
+        self.head.load(Ordering::Relaxed) & CLOSED != 0
+    }
+
+    /// Deepest backlog this ring ever held.
+    pub fn highwater(&self) -> usize {
+        self.highwater.load(Ordering::Relaxed) as usize
+    }
+
+    /// The configured admission bound.
+    pub fn capacity(&self) -> usize {
+        self.cap as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::ActionId;
+
+    fn req(id: u64) -> Request {
+        Request {
+            id,
+            action: ActionId(0),
+            key: id,
+        }
+    }
+
+    #[test]
+    fn offsets_are_sequential_and_fifo() {
+        let q = RingQueue::new(8);
+        let t = Instant::now();
+        for i in 0..5 {
+            match q.produce(req(i), t) {
+                Produce::Ok(off) => assert_eq!(off, i),
+                other => panic!("unexpected: {other:?}"),
+            }
+        }
+        for i in 0..5 {
+            let env = q.try_pop().expect("pending");
+            assert_eq!(env.offset, i);
+            assert_eq!(env.req.id, i);
+        }
+        assert!(q.try_pop().is_none());
+    }
+
+    #[test]
+    fn bound_is_exact_and_full_hands_back() {
+        // Capacity 5 inside an 8-slot buffer: the logical bound, not
+        // the power-of-two size, refuses.
+        let q = RingQueue::new(5);
+        let t = Instant::now();
+        for i in 0..5 {
+            assert!(matches!(q.produce(req(i), t), Produce::Ok(_)));
+        }
+        match q.produce(req(99), t) {
+            Produce::Full(r) => assert_eq!(r.id, 99),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        // Draining one opens exactly one slot.
+        assert_eq!(q.try_pop().unwrap().req.id, 0);
+        assert!(matches!(q.produce(req(5), t), Produce::Ok(5)));
+        assert!(matches!(q.produce(req(6), t), Produce::Full(_)));
+    }
+
+    #[test]
+    fn wraparound_preserves_order_and_offsets() {
+        let q = RingQueue::new(4);
+        let t = Instant::now();
+        let mut next_id = 0u64;
+        let mut expect = 0u64;
+        // Many laps around the 4-slot ring.
+        for _ in 0..100 {
+            while let Produce::Ok(_) = q.produce(req(next_id), t) {
+                next_id += 1;
+            }
+            let mut out = Vec::new();
+            q.try_pop_batch(&mut out, 3);
+            for env in out {
+                assert_eq!(env.req.id, expect);
+                assert_eq!(env.offset, expect);
+                expect += 1;
+            }
+        }
+        assert_eq!(q.total_produced(), next_id);
+    }
+
+    #[test]
+    fn close_is_atomic_with_produce() {
+        let q = RingQueue::new(8);
+        let t = Instant::now();
+        for i in 0..3 {
+            assert!(matches!(q.produce(req(i), t), Produce::Ok(_)));
+        }
+        let drained = q.close_and_drain();
+        assert_eq!(drained.len(), 3);
+        assert!(q.is_closed());
+        match q.produce(req(9), t) {
+            Produce::Closed(r) => assert_eq!(r.id, 9),
+            other => panic!("expected Closed, got {other:?}"),
+        }
+        assert!(matches!(
+            q.produce_batch(&[req(1)], t),
+            ProduceBatch::Closed
+        ));
+        assert!(q
+            .produce_moved(Envelope {
+                offset: 0,
+                produced_at: t,
+                req: req(1),
+            })
+            .is_err());
+        // Idempotent.
+        assert!(q.close_and_drain().is_empty());
+    }
+
+    #[test]
+    fn moved_envelope_keeps_produced_at_gets_fresh_offset() {
+        let q = RingQueue::new(8);
+        let t0 = Instant::now();
+        assert!(matches!(q.produce(req(1), t0), Produce::Ok(0)));
+        let stamped = t0 - Duration::from_millis(5);
+        let off = q
+            .produce_moved(Envelope {
+                offset: 42,
+                produced_at: stamped,
+                req: req(2),
+            })
+            .unwrap();
+        assert_eq!(off, 1, "fresh offset here, not the old queue's");
+        q.try_pop().unwrap();
+        let env = q.try_pop().unwrap();
+        assert_eq!(env.offset, 1);
+        assert_eq!(env.produced_at, stamped, "admission stamp preserved");
+    }
+
+    #[test]
+    fn pop_timeout_parks_and_wakes() {
+        let q = Arc::new(RingQueue::new(8));
+        let p = q.clone();
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            p.produce(req(7), Instant::now());
+        });
+        let env = q.pop_timeout(Duration::from_secs(5)).expect("woken");
+        assert_eq!(env.req.id, 7);
+        h.join().unwrap();
+        // And times out when nothing arrives.
+        assert!(q.pop_timeout(Duration::from_millis(20)).is_none());
+    }
+
+    #[test]
+    fn concurrent_producers_no_loss_no_reorder_per_producer() {
+        // 4 producers × 2000 messages through a 64-slot ring with a
+        // draining consumer: every message arrives exactly once, and
+        // each producer's messages arrive in its send order.
+        let q = Arc::new(RingQueue::new(64));
+        const PER: u64 = 2_000;
+        const PRODS: u64 = 4;
+        let mut handles = Vec::new();
+        for p in 0..PRODS {
+            let q = q.clone();
+            handles.push(std::thread::spawn(move || {
+                let t = Instant::now();
+                for i in 0..PER {
+                    let id = p * PER + i;
+                    loop {
+                        match q.produce(req(id), t) {
+                            Produce::Ok(_) => break,
+                            Produce::Full(_) => std::thread::yield_now(),
+                            Produce::Closed(_) => panic!("never closed"),
+                        }
+                    }
+                }
+            }));
+        }
+        let mut seen = vec![0u32; (PER * PRODS) as usize];
+        let mut last: Vec<Option<u64>> = vec![None; PRODS as usize];
+        let mut got = 0u64;
+        let mut out = Vec::new();
+        let mut last_offset: Option<u64> = None;
+        while got < PER * PRODS {
+            out.clear();
+            if q.try_pop_batch(&mut out, 32) == 0 {
+                std::thread::yield_now();
+                continue;
+            }
+            for env in &out {
+                if let Some(prev) = last_offset {
+                    assert_eq!(env.offset, prev + 1, "offsets gapless in drain order");
+                }
+                last_offset = Some(env.offset);
+                let id = env.req.id;
+                seen[id as usize] += 1;
+                let p = (id / PER) as usize;
+                if let Some(prev) = last[p] {
+                    assert!(id > prev, "producer {p} reordered: {id} after {prev}");
+                }
+                last[p] = Some(id);
+                got += 1;
+            }
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(seen.iter().all(|&c| c == 1), "exactly once");
+    }
+}

@@ -271,23 +271,27 @@ impl GatewayTelemetry {
     }
 
     /// Register `gateway_submit_contention_total{source}`: the CAS
-    /// retries of the two lock-free submit-path structures (the GCRA
-    /// bucket's `tat` and the per-action in-flight caps), the consumer
-    /// wakes producers issued on the work queues, and the shard-claim
-    /// skips on the collect side. Every series is zero on an idle or
-    /// single-submitter plane, so a flat spot in the cores→ops/s curve
-    /// is attributable from the exposition alone: which shared line the
-    /// extra cores actually fought over.
+    /// retries of the lock-free submit-path structures (the sharded
+    /// GCRA bucket lines and the per-action in-flight caps), the debt
+    /// transfers between bucket shards, the consumer wakes producers
+    /// issued on the work queues, the full-ring refusals of the MPSC
+    /// rings, and the shard-claim skips on the collect side. Every
+    /// series is zero on an idle or single-submitter plane, so a flat
+    /// spot in the cores→ops/s curve is attributable from the
+    /// exposition alone: which shared line the extra cores actually
+    /// fought over.
     pub(crate) fn register_contention(
         &self,
         shaper_cas: Arc<Counter>,
+        tat_rebalance: Arc<Counter>,
+        ring_full: Arc<Counter>,
         actions: Arc<ActionRegistry>,
     ) {
         let queue_wakes = self.queue_wakes.clone();
         let claim_skips = self.collect_claim_skips.clone();
         self.registry.register(
             "gateway_submit_contention_total",
-            "Submit/collect-path contention events (CAS retries, wakes, claim skips)",
+            "Submit/collect-path contention events (CAS retries, rebalances, wakes, full rings, claim skips)",
             MetricKind::Counter,
             Box::new(move || {
                 vec![
@@ -296,12 +300,20 @@ impl GatewayTelemetry {
                         Collected::Counter(shaper_cas.get()),
                     ),
                     (
+                        labels(&[("source", "tat_rebalance")]),
+                        Collected::Counter(tat_rebalance.get()),
+                    ),
+                    (
                         labels(&[("source", "admit_cas")]),
                         Collected::Counter(actions.admit_cas_retries()),
                     ),
                     (
                         labels(&[("source", "queue_wake")]),
                         Collected::Counter(queue_wakes.get()),
+                    ),
+                    (
+                        labels(&[("source", "ring_full")]),
+                        Collected::Counter(ring_full.get()),
                     ),
                     (
                         labels(&[("source", "collect_claim")]),
